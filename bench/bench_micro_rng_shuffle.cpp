@@ -1,0 +1,76 @@
+/// \file bench_micro_rng_shuffle.cpp
+/// \brief Micro bench for the §5.3 randomness substrate: generator
+/// throughput, bounded draws, binomial sampling, and sequential vs
+/// parallel permutation sampling (the per-global-switch cost of G-ES-MC).
+#include "rng/binomial.hpp"
+#include "rng/bounded.hpp"
+#include "rng/counter_rng.hpp"
+#include "rng/mt19937_64.hpp"
+#include "rng/shuffle.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace gesmc;
+
+void BM_Mt19937_64(benchmark::State& state) {
+    Mt19937_64 gen(1);
+    for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_Mt19937_64);
+
+void BM_SplitMix64(benchmark::State& state) {
+    SplitMix64 gen(1);
+    for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_SplitMix64);
+
+void BM_UniformBelow(benchmark::State& state) {
+    Mt19937_64 gen(2);
+    for (auto _ : state) benchmark::DoNotOptimize(uniform_below(gen, 1000003));
+}
+BENCHMARK(BM_UniformBelow);
+
+void BM_BinomialGlobalSwitchLength(benchmark::State& state) {
+    // l ~ Binom(m/2, 1 - P_L): the per-global-switch draw of G-ES-MC.
+    Mt19937_64 gen(3);
+    const auto half_m = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) benchmark::DoNotOptimize(sample_binomial(gen, half_m, 1.0 - 1e-3));
+}
+BENCHMARK(BM_BinomialGlobalSwitchLength)->Arg(1 << 15)->Arg(1 << 19);
+
+void BM_FisherYates(benchmark::State& state) {
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    Mt19937_64 gen(4);
+    std::vector<std::uint32_t> perm(n);
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+        fisher_yates(perm, gen);
+        benchmark::DoNotOptimize(perm.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FisherYates)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_SamplePermutation(benchmark::State& state) {
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    const auto threads = static_cast<unsigned>(state.range(1));
+    ThreadPool pool(threads);
+    std::vector<std::uint32_t> perm;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        sample_permutation(perm, n, ++seed, pool);
+        benchmark::DoNotOptimize(perm.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SamplePermutation)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 2})
+    ->Args({1 << 19, 1})
+    ->Args({1 << 19, 2});
+
+} // namespace
+
+BENCHMARK_MAIN();

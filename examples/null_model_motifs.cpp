@@ -1,0 +1,72 @@
+/// \file null_model_motifs.cpp
+/// \brief The paper's §1 motivation end to end: quantify the statistical
+/// significance of an observed graph property against the uniform
+/// fixed-degree null model.
+///
+/// We take an "observed" network with pronounced clustering, draw N
+/// independent samples from G(d) with G-ES-MC, and report the z-score of
+/// the observed triangle count under the null distribution — the classic
+/// motif-significance methodology (Milo et al.; refs [3-5] of the paper).
+///
+///   ./examples/null_model_motifs [n] [samples]
+#include "analysis/proxy_metrics.hpp"
+#include "core/chain.hpp"
+#include "gen/corpus.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/metrics.hpp"
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+using namespace gesmc;
+
+int main(int argc, char** argv) {
+    const node_t n = argc > 1 ? static_cast<node_t>(std::atoi(argv[1])) : 3000;
+    const int samples = argc > 2 ? std::atoi(argv[2]) : 40;
+    constexpr std::uint64_t kBurnInSupersteps = 15; // ~ paper's 10-30 switches/edge
+
+    // "Observed" network: a Havel-Hakimi power-law realization — HH packs
+    // high-degree nodes together, so it is strongly clustered, like real
+    // collaboration networks.
+    const EdgeList observed = generate_powerlaw_graph(n, 2.3, 7);
+    const std::uint64_t observed_triangles = triangle_count(Adjacency(observed));
+    std::cout << "Observed graph: n = " << observed.num_nodes()
+              << ", m = " << observed.num_edges() << ", triangles = " << observed_triangles
+              << "\n\nSampling " << samples << " null-model graphs (uniform over G(d), "
+              << "G-ES-MC, " << kBurnInSupersteps << " supersteps burn-in each)...\n";
+
+    std::vector<double> null_triangles;
+    null_triangles.reserve(static_cast<std::size_t>(samples));
+    for (int s = 0; s < samples; ++s) {
+        ChainConfig config;
+        config.seed = 1000 + static_cast<std::uint64_t>(s);
+        config.threads = 0;
+        auto chain = make_chain(ChainAlgorithm::kParGlobalES, observed, config);
+        chain->run_supersteps(kBurnInSupersteps);
+        null_triangles.push_back(static_cast<double>(triangle_count(Adjacency(chain->graph()))));
+    }
+
+    double mean = 0;
+    for (const double t : null_triangles) mean += t;
+    mean /= samples;
+    double var = 0;
+    for (const double t : null_triangles) var += (t - mean) * (t - mean);
+    var /= std::max(1, samples - 1);
+    const double sd = std::sqrt(var);
+    const double z = sd > 0 ? (static_cast<double>(observed_triangles) - mean) / sd : 0.0;
+
+    std::cout << "\nNull model:  triangles = " << fmt_double(mean, 1) << " +- "
+              << fmt_double(sd, 1) << "\n"
+              << "Observed:    triangles = " << observed_triangles << "\n"
+              << "z-score:     " << fmt_double(z, 1) << "\n\n"
+              << (std::abs(z) > 3
+                      ? "|z| > 3: the observed clustering is NOT explained by the degree\n"
+                        "sequence alone — exactly the kind of finding the fixed-degree\n"
+                        "null model exists to establish (paper §1).\n"
+                      : "|z| <= 3: the observed triangle count is compatible with the\n"
+                        "degree sequence alone.\n");
+    return 0;
+}

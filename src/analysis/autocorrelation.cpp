@@ -1,0 +1,103 @@
+#include "analysis/autocorrelation.hpp"
+
+#include "util/check.hpp"
+
+#include <cmath>
+
+namespace gesmc {
+
+std::vector<std::uint32_t> default_thinning_values(std::uint32_t max_k) {
+    // Smooth ladder of small-divisor values: 1, 2, 3, 4, 6, 8, 12, 16, ...
+    std::vector<std::uint32_t> t{1, 2, 3};
+    for (std::uint32_t base = 4; base <= max_k; base *= 2) {
+        t.push_back(base);
+        if (base + base / 2 <= max_k) t.push_back(base + base / 2);
+    }
+    std::vector<std::uint32_t> out;
+    for (const auto k : t)
+        if (k <= max_k) out.push_back(k);
+    return out;
+}
+
+ThinningAutocorrelation::ThinningAutocorrelation(const Chain& chain,
+                                                 std::vector<std::uint32_t> thinning,
+                                                 Track track)
+    : thinning_(std::move(thinning)) {
+    GESMC_CHECK(!thinning_.empty(), "need at least one thinning value");
+    const EdgeList& g = chain.graph();
+    if (track == Track::kInitialEdges) {
+        tracked_ = g.keys();
+    } else {
+        GESMC_CHECK(g.num_nodes() <= 2048, "all-pairs tracking needs small n");
+        for (node_t u = 0; u < g.num_nodes(); ++u) {
+            for (node_t v = u + 1; v < g.num_nodes(); ++v) {
+                tracked_.push_back(edge_key(u, v));
+            }
+        }
+    }
+    counts_.assign(thinning_.size() * tracked_.size(), EdgeCounts{});
+    // Superstep-0 states seed `prev` for every thinning.
+    for (std::size_t ki = 0; ki < thinning_.size(); ++ki) {
+        EdgeCounts* row = counts_.data() + ki * tracked_.size();
+        for (std::size_t e = 0; e < tracked_.size(); ++e) {
+            row[e].prev = chain.has_edge(tracked_[e]) ? 1 : 0;
+        }
+    }
+}
+
+void ThinningAutocorrelation::observe(const Chain& chain) {
+    ++step_;
+    for (std::size_t ki = 0; ki < thinning_.size(); ++ki) {
+        if (step_ % thinning_[ki] != 0) continue;
+        EdgeCounts* row = counts_.data() + ki * tracked_.size();
+        for (std::size_t e = 0; e < tracked_.size(); ++e) {
+            const std::uint8_t cur = chain.has_edge(tracked_[e]) ? 1 : 0;
+            ++row[e].n[row[e].prev][cur];
+            row[e].prev = cur;
+        }
+    }
+}
+
+double g2_statistic(const std::uint32_t counts[2][2]) {
+    const double n00 = counts[0][0], n01 = counts[0][1];
+    const double n10 = counts[1][0], n11 = counts[1][1];
+    const double total = n00 + n01 + n10 + n11;
+    if (total == 0) return 0.0;
+    const double row0 = n00 + n01, row1 = n10 + n11;
+    const double col0 = n00 + n10, col1 = n01 + n11;
+    auto term = [total](double nij, double rowi, double colj) {
+        if (nij == 0 || rowi == 0 || colj == 0) return 0.0;
+        return nij * std::log(nij * total / (rowi * colj));
+    };
+    return 2.0 * (term(n00, row0, col0) + term(n01, row0, col1) + term(n10, row1, col0) +
+                  term(n11, row1, col1));
+}
+
+bool bic_prefers_independent(const std::uint32_t counts[2][2]) {
+    const double total = static_cast<double>(counts[0][0]) + counts[0][1] + counts[1][0] +
+                         counts[1][1];
+    if (total < 2) return false; // not enough evidence either way
+    // The Markov model has one extra parameter; BIC penalty ln(N).
+    return g2_statistic(counts) <= std::log(total);
+}
+
+double ThinningAutocorrelation::non_independent_fraction(std::size_t ki) const {
+    GESMC_CHECK(ki < thinning_.size(), "thinning index out of range");
+    if (tracked_.empty()) return 0.0;
+    const EdgeCounts* row = counts_.data() + ki * tracked_.size();
+    std::size_t dependent = 0;
+    for (std::size_t e = 0; e < tracked_.size(); ++e) {
+        if (!bic_prefers_independent(row[e].n)) ++dependent;
+    }
+    return static_cast<double>(dependent) / static_cast<double>(tracked_.size());
+}
+
+std::vector<double> ThinningAutocorrelation::non_independent_fractions() const {
+    std::vector<double> out(thinning_.size());
+    for (std::size_t ki = 0; ki < thinning_.size(); ++ki) {
+        out[ki] = non_independent_fraction(ki);
+    }
+    return out;
+}
+
+} // namespace gesmc

@@ -1,0 +1,84 @@
+/// \file autocorrelation.hpp
+/// \brief Autocorrelation-based mixing analysis (paper §6.1).
+///
+/// Implements the non-parametric stopping criterion of Ray, Pinar &
+/// Seshadhri ("A stopping criterion for Markov Chains when generating
+/// independent random graphs", J. Complex Networks 2015) as used by the
+/// paper:
+///
+///  * For each tracked edge e, the chain induces a binary time series
+///    Z_t = [e in G_t], sampled after every superstep.
+///  * For each thinning value k in a fixed set T, the k-thinned series
+///    {Z_{tk}} is summarized *on the fly* into a 2x2 transition count
+///    matrix (the paper's memory-saving streaming formulation).
+///  * An edge is deemed *independent* at thinning k if the Bayesian
+///    Information Criterion prefers an i.i.d. Bernoulli model over a
+///    first-order Markov model: G2 <= ln(N), where G2 is the likelihood-
+///    ratio statistic of the two models (one extra parameter, hence the
+///    ln(N) penalty) and N the number of observed transitions.
+///  * The reported curve is the fraction of *non-independent* edges as a
+///    function of k — Figure 2/3 of the paper.
+///
+/// Tracked edges: either all edges of the initial graph (the paper's
+/// choice for NetRep, memory Theta(m)) or every possible node pair (viable
+/// for small n, closer to the SynPld setup).
+#pragma once
+
+#include "core/chain.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gesmc {
+
+/// Thinning set used throughout (paper: avoid large primes and numbers
+/// with many divisors; quantization is inconsequential).
+std::vector<std::uint32_t> default_thinning_values(std::uint32_t max_k);
+
+/// Streaming G2/BIC independence test over thinned binary series.
+class ThinningAutocorrelation {
+public:
+    enum class Track { kInitialEdges, kAllPairs };
+
+    /// Prepares tracking for `chain`'s current graph (superstep 0 state).
+    ThinningAutocorrelation(const Chain& chain, std::vector<std::uint32_t> thinning,
+                            Track track);
+
+    /// Records the state after one more superstep. Call exactly once per
+    /// superstep, in order.
+    void observe(const Chain& chain);
+
+    /// Number of supersteps observed so far.
+    [[nodiscard]] std::uint64_t supersteps() const noexcept { return step_; }
+
+    [[nodiscard]] const std::vector<std::uint32_t>& thinning() const noexcept {
+        return thinning_;
+    }
+
+    /// Fraction of tracked edges whose k-thinned series the BIC still
+    /// considers first-order Markov (non-independent), for thinning_[ki].
+    [[nodiscard]] double non_independent_fraction(std::size_t ki) const;
+
+    /// Convenience: fractions for all thinning values.
+    [[nodiscard]] std::vector<double> non_independent_fractions() const;
+
+private:
+    struct EdgeCounts {
+        std::uint32_t n[2][2] = {{0, 0}, {0, 0}}; ///< transition counts
+        std::uint8_t prev = 0;                    ///< last retained state
+    };
+
+    std::vector<std::uint32_t> thinning_;
+    std::vector<edge_key_t> tracked_;
+    /// counts_[ki * tracked_.size() + e]
+    std::vector<EdgeCounts> counts_;
+    std::uint64_t step_ = 0;
+};
+
+/// The G2 statistic for a 2x2 transition count matrix (0*ln(0) := 0).
+double g2_statistic(const std::uint32_t counts[2][2]);
+
+/// BIC rule: true iff the independent model is preferred (G2 <= ln(N)).
+bool bic_prefers_independent(const std::uint32_t counts[2][2]);
+
+} // namespace gesmc

@@ -1,0 +1,57 @@
+#include "analysis/convergence.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+#include <cmath>
+
+namespace gesmc {
+
+MixingCurve mixing_curve(ChainAlgorithm algo, const EdgeList& initial,
+                         const MixingExperimentConfig& config) {
+    GESMC_CHECK(config.runs >= 1, "need at least one run");
+    const auto thinning = default_thinning_values(config.max_thinning);
+    const std::uint64_t supersteps =
+        static_cast<std::uint64_t>(config.max_thinning) * config.samples_at_max;
+
+    MixingCurve curve;
+    curve.thinning = thinning;
+    curve.runs = config.runs;
+    std::vector<double> sum(thinning.size(), 0);
+    std::vector<double> sum_sq(thinning.size(), 0);
+
+    for (std::uint32_t run = 0; run < config.runs; ++run) {
+        ChainConfig chain_config;
+        chain_config.seed = mix64(config.base_seed, run);
+        auto chain = make_chain(algo, initial, chain_config);
+        ThinningAutocorrelation tracker(*chain, thinning, config.track);
+        for (std::uint64_t step = 0; step < supersteps; ++step) {
+            chain->run_supersteps(1);
+            tracker.observe(*chain);
+        }
+        const auto fractions = tracker.non_independent_fractions();
+        for (std::size_t ki = 0; ki < thinning.size(); ++ki) {
+            sum[ki] += fractions[ki];
+            sum_sq[ki] += fractions[ki] * fractions[ki];
+        }
+    }
+
+    curve.mean.resize(thinning.size());
+    curve.stddev.resize(thinning.size());
+    for (std::size_t ki = 0; ki < thinning.size(); ++ki) {
+        const double mean = sum[ki] / config.runs;
+        curve.mean[ki] = mean;
+        const double var = std::max(0.0, sum_sq[ki] / config.runs - mean * mean);
+        curve.stddev[ki] = std::sqrt(var);
+    }
+    return curve;
+}
+
+std::optional<std::uint32_t> first_thinning_below(const MixingCurve& curve, double tau) {
+    for (std::size_t ki = 0; ki < curve.thinning.size(); ++ki) {
+        if (curve.mean[ki] < tau) return curve.thinning[ki];
+    }
+    return std::nullopt;
+}
+
+} // namespace gesmc

@@ -1,0 +1,43 @@
+/// \file convergence.hpp
+/// \brief Experiment drivers for the Figure 2/3 mixing comparisons.
+///
+/// Wires chains and the autocorrelation tracker together: run a chain for
+/// max(T) * samples supersteps, aggregate mean / stddev of the
+/// non-independent fraction over repeated runs (Fig. 2), and extract the
+/// first thinning value below a threshold tau (Fig. 3).
+#pragma once
+
+#include "analysis/autocorrelation.hpp"
+#include "core/chain.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gesmc {
+
+struct MixingCurve {
+    std::vector<std::uint32_t> thinning; ///< x-axis (supersteps between samples)
+    std::vector<double> mean;            ///< mean non-independent fraction
+    std::vector<double> stddev;          ///< across runs
+    std::uint64_t runs = 0;
+};
+
+struct MixingExperimentConfig {
+    std::uint32_t max_thinning = 32;
+    /// Transitions observed at the largest thinning value.
+    std::uint32_t samples_at_max = 30;
+    std::uint32_t runs = 3;
+    std::uint64_t base_seed = 1;
+    ThinningAutocorrelation::Track track = ThinningAutocorrelation::Track::kInitialEdges;
+};
+
+/// Runs `runs` independent chains of the given algorithm from `initial` and
+/// returns the aggregated non-independence curve.
+MixingCurve mixing_curve(ChainAlgorithm algo, const EdgeList& initial,
+                         const MixingExperimentConfig& config);
+
+/// First thinning value whose mean fraction drops below tau, if any.
+std::optional<std::uint32_t> first_thinning_below(const MixingCurve& curve, double tau);
+
+} // namespace gesmc

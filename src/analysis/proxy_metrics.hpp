@@ -1,0 +1,31 @@
+/// \file proxy_metrics.hpp
+/// \brief Aggregate-metric time series along a chain run (paper §6.1).
+///
+/// The paper lists assortativity, clustering, and triangle count as common
+/// — but less sensitive — mixing proxies.  This tracker records them per
+/// superstep so examples and tests can contrast their fast apparent
+/// convergence with the stricter autocorrelation criterion.
+#pragma once
+
+#include "core/chain.hpp"
+
+#include <vector>
+
+namespace gesmc {
+
+struct ProxySample {
+    std::uint64_t superstep = 0;
+    std::uint64_t triangles = 0;
+    double global_clustering = 0;
+    double assortativity = 0;
+};
+
+/// Computes one sample from the chain's current graph (O(m^1.5) worst case).
+ProxySample measure_proxies(const Chain& chain, std::uint64_t superstep);
+
+/// Runs `chain` for `supersteps`, sampling proxies every `stride` steps
+/// (including superstep 0).
+std::vector<ProxySample> proxy_series(Chain& chain, std::uint64_t supersteps,
+                                      std::uint64_t stride = 1);
+
+} // namespace gesmc

@@ -1,0 +1,74 @@
+#include "bench_util/harness.hpp"
+
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+
+#include <iostream>
+#include <thread>
+
+namespace gesmc {
+
+BenchMeasurement time_chain(ChainAlgorithm algo, const EdgeList& initial,
+                            const ChainConfig& config, std::uint64_t supersteps,
+                            double timeout_s) {
+    BenchMeasurement m;
+    Timer timer;
+    const auto chain = make_chain(algo, initial, config);
+    for (std::uint64_t step = 0; step < supersteps; ++step) {
+        if (timer.elapsed_s() > timeout_s) {
+            m.seconds = timer.elapsed_s();
+            m.stats = chain->stats();
+            return m; // finished stays false
+        }
+        chain->run_supersteps(1);
+        ++m.supersteps_done;
+    }
+    m.seconds = timer.elapsed_s();
+    m.finished = true;
+    m.stats = chain->stats();
+    return m;
+}
+
+std::string format_cell(const BenchMeasurement& m) {
+    if (!m.finished) return "—";
+    return fmt_double(m.seconds, m.seconds < 0.1 ? 4 : 2);
+}
+
+unsigned bench_max_threads() {
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+namespace {
+
+double calibration_kernel_seconds(unsigned threads) {
+    ThreadPool pool(threads);
+    constexpr std::uint64_t kWork = 200'000'000;
+    volatile double sink = 0;
+    Timer t;
+    pool.for_chunks(0, kWork, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+        double s = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) s += static_cast<double>(i & 1023) * 1e-9;
+        sink = sink + s;
+    });
+    return t.elapsed_s();
+}
+
+} // namespace
+
+double measure_parallel_ceiling(unsigned threads) {
+    const double t1 = calibration_kernel_seconds(1);
+    const double tp = calibration_kernel_seconds(threads);
+    return t1 / tp;
+}
+
+void print_bench_header(const std::string& title, const std::string& paper_ref) {
+    std::cout << "==================================================================\n"
+              << title << "\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "Hardware threads: " << bench_max_threads()
+              << " (paper: 64-core EPYC 7702P; absolute numbers are scaled\n"
+              << "down — the reproduction target is the *shape*, see EXPERIMENTS.md)\n"
+              << "==================================================================\n";
+}
+
+} // namespace gesmc

@@ -1,0 +1,47 @@
+/// \file harness.hpp
+/// \brief Shared measurement harness for the figure/table benches.
+///
+/// Mirrors the paper's benchmark protocol (§6.2): each measurement times
+/// *data-structure initialization plus N supersteps* of a chain on a given
+/// initial graph.  A timeout turns runaway cells into "—" entries like the
+/// paper's Fig. 4 (the run is cut off between supersteps, so the reported
+/// value is only used as a lower bound / DNF marker).
+#pragma once
+
+#include "core/chain.hpp"
+#include "util/format.hpp"
+
+#include <optional>
+#include <string>
+
+namespace gesmc {
+
+struct BenchMeasurement {
+    double seconds = 0;          ///< init + supersteps (valid iff finished)
+    bool finished = false;       ///< false: timeout hit
+    std::uint64_t supersteps_done = 0;
+    ChainStats stats;
+};
+
+/// Times chain construction + `supersteps` supersteps; aborts between
+/// supersteps once `timeout_s` is exceeded.
+BenchMeasurement time_chain(ChainAlgorithm algo, const EdgeList& initial,
+                            const ChainConfig& config, std::uint64_t supersteps,
+                            double timeout_s = 1e30);
+
+/// "1.23" or the DNF dash, mirroring the paper's table.
+std::string format_cell(const BenchMeasurement& m);
+
+/// Hardware threads available (the bench's stand-in for the paper's P=32).
+unsigned bench_max_threads();
+
+/// Measures the machine's *attainable* self speed-up at P threads with an
+/// embarrassingly parallel compute kernel.  Container/VM environments often
+/// advertise more concurrency than they deliver; scaling benches print this
+/// ceiling so readers can judge the chain speed-ups against it.
+double measure_parallel_ceiling(unsigned threads);
+
+/// Prints the standard bench preamble (machine info, scaling note).
+void print_bench_header(const std::string& title, const std::string& paper_ref);
+
+} // namespace gesmc

@@ -1,0 +1,85 @@
+#include "core/adj_list_es.hpp"
+
+#include "util/check.hpp"
+
+#include <algorithm>
+
+namespace gesmc {
+
+AdjListES::AdjListES(const EdgeList& initial, const ChainConfig& config)
+    : edges_(initial),
+      adjacency_(initial.num_nodes()),
+      stream_(config.seed, initial.num_edges()) {
+    GESMC_CHECK(initial.num_edges() >= 2, "need at least two edges to switch");
+    GESMC_CHECK(initial.is_simple(), "initial graph must be simple");
+    for (std::uint64_t i = 0; i < initial.num_edges(); ++i) {
+        const Edge e = initial.edge(i);
+        adjacency_[e.u].push_back(e.v);
+        adjacency_[e.v].push_back(e.u);
+    }
+    for (auto& nb : adjacency_) std::sort(nb.begin(), nb.end());
+}
+
+bool AdjListES::has_edge(edge_key_t key) const {
+    const Edge e = edge_from_key(key);
+    const auto& small =
+        adjacency_[e.u].size() <= adjacency_[e.v].size() ? adjacency_[e.u] : adjacency_[e.v];
+    const node_t other = adjacency_[e.u].size() <= adjacency_[e.v].size() ? e.v : e.u;
+    return std::binary_search(small.begin(), small.end(), other);
+}
+
+void AdjListES::insert_adj(node_t u, node_t v) {
+    auto& nb = adjacency_[u];
+    nb.insert(std::lower_bound(nb.begin(), nb.end(), v), v);
+}
+
+void AdjListES::erase_adj(node_t u, node_t v) {
+    auto& nb = adjacency_[u];
+    nb.erase(std::lower_bound(nb.begin(), nb.end(), v));
+}
+
+void AdjListES::run_supersteps(std::uint64_t count) {
+    const std::uint64_t switches = count * (edges_.num_edges() / 2);
+    auto& keys = edges_.keys();
+    for (std::uint64_t t = 0; t < switches; ++t) {
+        const Switch sw = stream_.get(next_switch_++);
+        const edge_key_t k1 = keys[sw.i];
+        const edge_key_t k2 = keys[sw.j];
+        const Edge e1 = edge_from_key(k1);
+        const Edge e2 = edge_from_key(k2);
+        const auto [t3, t4] = switch_targets(e1, e2, sw.g != 0);
+        const SwitchOutcome outcome =
+            decide_switch(k1, k2, t3, t4, [this](edge_key_t k) { return has_edge(k); });
+        switch (outcome) {
+        case SwitchOutcome::kAccepted: {
+            const edge_key_t k3 = edge_key(t3);
+            if (k3 != k1 && k3 != k2) { // identity no-op needs no updates
+                erase_adj(e1.u, e1.v);
+                erase_adj(e1.v, e1.u);
+                erase_adj(e2.u, e2.v);
+                erase_adj(e2.v, e2.u);
+                const Edge c3 = t3.canonical();
+                const Edge c4 = t4.canonical();
+                insert_adj(c3.u, c3.v);
+                insert_adj(c3.v, c3.u);
+                insert_adj(c4.u, c4.v);
+                insert_adj(c4.v, c4.u);
+            }
+            keys[sw.i] = k3;
+            keys[sw.j] = edge_key(t4);
+            ++stats_.accepted;
+            break;
+        }
+        case SwitchOutcome::kRejectedLoop:
+            ++stats_.rejected_loop;
+            break;
+        case SwitchOutcome::kRejectedEdge:
+            ++stats_.rejected_edge;
+            break;
+        }
+    }
+    stats_.attempted += switches;
+    stats_.supersteps += count;
+}
+
+} // namespace gesmc

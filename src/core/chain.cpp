@@ -1,0 +1,51 @@
+#include "core/chain.hpp"
+
+#include "core/adj_list_es.hpp"
+#include "core/naive_par_es.hpp"
+#include "core/par_es.hpp"
+#include "core/par_global_es.hpp"
+#include "core/seq_es.hpp"
+#include "core/seq_global_es.hpp"
+#include "util/check.hpp"
+
+namespace gesmc {
+
+std::string to_string(ChainAlgorithm algo) {
+    switch (algo) {
+    case ChainAlgorithm::kSeqES:
+        return "SeqES";
+    case ChainAlgorithm::kSeqGlobalES:
+        return "SeqGlobalES";
+    case ChainAlgorithm::kParES:
+        return "ParES";
+    case ChainAlgorithm::kParGlobalES:
+        return "ParGlobalES";
+    case ChainAlgorithm::kNaiveParES:
+        return "NaiveParES";
+    case ChainAlgorithm::kAdjListES:
+        return "AdjListES";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<Chain> make_chain(ChainAlgorithm algo, const EdgeList& initial,
+                                  const ChainConfig& config) {
+    switch (algo) {
+    case ChainAlgorithm::kSeqES:
+        return std::make_unique<SeqES>(initial, config);
+    case ChainAlgorithm::kSeqGlobalES:
+        return std::make_unique<SeqGlobalES>(initial, config);
+    case ChainAlgorithm::kParES:
+        return std::make_unique<ParES>(initial, config);
+    case ChainAlgorithm::kParGlobalES:
+        return std::make_unique<ParGlobalES>(initial, config);
+    case ChainAlgorithm::kNaiveParES:
+        return std::make_unique<NaiveParES>(initial, config);
+    case ChainAlgorithm::kAdjListES:
+        return std::make_unique<AdjListES>(initial, config);
+    }
+    GESMC_CHECK(false, "unknown algorithm");
+    return nullptr;
+}
+
+} // namespace gesmc

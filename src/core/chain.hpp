@@ -1,0 +1,98 @@
+/// \file chain.hpp
+/// \brief Common interface for all edge-switching Markov chain runners.
+///
+/// A *superstep* is the unit the paper uses to align ES-MC and G-ES-MC
+/// (§6.1): m/2 uniform random edge switches for ES-type chains, one global
+/// switch for G-ES-type chains.  All evaluation drivers (mixing analysis,
+/// benchmarks, examples) advance chains superstep by superstep through this
+/// interface.
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gesmc {
+
+class ThreadPool;
+
+/// Tuning knobs shared by all chain implementations.
+struct ChainConfig {
+    std::uint64_t seed = 1;
+
+    /// Threads for parallel chains (ignored by sequential ones).
+    unsigned threads = 1;
+
+    /// G-ES-MC per-switch rejection probability P_L (Definition 3 requires
+    /// 0 < P_L < 1 for aperiodicity; small values keep a global switch at
+    /// ~m/2 attempted switches, matching the superstep accounting).
+    double pl = 1e-3;
+
+    /// Enables the prefetching switch pipeline (paper §5.4).
+    bool prefetch = true;
+
+    /// ParGlobalES: graphs with fewer edges than this execute each global
+    /// switch sequentially instead of through ParallelSuperstep — the
+    /// "dedicated base cases for small graphs" the paper's §7 proposes to
+    /// cut synchronization overhead. 0 disables the base case (the paper's
+    /// plain Algorithm 3). The produced graphs are identical either way
+    /// (sequential execution is what the superstep reproduces).
+    std::uint64_t small_graph_cutoff = 0;
+};
+
+/// Counters accumulated while running a chain.
+struct ChainStats {
+    std::uint64_t supersteps = 0;
+    std::uint64_t attempted = 0;      ///< switches attempted
+    std::uint64_t accepted = 0;       ///< switches that rewired the graph
+    std::uint64_t rejected_loop = 0;  ///< rejected: target was a loop
+    std::uint64_t rejected_edge = 0;  ///< rejected: target existed / conflict
+    std::uint64_t rounds_total = 0;   ///< ParallelSuperstep rounds (parallel chains)
+    std::uint64_t rounds_max = 0;     ///< max rounds over supersteps
+    double first_round_seconds = 0;   ///< time spent in first rounds (Fig. 9)
+    double later_rounds_seconds = 0;  ///< time spent in rounds >= 2 (Fig. 9)
+};
+
+/// A Markov-chain runner owning its graph state.
+class Chain {
+public:
+    virtual ~Chain() = default;
+
+    /// Advances the chain by `count` supersteps.
+    virtual void run_supersteps(std::uint64_t count) = 0;
+
+    /// Current graph (materialized edge list; cheap for all chains).
+    [[nodiscard]] virtual const EdgeList& graph() const = 0;
+
+    /// O(1) edge existence query against the current state.
+    [[nodiscard]] virtual bool has_edge(edge_key_t key) const = 0;
+
+    [[nodiscard]] virtual const ChainStats& stats() const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    [[nodiscard]] std::uint64_t num_edges() const { return graph().num_edges(); }
+    [[nodiscard]] node_t num_nodes() const { return graph().num_nodes(); }
+};
+
+/// Algorithm selector for the factory.
+enum class ChainAlgorithm {
+    kSeqES,        ///< sequential ES-MC (§5)
+    kSeqGlobalES,  ///< sequential G-ES-MC (§5)
+    kParES,        ///< exact parallel ES-MC (Algorithm 2)
+    kParGlobalES,  ///< exact parallel G-ES-MC (Algorithm 3)
+    kNaiveParES,   ///< inexact parallel baseline (§5.1)
+    kAdjListES,    ///< adjacency-list reference implementation (stand-in for
+                   ///< NetworKit/Gengraph-class comparators, see DESIGN.md §4)
+};
+
+[[nodiscard]] std::string to_string(ChainAlgorithm algo);
+
+/// Creates a chain of the given kind started at `initial`.
+std::unique_ptr<Chain> make_chain(ChainAlgorithm algo, const EdgeList& initial,
+                                  const ChainConfig& config);
+
+} // namespace gesmc

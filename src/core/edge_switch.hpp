@@ -1,0 +1,66 @@
+/// \file edge_switch.hpp
+/// \brief Definition 1 of the paper: the edge switch and its tau function.
+///
+/// An edge switch sigma = (i, j, g) reads the edges e1 = E[i], e2 = E[j]
+/// (in their canonical orientations) and proposes the targets
+///   tau((u,v), (x,y), 0) = ((u,x), (v,y))
+///   tau((u,v), (x,y), 1) = ((u,y), (v,x)).
+/// The switch is rejected if either target is a self-loop or already exists
+/// in the graph.
+///
+/// Degenerate identity case: when e1 and e2 share an endpoint *and* g points
+/// the shared endpoint at itself, the targets equal the sources as sets
+/// ({t3,t4} == {e1,e2}); the graph is unchanged whether we call that switch
+/// accepted or rejected.  All implementations in this library treat it as
+/// accepted (equivalently: existence is checked against E minus the two
+/// source edges), which is also what the dependency rules of
+/// ParallelSuperstep yield naturally.  One can show {t3,t4} and {e1,e2}
+/// are either disjoint or equal, so this is the only special case.
+#pragma once
+
+#include "graph/edge.hpp"
+
+#include <cstdint>
+#include <utility>
+
+namespace gesmc {
+
+/// An edge switch: two edge-list indices and the direction bit.
+struct Switch {
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    std::uint8_t g = 0;
+};
+
+/// The paper's tau: proposed (directed) target edges for sources e1, e2.
+[[nodiscard]] constexpr std::pair<Edge, Edge> switch_targets(Edge e1, Edge e2,
+                                                             bool g) noexcept {
+    if (!g) return {Edge{e1.u, e2.u}, Edge{e1.v, e2.v}};
+    return {Edge{e1.u, e2.v}, Edge{e1.v, e2.u}};
+}
+
+/// Outcome classification for statistics.
+enum class SwitchOutcome : std::uint8_t {
+    kAccepted = 0,     ///< rewired (includes the identity no-op case)
+    kRejectedLoop = 1, ///< a target was a self-loop
+    kRejectedEdge = 2, ///< a target already existed (multi-edge)
+};
+
+/// Decides a single switch against an edge-existence oracle, *excluding*
+/// the source edges themselves (identity-accepting semantics above).
+/// `contains` is called only for targets distinct from both sources.
+template <typename ContainsFn>
+[[nodiscard]] SwitchOutcome decide_switch(edge_key_t k1, edge_key_t k2, Edge t3, Edge t4,
+                                          ContainsFn&& contains) {
+    if (t3.is_loop() || t4.is_loop()) return SwitchOutcome::kRejectedLoop;
+    const edge_key_t k3 = edge_key(t3);
+    const edge_key_t k4 = edge_key(t4);
+    if (k3 == k1 || k3 == k2) {
+        // Identity case ({t3,t4} == {e1,e2}); accepted no-op.
+        return SwitchOutcome::kAccepted;
+    }
+    if (contains(k3) || contains(k4)) return SwitchOutcome::kRejectedEdge;
+    return SwitchOutcome::kAccepted;
+}
+
+} // namespace gesmc

@@ -1,0 +1,61 @@
+/// \file naive_par_es.hpp
+/// \brief NaiveParES — the simplistic parallel ES-MC baseline (paper §5.1).
+///
+/// Each processing unit performs switches independently, synchronizing
+/// implicitly only by preventing concurrent updates of individual edges:
+/// removing an edge requires a *ticket*, acquired by locking an existing
+/// edge or by inserting-and-locking a new one (compare-and-exchange on the
+/// bucket's lock byte).  Dependencies *between* switches are deliberately
+/// ignored, so the process can deviate from the intended Markov chain —
+/// the paper's motivation for the exact algorithms.  We therefore test only
+/// invariants (degree preservation, simplicity), never sequential
+/// equivalence.
+///
+/// Conflict handling: failed ticket acquisitions roll back everything and
+/// retry the same switch with backoff; a target edge found locked by
+/// another PU is retried a bounded number of times, then treated as a
+/// rejection (a transient conflict — the "hardware sequences concurrent
+/// updates" behaviour of the paper).
+#pragma once
+
+#include "core/chain.hpp"
+#include "core/switch_stream.hpp"
+#include "hashing/concurrent_edge_set.hpp"
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <vector>
+
+namespace gesmc {
+
+class NaiveParES final : public Chain {
+public:
+    NaiveParES(const EdgeList& initial, const ChainConfig& config);
+    ~NaiveParES() override;
+
+    void run_supersteps(std::uint64_t count) override;
+
+    [[nodiscard]] const EdgeList& graph() const override;
+    [[nodiscard]] bool has_edge(edge_key_t key) const override { return set_.contains(key); }
+    [[nodiscard]] const ChainStats& stats() const override { return stats_; }
+    [[nodiscard]] std::string name() const override { return "NaiveParES"; }
+
+private:
+    /// One switch attempt by thread `tid`; returns counters via references.
+    void perform_switch(unsigned tid, const Switch& sw, std::uint64_t& accepted,
+                        std::uint64_t& rejected_loop, std::uint64_t& rejected_edge);
+
+    // Edge array entries are written concurrently -> atomics.
+    std::vector<std::atomic<edge_key_t>> edges_;
+    node_t num_nodes_;
+    ConcurrentEdgeSet set_;
+    std::uint64_t seed_;
+    ThreadPool pool_;
+    std::uint64_t next_switch_ = 0;
+    ChainStats stats_;
+
+    mutable EdgeList snapshot_; ///< materialized on demand by graph()
+    mutable bool snapshot_valid_ = false;
+};
+
+} // namespace gesmc

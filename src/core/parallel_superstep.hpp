@@ -1,0 +1,77 @@
+/// \file parallel_superstep.hpp
+/// \brief Algorithm 1 of the paper: exact parallel superstep execution.
+///
+/// Executes a batch of edge switches *without source dependencies* (every
+/// edge-list index appears in at most one switch) in parallel while
+/// producing exactly the graph a sequential in-order execution would
+/// produce.  Target dependencies are tracked in a DependencyTable:
+///
+///  * erase dependency: sigma_k wants to insert an edge that sigma_p
+///    (p < k) erases — sigma_k must wait for sigma_p's verdict; if nobody
+///    erases the edge but it is in the graph, sigma_k is illegal
+///    (the paper's implicit (e, infinity, erase, illegal) tuple);
+///    if the eraser comes *later* (k < p), sigma_k is illegal.
+///  * insert dependency: among all switches inserting the same edge, only
+///    the smallest non-illegal index may succeed; later ones are illegal
+///    once it is legal, and must wait while it is undecided.
+///
+/// Switches are decided over multiple rounds; each round decides every
+/// switch whose dependencies are settled (waits only point to smaller
+/// indices, so the minimum undecided switch always decides and the loop
+/// terminates).  Theorems 2/3 of the paper bound the expected rounds.
+///
+/// The graph's edge set is only read during the rounds; erase/insert deltas
+/// of legal switches are applied in two parallel phases afterwards (all
+/// removals, then all insertions — at most one legal eraser and one legal
+/// inserter exist per edge, so the lock-free *_unique set operations apply).
+#pragma once
+
+#include "core/edge_switch.hpp"
+#include "hashing/concurrent_edge_set.hpp"
+#include "hashing/dependency_table.hpp"
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gesmc {
+
+/// Per-superstep instrumentation (drives Fig. 9 and the stats counters).
+struct SuperstepResult {
+    std::uint32_t rounds = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_loop = 0;
+    std::uint64_t rejected_edge = 0;
+    double first_round_seconds = 0;
+    double later_rounds_seconds = 0;
+};
+
+/// Reusable executor: owns the dependency table and all scratch arrays so
+/// repeated supersteps allocate nothing.
+class SuperstepRunner {
+public:
+    /// max_switches: largest batch ever passed to run() (m/2 for G-ES-MC).
+    /// With `prefetch`, registration and decision loops issue one-switch-
+    /// ahead prefetches of edge-array entries and hash buckets (§5.4).
+    explicit SuperstepRunner(std::uint64_t max_switches, bool prefetch = true);
+
+    /// Executes the batch on (edges, set). `switches` must be free of
+    /// source dependencies; `set` must contain exactly the keys of `edges`.
+    SuperstepResult run(ThreadPool& pool, std::vector<edge_key_t>& edges,
+                        ConcurrentEdgeSet& set, std::span<const Switch> switches);
+
+private:
+    DependencyTable table_;
+    std::vector<std::atomic<SwitchStatus>> status_;
+    std::vector<edge_key_t> src_; ///< 2 per switch: source keys at batch start
+    std::vector<edge_key_t> tgt_; ///< 2 per switch: target keys (maybe loops)
+    std::vector<std::uint32_t> undecided_;
+    std::vector<std::uint32_t> next_undecided_;
+    std::vector<std::vector<std::uint32_t>> delayed_; ///< per thread
+    std::uint32_t global_round_ = 0; ///< increases across supersteps (cache tags)
+    bool prefetch_;
+};
+
+} // namespace gesmc

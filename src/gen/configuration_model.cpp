@@ -1,0 +1,66 @@
+#include "gen/configuration_model.hpp"
+
+#include "rng/mt19937_64.hpp"
+#include "rng/shuffle.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+#include <algorithm>
+
+namespace gesmc {
+
+std::vector<Edge> configuration_model_pairing(const DegreeSequence& seq, std::uint64_t seed) {
+    GESMC_CHECK(seq.degree_sum() % 2 == 0, "degree sum must be even");
+    std::vector<node_t> stubs;
+    stubs.reserve(seq.degree_sum());
+    for (std::size_t v = 0; v < seq.num_nodes(); ++v) {
+        for (std::uint32_t i = 0; i < seq.degrees()[v]; ++i) {
+            stubs.push_back(static_cast<node_t>(v));
+        }
+    }
+    Mt19937_64 gen(mix64(seed, 0xc0f1603a7d9e2b45ULL));
+    fisher_yates(stubs, gen);
+    std::vector<Edge> pairs;
+    pairs.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+        pairs.push_back(Edge{stubs[i], stubs[i + 1]});
+    }
+    return pairs;
+}
+
+EdgeList configuration_model_erased(const DegreeSequence& seq, std::uint64_t seed) {
+    const auto pairs = configuration_model_pairing(seq, seed);
+    std::vector<edge_key_t> keys;
+    keys.reserve(pairs.size());
+    for (const Edge e : pairs) {
+        if (!e.is_loop()) keys.push_back(edge_key(e));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return EdgeList::from_keys(static_cast<node_t>(seq.num_nodes()), std::move(keys));
+}
+
+EdgeList configuration_model_rejection(const DegreeSequence& seq, std::uint64_t seed,
+                                       int max_attempts) {
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        const auto pairs = configuration_model_pairing(seq, mix64(seed, attempt));
+        bool simple = true;
+        std::vector<edge_key_t> keys;
+        keys.reserve(pairs.size());
+        for (const Edge e : pairs) {
+            if (e.is_loop()) {
+                simple = false;
+                break;
+            }
+            keys.push_back(edge_key(e));
+        }
+        if (!simple) continue;
+        std::sort(keys.begin(), keys.end());
+        if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) continue;
+        return EdgeList::from_keys(static_cast<node_t>(seq.num_nodes()), std::move(keys));
+    }
+    GESMC_CHECK(false, "rejection sampling exceeded max_attempts");
+    return {};
+}
+
+} // namespace gesmc

@@ -1,0 +1,33 @@
+/// \file configuration_model.hpp
+/// \brief Configuration model realizations (related-work baseline, §1.1).
+///
+/// Pairs up degree stubs uniformly at random.  Three post-processings:
+///   * kMulti:    keep the raw pairing (may contain loops/multi-edges) —
+///                returned as pairs, not as an EdgeList (which is simple);
+///   * kErased:   drop loops and collapse multi-edges (degrees only
+///                approximately preserved);
+///   * kRejection:retry until the pairing is simple (exact uniform over
+///                simple realizations; only sensible for small max degree).
+/// The erased variant provides an alternative initial graph for the chains;
+/// the rejection variant backs the uniformity tests on tiny sequences.
+#pragma once
+
+#include "graph/degree_sequence.hpp"
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gesmc {
+
+/// One uniform stub pairing; may contain loops and multi-edges.
+std::vector<Edge> configuration_model_pairing(const DegreeSequence& seq, std::uint64_t seed);
+
+/// Erased configuration model: simple graph, degrees approximately as given.
+EdgeList configuration_model_erased(const DegreeSequence& seq, std::uint64_t seed);
+
+/// Rejection-sampled simple configuration graph; throws after max_attempts.
+EdgeList configuration_model_rejection(const DegreeSequence& seq, std::uint64_t seed,
+                                       int max_attempts = 10000);
+
+} // namespace gesmc

@@ -1,0 +1,84 @@
+#include "gen/corpus.hpp"
+
+#include "gen/gnp.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "gen/powerlaw.hpp"
+#include "util/check.hpp"
+
+#include <vector>
+
+namespace gesmc {
+
+EdgeList generate_grid(node_t rows, node_t cols) {
+    GESMC_CHECK(rows >= 1 && cols >= 1, "degenerate grid");
+    const std::uint64_t n = static_cast<std::uint64_t>(rows) * cols;
+    GESMC_CHECK(n <= kMaxNode + 1, "grid too large");
+    std::vector<edge_key_t> keys;
+    keys.reserve(2 * n);
+    auto id = [cols](node_t r, node_t c) { return static_cast<node_t>(r * cols + c); };
+    for (node_t r = 0; r < rows; ++r) {
+        for (node_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols) keys.push_back(edge_key(id(r, c), id(r, c + 1)));
+            if (r + 1 < rows) keys.push_back(edge_key(id(r, c), id(r + 1, c)));
+        }
+    }
+    return EdgeList::from_keys(static_cast<node_t>(n), std::move(keys));
+}
+
+EdgeList generate_regular(node_t n, std::uint32_t degree) {
+    GESMC_CHECK(static_cast<std::uint64_t>(n) * degree % 2 == 0, "n*d must be even");
+    GESMC_CHECK(degree < n, "degree must be below n");
+    return havel_hakimi(DegreeSequence{std::vector<std::uint32_t>(n, degree)});
+}
+
+EdgeList generate_powerlaw_graph(node_t n, double gamma, std::uint64_t seed) {
+    return havel_hakimi(sample_powerlaw_degrees(n, gamma, seed));
+}
+
+namespace {
+
+std::vector<CorpusEntry> build(bool bench_scale) {
+    // Fixed seeds make every corpus build identical across runs/platforms.
+    std::vector<CorpusEntry> out;
+    auto add = [&out](std::string name, std::string category, EdgeList graph) {
+        out.push_back(CorpusEntry{std::move(name), std::move(category), std::move(graph)});
+    };
+
+    if (!bench_scale) {
+        add("tiny-pl22-300", "social", generate_powerlaw_graph(300, 2.2, 101));
+        add("email-like-1k", "email", generate_powerlaw_graph(1000, 2.1, 102));
+        add("road-grid-30x30", "road", generate_grid(30, 30));
+        add("regular-6-1k", "regular", generate_regular(1000, 6));
+        add("gnp-1k-d10", "gnp", generate_gnp(1000, gnp_probability_for_edges(1000, 5000), 103));
+        add("collab-pl25-2k", "collab", generate_powerlaw_graph(2000, 2.5, 104));
+        return out;
+    }
+
+    // Bench corpus: mirrors the paper's NetRep sample in spirit — a ladder
+    // of sizes, mixed densities, mixed skew. Names hint at the NetRep
+    // category each entry stands in for.
+    add("email-like-2k", "email", generate_powerlaw_graph(2000, 2.1, 201));
+    add("bio-pl25-5k", "bio", generate_powerlaw_graph(5000, 2.5, 202));
+    add("tiny-amazon-like", "rec", generate_regular(8000, 5));
+    add("road-grid-100x100", "road", generate_grid(100, 100));
+    add("cit-like-pl23-20k", "cit", generate_powerlaw_graph(20000, 2.3, 203));
+    add("web-like-pl21-30k", "web", generate_powerlaw_graph(30000, 2.1, 204));
+    add("gnp-2k-dense", "gnp", generate_gnp(2000, gnp_probability_for_edges(2000, 100000), 205));
+    add("road-grid-300x300", "road", generate_grid(300, 300));
+    add("regular-8-25k", "regular", generate_regular(25000, 8));
+    add("collab-like-pl20-50k", "collab", generate_powerlaw_graph(50000, 2.0, 206));
+    add("socfb-like-pl22-60k", "social", generate_powerlaw_graph(60000, 2.2, 207));
+    add("gnp-50k-d8", "gnp", generate_gnp(50000, gnp_probability_for_edges(50000, 200000), 208));
+    add("tech-like-pl24-80k", "tech", generate_powerlaw_graph(80000, 2.4, 209));
+    add("twitter-like-pl20-100k", "social", generate_powerlaw_graph(100000, 2.0, 210));
+    add("bn-like-pl26-100k", "bio", generate_powerlaw_graph(100000, 2.6, 211));
+    add("road-grid-500x500", "road", generate_grid(500, 500));
+    return out;
+}
+
+} // namespace
+
+std::vector<CorpusEntry> corpus_test() { return build(false); }
+std::vector<CorpusEntry> corpus_bench() { return build(true); }
+
+} // namespace gesmc

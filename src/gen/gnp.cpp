@@ -1,0 +1,66 @@
+#include "gen/gnp.hpp"
+
+#include "rng/bounded.hpp"
+#include "rng/counter_rng.hpp"
+#include "util/check.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace gesmc {
+
+namespace {
+constexpr std::uint64_t kGnpSalt = 0x6e70a3c1d45b2e97ULL;
+} // namespace
+
+EdgeList generate_gnp(node_t n, double p, std::uint64_t seed, ThreadPool& pool) {
+    GESMC_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
+    GESMC_CHECK(n <= kMaxNode + 1, "too many nodes for the 28-bit encoding");
+    if (n < 2 || p == 0.0) return EdgeList::from_keys(n, {});
+
+    const unsigned threads = pool.num_threads();
+    std::vector<std::vector<edge_key_t>> local(threads);
+    const double log_q = (p < 1.0) ? std::log1p(-p) : 0.0;
+
+    pool.for_chunks(0, n, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+        auto& out = local[tid];
+        for (std::uint64_t u = lo; u < hi; ++u) {
+            if (p >= 1.0) {
+                for (std::uint64_t v = u + 1; v < n; ++v) {
+                    out.push_back(edge_key(static_cast<node_t>(u), static_cast<node_t>(v)));
+                }
+                continue;
+            }
+            auto gen = stream_for(mix64(seed, kGnpSalt), u);
+            // Geometric skipping along the row (v strictly increasing).
+            double v = static_cast<double>(u);
+            for (;;) {
+                const double gap = std::floor(std::log(uniform_real_nonzero(gen)) / log_q);
+                v += gap + 1;
+                if (v >= static_cast<double>(n)) break;
+                out.push_back(edge_key(static_cast<node_t>(u), static_cast<node_t>(v)));
+            }
+        }
+    });
+
+    // Concatenate in thread order == ascending row order -> deterministic.
+    std::size_t total = 0;
+    for (const auto& chunk : local) total += chunk.size();
+    std::vector<edge_key_t> keys;
+    keys.reserve(total);
+    for (const auto& chunk : local) keys.insert(keys.end(), chunk.begin(), chunk.end());
+    return EdgeList::from_keys(n, std::move(keys));
+}
+
+EdgeList generate_gnp(node_t n, double p, std::uint64_t seed) {
+    ThreadPool pool(1);
+    return generate_gnp(n, p, seed, pool);
+}
+
+double gnp_probability_for_edges(node_t n, std::uint64_t target_m) {
+    GESMC_CHECK(n >= 2, "need at least two nodes");
+    const double pairs = 0.5 * static_cast<double>(n) * (static_cast<double>(n) - 1.0);
+    return std::min(1.0, static_cast<double>(target_m) / pairs);
+}
+
+} // namespace gesmc

@@ -1,0 +1,27 @@
+/// \file gnp.hpp
+/// \brief G(n,p) Gilbert graphs — the SynGnp dataset (paper §6).
+///
+/// Sparse generation by geometric gap skipping: within each row u the gaps
+/// between present neighbors v > u are Geom(p), so the expected work is
+/// O(n + m) rather than O(n^2).  Rows are processed in parallel with one
+/// counter-based stream per row, making the output deterministic in
+/// (n, p, seed) and independent of the thread count.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "parallel/thread_pool.hpp"
+
+#include <cstdint>
+
+namespace gesmc {
+
+/// Samples G(n, p). p in [0, 1].
+EdgeList generate_gnp(node_t n, double p, std::uint64_t seed, ThreadPool& pool);
+
+/// Single-threaded convenience overload.
+EdgeList generate_gnp(node_t n, double p, std::uint64_t seed);
+
+/// p such that the expected number of edges is target_m.
+double gnp_probability_for_edges(node_t n, std::uint64_t target_m);
+
+} // namespace gesmc

@@ -1,0 +1,43 @@
+#include "gen/havel_hakimi.hpp"
+
+#include "util/check.hpp"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace gesmc {
+
+EdgeList havel_hakimi(const DegreeSequence& seq) {
+    GESMC_CHECK(seq.is_graphical(), "sequence is not graphical");
+    const std::size_t n = seq.num_nodes();
+    GESMC_CHECK(n <= static_cast<std::size_t>(kMaxNode) + 1, "too many nodes");
+
+    using Entry = std::pair<std::uint32_t, node_t>; // (residual degree, node)
+    std::priority_queue<Entry> queue;
+    for (std::size_t v = 0; v < n; ++v) {
+        if (seq.degrees()[v] > 0) queue.emplace(seq.degrees()[v], static_cast<node_t>(v));
+    }
+
+    std::vector<edge_key_t> keys;
+    keys.reserve(seq.num_edges());
+    std::vector<Entry> scratch;
+    while (!queue.empty()) {
+        const auto [d, v] = queue.top();
+        queue.pop();
+        // Connect v to the d nodes of highest residual degree. Each target
+        // is popped once, so no duplicate edge {v, w} can be produced.
+        scratch.clear();
+        GESMC_CHECK(queue.size() >= d, "sequence not graphical (exhausted targets)");
+        for (std::uint32_t i = 0; i < d; ++i) {
+            auto [dw, w] = queue.top();
+            queue.pop();
+            keys.push_back(edge_key(v, w));
+            if (dw > 1) scratch.emplace_back(dw - 1, w);
+        }
+        for (const auto& e : scratch) queue.push(e);
+    }
+    return EdgeList::from_keys(static_cast<node_t>(n), std::move(keys));
+}
+
+} // namespace gesmc

@@ -1,0 +1,19 @@
+/// \file havel_hakimi.hpp
+/// \brief Havel–Hakimi realization of graphical degree sequences (§6).
+///
+/// The paper materializes SynPld degree sequences with Havel–Hakimi (via
+/// NetworKit); we implement the algorithm directly: repeatedly take a node
+/// of maximum residual degree d and connect it to the d nodes of next-
+/// highest residual degree.  Deterministic; throws if the sequence is not
+/// graphical.
+#pragma once
+
+#include "graph/degree_sequence.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gesmc {
+
+/// Builds a simple graph realizing `seq`. O(m log n).
+EdgeList havel_hakimi(const DegreeSequence& seq);
+
+} // namespace gesmc

@@ -1,0 +1,80 @@
+#include "gen/powerlaw.hpp"
+
+#include "rng/counter_rng.hpp"
+#include "rng/mt19937_64.hpp"
+#include "util/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gesmc {
+
+namespace {
+
+std::vector<double> powerlaw_weights(std::uint32_t a, std::uint32_t b, double gamma) {
+    GESMC_CHECK(a >= 1 && a <= b, "invalid degree interval");
+    std::vector<double> w(b - a + 1);
+    for (std::uint32_t k = a; k <= b; ++k) {
+        w[k - a] = std::pow(static_cast<double>(k), -gamma);
+    }
+    return w;
+}
+
+} // namespace
+
+PowerlawDistribution::PowerlawDistribution(std::uint32_t a, std::uint32_t b, double gamma)
+    : a_(a), table_(powerlaw_weights(a, b, gamma)) {}
+
+std::uint32_t powerlaw_max_degree(std::uint64_t n, double gamma) {
+    GESMC_CHECK(gamma > 1.0, "need gamma > 1");
+    const double delta = std::pow(static_cast<double>(n), 1.0 / (gamma - 1.0));
+    return static_cast<std::uint32_t>(
+        std::max(1.0, std::min(delta, static_cast<double>(n - 1))));
+}
+
+DegreeSequence sample_powerlaw_degrees(std::uint64_t n, double gamma, std::uint64_t seed) {
+    return sample_powerlaw_degrees(n, gamma, 1, powerlaw_max_degree(n, gamma), seed);
+}
+
+DegreeSequence sample_powerlaw_degrees(std::uint64_t n, double gamma, std::uint32_t a,
+                                       std::uint32_t b, std::uint64_t seed) {
+    GESMC_CHECK(n >= 2, "need at least two nodes");
+    b = std::min<std::uint32_t>(b, static_cast<std::uint32_t>(n - 1));
+    const PowerlawDistribution dist(a, b, gamma);
+    Mt19937_64 gen(mix64(seed, 0x9011d5f7a2c4e863ULL));
+
+    std::vector<std::uint32_t> deg(n);
+    for (auto& d : deg) d = dist.sample(gen);
+
+    // Make the sum even by redrawing one entry (unbiased entry choice).
+    std::uint64_t sum = std::accumulate(deg.begin(), deg.end(), std::uint64_t{0});
+    while (sum % 2 != 0) {
+        const std::uint64_t idx = uniform_below(gen, n);
+        sum -= deg[idx];
+        deg[idx] = dist.sample(gen);
+        sum += deg[idx];
+    }
+
+    DegreeSequence seq(std::move(deg));
+    if (seq.is_graphical()) return seq;
+
+    // Rare repair path (only for extreme gamma close to 1 or tiny n):
+    // pull the two largest degrees down by one until graphical. Keeps the
+    // sum even and strictly reduces the Erdos–Gallai violation.
+    std::vector<std::uint32_t> d = seq.degrees();
+    for (int attempt = 0; attempt < 1 << 20; ++attempt) {
+        auto it1 = std::max_element(d.begin(), d.end());
+        GESMC_CHECK(*it1 > 0, "degree-sequence repair failed");
+        --*it1;
+        auto it2 = std::max_element(d.begin(), d.end());
+        GESMC_CHECK(*it2 > 0, "degree-sequence repair failed");
+        --*it2;
+        DegreeSequence candidate(d);
+        if (candidate.is_graphical()) return candidate;
+    }
+    GESMC_CHECK(false, "degree-sequence repair did not converge");
+    return seq;
+}
+
+} // namespace gesmc

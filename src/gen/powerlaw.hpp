@@ -1,0 +1,51 @@
+/// \file powerlaw.hpp
+/// \brief Power-law degree sequences Pld([a..b], gamma) — SynPld (§6).
+///
+/// P[X = k] proportional to k^-gamma on [a..b]; the paper's SynPld dataset
+/// uses b = Delta = n^{1/(gamma-1)} (the analytic bound of Gao & Wormald).
+/// Sampling is O(1) per degree via an alias table.  Sampled sequences are
+/// repaired to be graphical: the total is made even by redrawing a single
+/// entry and, in the rare case the Erdos–Gallai condition fails, maximum
+/// degrees are decremented pairwise (documented deviation, negligible for
+/// gamma > 2).
+#pragma once
+
+#include "graph/degree_sequence.hpp"
+#include "rng/alias_table.hpp"
+
+#include <cstdint>
+
+namespace gesmc {
+
+/// Integer power-law distribution Pld([a..b], gamma).
+class PowerlawDistribution {
+public:
+    PowerlawDistribution(std::uint32_t a, std::uint32_t b, double gamma);
+
+    template <typename Urbg>
+    [[nodiscard]] std::uint32_t sample(Urbg& gen) const {
+        return a_ + table_.sample(gen);
+    }
+
+    [[nodiscard]] std::uint32_t min() const noexcept { return a_; }
+    [[nodiscard]] std::uint32_t max() const noexcept {
+        return a_ + static_cast<std::uint32_t>(table_.size()) - 1;
+    }
+
+private:
+    std::uint32_t a_;
+    AliasTable table_;
+};
+
+/// The paper's choice Delta = n^{1/(gamma-1)} for SynPld.
+std::uint32_t powerlaw_max_degree(std::uint64_t n, double gamma);
+
+/// Samples a *graphical* power-law degree sequence of length n with
+/// exponent gamma on [1 .. powerlaw_max_degree(n, gamma)].
+DegreeSequence sample_powerlaw_degrees(std::uint64_t n, double gamma, std::uint64_t seed);
+
+/// As above with explicit degree bounds [a..b].
+DegreeSequence sample_powerlaw_degrees(std::uint64_t n, double gamma, std::uint32_t a,
+                                       std::uint32_t b, std::uint64_t seed);
+
+} // namespace gesmc

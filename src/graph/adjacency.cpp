@@ -1,0 +1,36 @@
+#include "graph/adjacency.hpp"
+
+#include <algorithm>
+
+namespace gesmc {
+
+Adjacency::Adjacency(const EdgeList& graph) {
+    const node_t n = graph.num_nodes();
+    offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (std::uint64_t i = 0; i < graph.num_edges(); ++i) {
+        const Edge e = graph.edge(i);
+        ++offsets_[e.u + 1];
+        ++offsets_[e.v + 1];
+    }
+    for (std::size_t u = 0; u < n; ++u) offsets_[u + 1] += offsets_[u];
+
+    neighbors_.resize(2 * graph.num_edges());
+    std::vector<std::uint64_t> fill(offsets_.begin(), offsets_.end() - 1);
+    for (std::uint64_t i = 0; i < graph.num_edges(); ++i) {
+        const Edge e = graph.edge(i);
+        neighbors_[fill[e.u]++] = e.v;
+        neighbors_[fill[e.v]++] = e.u;
+    }
+    for (node_t u = 0; u < n; ++u) {
+        std::sort(neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]),
+                  neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]));
+    }
+}
+
+bool Adjacency::has_edge(node_t u, node_t v) const noexcept {
+    if (degree(u) > degree(v)) std::swap(u, v);
+    const auto nb = neighbors(u);
+    return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+} // namespace gesmc

@@ -1,0 +1,43 @@
+/// \file adjacency.hpp
+/// \brief Immutable CSR adjacency built from an edge list.
+///
+/// The switching chains never use adjacency (the paper argues hash sets are
+/// the right representation, §5.2) — CSR serves the *analysis* side:
+/// triangle counting, clustering, assortativity, components.
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gesmc {
+
+class Adjacency {
+public:
+    /// Builds CSR with sorted neighborhoods.
+    explicit Adjacency(const EdgeList& graph);
+
+    [[nodiscard]] node_t num_nodes() const noexcept {
+        return static_cast<node_t>(offsets_.size() - 1);
+    }
+    [[nodiscard]] std::uint64_t num_edges() const noexcept { return neighbors_.size() / 2; }
+
+    [[nodiscard]] std::span<const node_t> neighbors(node_t u) const noexcept {
+        return {neighbors_.data() + offsets_[u], neighbors_.data() + offsets_[u + 1]};
+    }
+
+    [[nodiscard]] std::uint32_t degree(node_t u) const noexcept {
+        return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+    }
+
+    /// Binary search in the sorted neighborhood of the lower-degree endpoint.
+    [[nodiscard]] bool has_edge(node_t u, node_t v) const noexcept;
+
+private:
+    std::vector<std::uint64_t> offsets_;
+    std::vector<node_t> neighbors_;
+};
+
+} // namespace gesmc

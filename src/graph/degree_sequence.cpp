@@ -1,0 +1,74 @@
+#include "graph/degree_sequence.hpp"
+
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace gesmc {
+
+std::uint64_t DegreeSequence::degree_sum() const noexcept {
+    return std::accumulate(deg_.begin(), deg_.end(), std::uint64_t{0});
+}
+
+std::uint32_t DegreeSequence::max_degree() const noexcept {
+    return deg_.empty() ? 0 : *std::max_element(deg_.begin(), deg_.end());
+}
+
+bool DegreeSequence::is_graphical() const {
+    const std::uint64_t sum = degree_sum();
+    if (sum % 2 != 0) return false;
+    if (deg_.empty()) return true;
+
+    std::vector<std::uint32_t> d = deg_;
+    std::sort(d.begin(), d.end(), std::greater<>());
+    const std::size_t n = d.size();
+    if (d[0] >= n) return false;
+
+    // Erdos–Gallai, O(n) after sorting: for each prefix length k,
+    //   sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k).
+    // The tail is evaluated with prefix sums and a split pointer to the
+    // first index with d_i <= k; the pointer only ever moves left as k
+    // grows, so the whole sweep is linear.
+    std::vector<std::uint64_t> prefix(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + d[i];
+
+    std::size_t split = n; // first index (0-based) with d[i] <= k
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        while (split > 0 && d[split - 1] <= k) --split;
+        // Tail indices are [k, n). Before `big` the degrees exceed k and
+        // contribute k each; from `big` on they contribute themselves.
+        const std::size_t big = std::max(static_cast<std::size_t>(k), split);
+        const std::uint64_t capped = static_cast<std::uint64_t>(big - k) * k;
+        const std::uint64_t rest = prefix[n] - prefix[big];
+        if (prefix[k] > k * (k - 1) + capped + rest) return false;
+    }
+    return true;
+}
+
+double DegreeSequence::p2() const noexcept {
+    const double m = static_cast<double>(num_edges());
+    if (m < 2) return 0.0;
+    double s2 = 0, s4 = 0;
+    for (const std::uint32_t d : deg_) {
+        const double dd = static_cast<double>(d);
+        s2 += dd * dd;
+        s4 += dd * dd * dd * dd;
+    }
+    const double denom = m * (m - 1);
+    return (s2 * s2 - s4) / (2.0 * denom * denom);
+}
+
+double DegreeSequence::theorem2_round_bound() const noexcept {
+    const double m = static_cast<double>(num_edges());
+    if (m == 0) return std::numeric_limits<double>::infinity();
+    const double delta = static_cast<double>(max_degree());
+    return 4.0 * delta * delta / m;
+}
+
+DegreeSequence degree_sequence_of(const EdgeList& graph) {
+    return DegreeSequence{graph.degrees()};
+}
+
+} // namespace gesmc

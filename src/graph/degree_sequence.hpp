@@ -1,0 +1,53 @@
+/// \file degree_sequence.hpp
+/// \brief Degree sequences: graphicality, statistics, and the P2 measure.
+///
+/// Theorem 3 of the paper bounds the expected rounds of a global switch by
+/// O(P2 * m) with P2 = sum over possible edges {u,v} of
+/// (d_u d_v / (m(m-1)))^2.  P2 has the closed form
+///   P2 = [ (sum d^2)^2 - sum d^4 ] / ( 2 * (m(m-1))^2 ),
+/// which we expose together with the Erdos–Gallai graphicality test.
+#pragma once
+
+#include "graph/edge.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gesmc {
+
+class EdgeList;
+
+class DegreeSequence {
+public:
+    DegreeSequence() = default;
+    explicit DegreeSequence(std::vector<std::uint32_t> degrees) : deg_(std::move(degrees)) {}
+
+    [[nodiscard]] const std::vector<std::uint32_t>& degrees() const noexcept { return deg_; }
+    [[nodiscard]] std::size_t num_nodes() const noexcept { return deg_.size(); }
+
+    /// Sum of degrees (2m for a realization).
+    [[nodiscard]] std::uint64_t degree_sum() const noexcept;
+
+    /// Number of edges of any realization (degree_sum / 2).
+    [[nodiscard]] std::uint64_t num_edges() const noexcept { return degree_sum() / 2; }
+
+    [[nodiscard]] std::uint32_t max_degree() const noexcept;
+
+    /// Erdos–Gallai: true iff some simple graph realizes this sequence.
+    [[nodiscard]] bool is_graphical() const;
+
+    /// The paper's P2 statistic (Theorem 3), in closed form.
+    [[nodiscard]] double p2() const noexcept;
+
+    /// Upper bound 4*Delta^2/m on expected rounds (Theorem 2);
+    /// returns +inf for m == 0.
+    [[nodiscard]] double theorem2_round_bound() const noexcept;
+
+private:
+    std::vector<std::uint32_t> deg_;
+};
+
+/// Degree sequence of a graph.
+DegreeSequence degree_sequence_of(const EdgeList& graph);
+
+} // namespace gesmc

@@ -1,0 +1,66 @@
+/// \file edge.hpp
+/// \brief Canonical 64-bit edge encoding (paper §5.2).
+///
+/// Each possible undirected edge {u,v} is identified by a unique integer:
+/// the smaller endpoint in the upper bits, the larger endpoint in the lower
+/// bits.  We pack 28+28 bits so the key fits the 56-bit payload of the
+/// concurrent edge set buckets (8 bits are reserved for locking), matching
+/// the paper's n <= 2^28 nodes / P < 256 threads restriction.
+///
+/// Key 0 encodes the loop (0,0), which can never be a graph edge — it
+/// doubles as the empty-bucket sentinel of the hash sets.
+#pragma once
+
+#include "util/check.hpp"
+
+#include <compare>
+#include <cstdint>
+
+namespace gesmc {
+
+using node_t = std::uint32_t;
+using edge_key_t = std::uint64_t;
+
+inline constexpr unsigned kNodeBits = 28;
+inline constexpr node_t kMaxNode = (node_t{1} << kNodeBits) - 1;
+
+/// A directed representation (u, v) of an edge, as in the paper's tau.
+/// The canonical orientation has u <= v (u < v for simple edges).
+struct Edge {
+    node_t u = 0;
+    node_t v = 0;
+
+    [[nodiscard]] constexpr bool is_loop() const noexcept { return u == v; }
+
+    /// Canonical orientation (min, max).
+    [[nodiscard]] constexpr Edge canonical() const noexcept {
+        return u <= v ? Edge{u, v} : Edge{v, u};
+    }
+
+    constexpr auto operator<=>(const Edge&) const = default;
+};
+
+/// Packs a canonical edge into its unique 56-bit key. Accepts loops (the
+/// dependency table stores loop targets of illegal switches gracefully, and
+/// tests use them); graph edge sets only ever store non-loop keys.
+[[nodiscard]] constexpr edge_key_t edge_key(Edge e) noexcept {
+    const Edge c = e.canonical();
+    return (static_cast<edge_key_t>(c.u) << kNodeBits) | static_cast<edge_key_t>(c.v);
+}
+
+[[nodiscard]] constexpr edge_key_t edge_key(node_t u, node_t v) noexcept {
+    return edge_key(Edge{u, v});
+}
+
+/// Inverse of edge_key.
+[[nodiscard]] constexpr Edge edge_from_key(edge_key_t key) noexcept {
+    return Edge{static_cast<node_t>(key >> kNodeBits),
+                static_cast<node_t>(key & ((edge_key_t{1} << kNodeBits) - 1))};
+}
+
+[[nodiscard]] constexpr bool key_is_loop(edge_key_t key) noexcept {
+    const Edge e = edge_from_key(key);
+    return e.u == e.v;
+}
+
+} // namespace gesmc

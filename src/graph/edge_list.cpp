@@ -1,0 +1,69 @@
+#include "graph/edge_list.hpp"
+
+#include "util/check.hpp"
+
+#include <algorithm>
+
+namespace gesmc {
+
+EdgeList EdgeList::from_pairs(node_t num_nodes, const std::vector<Edge>& pairs) {
+    std::vector<edge_key_t> keys;
+    keys.reserve(pairs.size());
+    for (const Edge e : pairs) {
+        GESMC_CHECK(!e.is_loop(), "loops are not allowed in simple graphs");
+        GESMC_CHECK(e.u < num_nodes && e.v < num_nodes, "node id out of range");
+        keys.push_back(edge_key(e));
+    }
+    return from_keys(num_nodes, std::move(keys));
+}
+
+EdgeList EdgeList::from_keys(node_t num_nodes, std::vector<edge_key_t> keys) {
+    GESMC_CHECK(num_nodes <= kMaxNode + 1, "too many nodes for the 28-bit encoding");
+    for (const edge_key_t k : keys) {
+        const Edge e = edge_from_key(k);
+        GESMC_CHECK(!e.is_loop(), "loops are not allowed in simple graphs");
+        GESMC_CHECK(e.u < num_nodes && e.v < num_nodes, "node id out of range");
+        GESMC_CHECK(e.u < e.v, "keys must be canonical");
+    }
+    EdgeList list;
+    list.num_nodes_ = num_nodes;
+    list.keys_ = std::move(keys);
+    return list;
+}
+
+std::vector<std::uint32_t> EdgeList::degrees() const {
+    std::vector<std::uint32_t> deg(num_nodes_, 0);
+    for (const edge_key_t k : keys_) {
+        const Edge e = edge_from_key(k);
+        ++deg[e.u];
+        ++deg[e.v];
+    }
+    return deg;
+}
+
+bool EdgeList::is_simple() const {
+    for (const edge_key_t k : keys_) {
+        if (key_is_loop(k)) return false;
+    }
+    std::vector<edge_key_t> sorted = sorted_keys();
+    return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+double EdgeList::density() const noexcept {
+    if (num_nodes_ < 2) return 0.0;
+    const double pairs = 0.5 * static_cast<double>(num_nodes_) *
+                         (static_cast<double>(num_nodes_) - 1.0);
+    return static_cast<double>(keys_.size()) / pairs;
+}
+
+std::vector<edge_key_t> EdgeList::sorted_keys() const {
+    std::vector<edge_key_t> sorted = keys_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+}
+
+bool EdgeList::same_graph(const EdgeList& other) const {
+    return num_nodes_ == other.num_nodes_ && sorted_keys() == other.sorted_keys();
+}
+
+} // namespace gesmc

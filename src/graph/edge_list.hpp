@@ -1,0 +1,59 @@
+/// \file edge_list.hpp
+/// \brief The edge-list graph representation used by all switching chains.
+///
+/// Edge switching needs (a) O(1) access to the i-th edge for uniform edge
+/// sampling and (b) an edge hash set for existence queries (paper §5.2/5.3).
+/// EdgeList is the plain indexed list (a); chains pair it with a RobinSet or
+/// ConcurrentEdgeSet (b) that they keep in sync.  Edges are stored as
+/// canonical 56-bit keys.
+#pragma once
+
+#include "graph/edge.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gesmc {
+
+class EdgeList {
+public:
+    EdgeList() = default;
+
+    /// Builds from (u, v) pairs; orientations are canonicalized.
+    /// Validates node range and rejects loops.
+    static EdgeList from_pairs(node_t num_nodes, const std::vector<Edge>& pairs);
+
+    /// Builds from canonical keys (validated).
+    static EdgeList from_keys(node_t num_nodes, std::vector<edge_key_t> keys);
+
+    [[nodiscard]] node_t num_nodes() const noexcept { return num_nodes_; }
+    [[nodiscard]] std::uint64_t num_edges() const noexcept { return keys_.size(); }
+
+    [[nodiscard]] edge_key_t key(std::uint64_t i) const noexcept { return keys_[i]; }
+    [[nodiscard]] Edge edge(std::uint64_t i) const noexcept { return edge_from_key(keys_[i]); }
+    void set_key(std::uint64_t i, edge_key_t key) noexcept { keys_[i] = key; }
+
+    [[nodiscard]] const std::vector<edge_key_t>& keys() const noexcept { return keys_; }
+    [[nodiscard]] std::vector<edge_key_t>& keys() noexcept { return keys_; }
+
+    /// Degree of every node (recomputed O(n + m)).
+    [[nodiscard]] std::vector<std::uint32_t> degrees() const;
+
+    /// True iff no loops and no duplicate edges.
+    [[nodiscard]] bool is_simple() const;
+
+    /// Density m / C(n, 2).
+    [[nodiscard]] double density() const noexcept;
+
+    /// Keys sorted ascending — a canonical form for graph equality checks.
+    [[nodiscard]] std::vector<edge_key_t> sorted_keys() const;
+
+    /// True iff both lists describe the same graph (same key multiset).
+    [[nodiscard]] bool same_graph(const EdgeList& other) const;
+
+private:
+    node_t num_nodes_ = 0;
+    std::vector<edge_key_t> keys_;
+};
+
+} // namespace gesmc

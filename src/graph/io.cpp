@@ -1,0 +1,62 @@
+#include "graph/io.hpp"
+
+#include "util/check.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gesmc {
+
+void write_edge_list(std::ostream& os, const EdgeList& graph) {
+    os << "# nodes " << graph.num_nodes() << " edges " << graph.num_edges() << '\n';
+    for (std::uint64_t i = 0; i < graph.num_edges(); ++i) {
+        const Edge e = graph.edge(i);
+        os << e.u << ' ' << e.v << '\n';
+    }
+}
+
+void write_edge_list_file(const std::string& path, const EdgeList& graph) {
+    std::ofstream os(path);
+    GESMC_CHECK(os.good(), "cannot open for writing: " + path);
+    write_edge_list(os, graph);
+}
+
+EdgeList read_edge_list(std::istream& is) {
+    std::vector<edge_key_t> keys;
+    node_t declared_nodes = 0;
+    node_t max_node = 0;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        if (line[0] == '%' || line[0] == '#') {
+            std::istringstream header(line.substr(1));
+            std::string word;
+            while (header >> word) {
+                if (word == "nodes") header >> declared_nodes;
+            }
+            continue;
+        }
+        std::istringstream fields(line);
+        std::uint64_t u = 0, v = 0;
+        GESMC_CHECK(static_cast<bool>(fields >> u >> v), "malformed edge line: " + line);
+        GESMC_CHECK(u <= kMaxNode && v <= kMaxNode, "node id exceeds 2^28-1");
+        if (u == v) continue; // drop self-loops (paper's NetRep cleaning)
+        keys.push_back(edge_key(static_cast<node_t>(u), static_cast<node_t>(v)));
+        max_node = std::max({max_node, static_cast<node_t>(u), static_cast<node_t>(v)});
+    }
+    // Collapse multi-edges.
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    const node_t n = std::max<node_t>(declared_nodes, keys.empty() ? 0 : max_node + 1);
+    return EdgeList::from_keys(n, std::move(keys));
+}
+
+EdgeList read_edge_list_file(const std::string& path) {
+    std::ifstream is(path);
+    GESMC_CHECK(is.good(), "cannot open for reading: " + path);
+    return read_edge_list(is);
+}
+
+} // namespace gesmc

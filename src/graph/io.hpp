@@ -1,0 +1,27 @@
+/// \file io.hpp
+/// \brief Plain-text edge-list IO for examples and interoperability.
+///
+/// Format: optional '%'/'#' comment lines, then one "u v" pair per line
+/// (0-based node ids). Loops and duplicate edges are rejected on read, and
+/// directed duplicates collapse to one undirected edge — the same cleaning
+/// the paper applies to the NetRep graphs (§6).
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace gesmc {
+
+/// Writes "u v" lines preceded by a "# nodes <n> edges <m>" header.
+void write_edge_list(std::ostream& os, const EdgeList& graph);
+void write_edge_list_file(const std::string& path, const EdgeList& graph);
+
+/// Reads an edge list; node count is 1 + max id unless the header names it.
+/// Self-loops are dropped and duplicate (multi-)edges collapsed, mirroring
+/// the paper's NetRep preprocessing.
+EdgeList read_edge_list(std::istream& is);
+EdgeList read_edge_list_file(const std::string& path);
+
+} // namespace gesmc

@@ -1,0 +1,138 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gesmc {
+
+std::uint64_t triangle_count(const Adjacency& adj) {
+    // Node-iterator over ordered wedges: count, for every u, the common
+    // neighbors of u and each neighbor v > u that are > v. Every triangle
+    // x < y < z is counted exactly once (at u = x, v = y).
+    const node_t n = adj.num_nodes();
+    std::uint64_t triangles = 0;
+    for (node_t u = 0; u < n; ++u) {
+        const auto nu = adj.neighbors(u);
+        for (const node_t v : nu) {
+            if (v <= u) continue;
+            const auto nv = adj.neighbors(v);
+            // Merge-intersect the suffixes > v.
+            auto itu = std::upper_bound(nu.begin(), nu.end(), v);
+            auto itv = std::upper_bound(nv.begin(), nv.end(), v);
+            while (itu != nu.end() && itv != nv.end()) {
+                if (*itu < *itv) {
+                    ++itu;
+                } else if (*itv < *itu) {
+                    ++itv;
+                } else {
+                    ++triangles;
+                    ++itu;
+                    ++itv;
+                }
+            }
+        }
+    }
+    return triangles;
+}
+
+namespace {
+
+std::uint64_t wedge_count(const Adjacency& adj) {
+    std::uint64_t wedges = 0;
+    for (node_t u = 0; u < adj.num_nodes(); ++u) {
+        const std::uint64_t d = adj.degree(u);
+        wedges += d * (d - 1) / 2;
+    }
+    return wedges;
+}
+
+} // namespace
+
+double global_clustering(const Adjacency& adj) {
+    const std::uint64_t wedges = wedge_count(adj);
+    if (wedges == 0) return 0.0;
+    return 3.0 * static_cast<double>(triangle_count(adj)) / static_cast<double>(wedges);
+}
+
+double mean_local_clustering(const Adjacency& adj) {
+    const node_t n = adj.num_nodes();
+    if (n == 0) return 0.0;
+    double sum = 0;
+    for (node_t u = 0; u < n; ++u) {
+        const auto nu = adj.neighbors(u);
+        const std::uint64_t d = nu.size();
+        if (d < 2) continue;
+        std::uint64_t closed = 0;
+        for (std::size_t a = 0; a < nu.size(); ++a) {
+            for (std::size_t b = a + 1; b < nu.size(); ++b) {
+                if (adj.has_edge(nu[a], nu[b])) ++closed;
+            }
+        }
+        sum += static_cast<double>(closed) / (static_cast<double>(d) * (d - 1) / 2.0);
+    }
+    return sum / static_cast<double>(n);
+}
+
+double degree_assortativity(const EdgeList& graph) {
+    const auto deg = graph.degrees();
+    const std::uint64_t m = graph.num_edges();
+    if (m == 0) return 0.0;
+    // Newman's r: Pearson correlation over the 2m ordered endpoint pairs.
+    double sxy = 0, sx = 0, sxx = 0;
+    for (std::uint64_t i = 0; i < m; ++i) {
+        const Edge e = graph.edge(i);
+        const double du = deg[e.u];
+        const double dv = deg[e.v];
+        sxy += 2 * du * dv;
+        sx += du + dv;
+        sxx += du * du + dv * dv;
+    }
+    const double inv = 1.0 / (2.0 * static_cast<double>(m));
+    const double mean = sx * inv;
+    const double var = sxx * inv - mean * mean;
+    if (var <= 1e-12) return 0.0;
+    const double cov = sxy * inv - mean * mean;
+    return cov / var;
+}
+
+namespace {
+
+std::vector<std::uint64_t> component_sizes(const Adjacency& adj) {
+    const node_t n = adj.num_nodes();
+    std::vector<bool> visited(n, false);
+    std::vector<node_t> stack;
+    std::vector<std::uint64_t> sizes;
+    for (node_t s = 0; s < n; ++s) {
+        if (visited[s]) continue;
+        std::uint64_t size = 0;
+        stack.push_back(s);
+        visited[s] = true;
+        while (!stack.empty()) {
+            const node_t u = stack.back();
+            stack.pop_back();
+            ++size;
+            for (const node_t v : adj.neighbors(u)) {
+                if (!visited[v]) {
+                    visited[v] = true;
+                    stack.push_back(v);
+                }
+            }
+        }
+        sizes.push_back(size);
+    }
+    return sizes;
+}
+
+} // namespace
+
+std::uint64_t connected_components(const Adjacency& adj) {
+    return component_sizes(adj).size();
+}
+
+std::uint64_t largest_component(const Adjacency& adj) {
+    const auto sizes = component_sizes(adj);
+    return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+} // namespace gesmc

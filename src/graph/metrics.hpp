@@ -1,0 +1,36 @@
+/// \file metrics.hpp
+/// \brief Structural graph metrics used as randomization proxies (§6.1).
+///
+/// The paper notes that aggregate measures (assortativity, clustering,
+/// triangle count, ...) are *less sensitive* proxies for mixing than the
+/// autocorrelation method — we implement them both as analysis tools and to
+/// demonstrate exactly that in the examples.
+#pragma once
+
+#include "graph/adjacency.hpp"
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+
+namespace gesmc {
+
+/// Number of triangles (each counted once).
+std::uint64_t triangle_count(const Adjacency& adj);
+
+/// Global clustering coefficient: 3 * triangles / wedges; 0 if no wedges.
+double global_clustering(const Adjacency& adj);
+
+/// Mean local clustering coefficient (nodes of degree < 2 contribute 0).
+double mean_local_clustering(const Adjacency& adj);
+
+/// Pearson correlation of endpoint degrees over edges (degree
+/// assortativity, Newman 2002). Returns 0 for degenerate variance.
+double degree_assortativity(const EdgeList& graph);
+
+/// Number of connected components (isolated nodes count).
+std::uint64_t connected_components(const Adjacency& adj);
+
+/// Size of the largest connected component.
+std::uint64_t largest_component(const Adjacency& adj);
+
+} // namespace gesmc

@@ -1,0 +1,165 @@
+/// \file concurrent_edge_set.hpp
+/// \brief Concurrent open-addressing hash set with per-bucket locks (§5.2).
+///
+/// The paper stores each edge in a 64-bit-wide bucket: 56 bits hold the
+/// (canonical) edge key, 8 bits are reserved for locking.  A processing
+/// unit acquires a lock by compare-and-swapping its thread id into the lock
+/// bits, which succeeds only if the bucket held the edge in an unlocked
+/// state.  Buckets are *stable*: once a key is placed it never moves until
+/// erased (open addressing with tombstones), so a bucket index is a valid
+/// handle for unlock/erase.  This supports graphs with up to 2^28 nodes and
+/// up to 254 threads — the same restriction as the paper.
+///
+/// Thread-safety contract:
+///  * contains / contains_prepared are lock-free and may run concurrently
+///    with everything else;
+///  * insert / erase are safe under arbitrary concurrency: a striped lock
+///    on the key serializes same-key operations so duplicates are impossible;
+///  * insert_unique / erase_unique are cheaper lock-free variants whose
+///    callers guarantee that no two threads operate on the *same key*
+///    concurrently — exactly the situation in the batch update phase of
+///    ParallelSuperstep (at most one legal inserter / eraser per edge);
+///  * try_lock / try_insert_and_lock / erase_locked / unlock implement the
+///    ticket semantics of NaiveParES (§5.1).
+///
+/// Tombstones accumulate under erase; when their share crosses a threshold,
+/// callers rebuild at a quiescent point via maybe_rebuild().
+#pragma once
+
+#include "hashing/hash.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/bounded.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/prefetch.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gesmc {
+
+class ConcurrentEdgeSet {
+public:
+    static constexpr std::uint64_t kKeyBits = 56;
+    static constexpr std::uint64_t kKeyMask = (1ULL << kKeyBits) - 1;
+    static constexpr std::uint64_t kEmpty = 0;
+    static constexpr std::uint64_t kTomb = kKeyMask; // all key bits set: encodes the
+                                                     // impossible loop (2^28-1, 2^28-1)
+
+    /// Result of try_insert_and_lock.
+    enum class InsertLock { kInserted, kExists, kExistsLocked };
+
+    /// Creates a set sized for `max_live_keys` simultaneously live keys.
+    explicit ConcurrentEdgeSet(std::uint64_t max_live_keys);
+
+    ConcurrentEdgeSet(const ConcurrentEdgeSet&) = delete;
+    ConcurrentEdgeSet& operator=(const ConcurrentEdgeSet&) = delete;
+
+    [[nodiscard]] std::uint64_t size() const noexcept {
+        return size_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t bucket_count() const noexcept { return table_.size(); }
+
+    /// Lock-free existence query (ignores lock bits). key in (0, 2^56-1).
+    [[nodiscard]] bool contains(std::uint64_t key) const noexcept;
+
+    /// Issues a prefetch for the probe window of key (paper §5.4).
+    void prefetch(std::uint64_t key) const noexcept {
+        prefetch_read_2lines(&table_[home(key)]);
+    }
+
+    /// General-purpose insert; returns false if the key was present.
+    bool insert(std::uint64_t key);
+
+    /// General-purpose erase; returns false if the key was absent.
+    bool erase(std::uint64_t key);
+
+    /// Lock-free insert. Caller guarantees no concurrent operation on the
+    /// same key. Returns false if present.
+    bool insert_unique(std::uint64_t key);
+
+    /// Lock-free erase. Caller guarantees no concurrent operation on the
+    /// same key. Returns false if absent.
+    bool erase_unique(std::uint64_t key);
+
+    // ------------------------------------------------------------- tickets
+
+    /// Attempts to lock an existing unlocked key. Returns the bucket index
+    /// on success. tid must be in [0, 254); the stored owner is tid+1.
+    std::optional<std::uint64_t> try_lock(std::uint64_t key, unsigned tid) noexcept;
+
+    /// Attempts to insert key in locked state. On kInserted the bucket index
+    /// is stored in slot_out and the caller owns the lock.
+    InsertLock try_insert_and_lock(std::uint64_t key, unsigned tid, std::uint64_t& slot_out);
+
+    /// Releases a lock acquired by try_lock / try_insert_and_lock.
+    void unlock(std::uint64_t slot) noexcept;
+
+    /// Erases the key in a bucket currently locked by the caller.
+    void erase_locked(std::uint64_t slot) noexcept;
+
+    // ------------------------------------------------------------- service
+
+    /// True when tombstones crossed the rebuild threshold.
+    [[nodiscard]] bool needs_rebuild() const noexcept {
+        return tombs_.load(std::memory_order_relaxed) > table_.size() / 4;
+    }
+
+    /// Compacts tombstones away. NOT thread-safe: call at a quiescent point.
+    void rebuild();
+
+    /// rebuild() iff needs_rebuild().
+    void maybe_rebuild() {
+        if (needs_rebuild()) rebuild();
+    }
+
+    /// Calls fn(key) for every live key. NOT thread-safe against writers.
+    template <typename F>
+    void for_each(F&& fn) const {
+        for (const auto& bucket : table_) {
+            const std::uint64_t key = bucket.load(std::memory_order_relaxed) & kKeyMask;
+            if (key != kEmpty && key != kTomb) fn(key);
+        }
+    }
+
+    /// Samples a uniformly random live key by repeatedly probing random
+    /// buckets (paper §5.3, "sample directly from the hash-set" option).
+    /// NOT thread-safe against writers. Expected draws: 1 / load factor.
+    template <typename Urbg>
+    [[nodiscard]] std::uint64_t sample_uniform(Urbg& gen) const {
+        GESMC_CHECK(size() > 0, "cannot sample from an empty set");
+        for (;;) {
+            const std::uint64_t idx = uniform_below(gen, table_.size());
+            const std::uint64_t key = table_[idx].load(std::memory_order_relaxed) & kKeyMask;
+            if (key != kEmpty && key != kTomb) return key;
+        }
+    }
+
+private:
+    [[nodiscard]] std::uint64_t home(std::uint64_t key) const noexcept {
+        return edge_hash(key) >> shift_;
+    }
+
+    [[nodiscard]] std::atomic<std::uint8_t>& stripe(std::uint64_t key) noexcept {
+        return stripes_[(edge_hash(key) >> 8) & (kStripes - 1)];
+    }
+
+    void lock_stripe(std::atomic<std::uint8_t>& s) noexcept;
+    void unlock_stripe(std::atomic<std::uint8_t>& s) noexcept;
+
+    bool insert_impl(std::uint64_t key, std::uint64_t locked_state, std::uint64_t* slot_out,
+                     bool* exists_locked_out);
+
+    static constexpr std::uint64_t kStripes = 4096;
+
+    std::vector<std::atomic<std::uint64_t>> table_;
+    std::vector<std::atomic<std::uint8_t>> stripes_;
+    std::uint64_t mask_ = 0;
+    unsigned shift_ = 64;
+    std::atomic<std::uint64_t> size_{0};
+    std::atomic<std::uint64_t> tombs_{0};
+};
+
+} // namespace gesmc

@@ -1,0 +1,34 @@
+#include "hashing/hash.hpp"
+
+#include <array>
+
+namespace gesmc::detail {
+
+namespace {
+
+/// Builds the 256-entry lookup table for CRC32c (reflected poly 0x82F63B78).
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto kCrcTable = make_crc32c_table();
+
+} // namespace
+
+std::uint32_t crc32c_sw(std::uint32_t crc, std::uint64_t data) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+        crc = kCrcTable[(crc ^ (data & 0xFF)) & 0xFF] ^ (crc >> 8);
+        data >>= 8;
+    }
+    return crc;
+}
+
+} // namespace gesmc::detail

@@ -1,0 +1,102 @@
+#include "parallel/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace gesmc {
+
+namespace {
+// Workers spin this many iterations for the next job before falling back to
+// the condition variable. Fork-join phases arrive back to back inside a
+// superstep (~10 dispatches each), so the common case is a hit within the
+// spin window; the cv path only pays off between supersteps / benches.
+constexpr unsigned kSpinIterations = 1 << 14;
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+} // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(num_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                                    : num_threads) {
+    workers_.reserve(num_threads_ - 1);
+    for (unsigned tid = 1; tid < num_threads_; ++tid) {
+        workers_.emplace_back([this, tid] { worker_loop(tid); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& fn) {
+    GESMC_CHECK(fn != nullptr, "null job");
+    if (num_threads_ == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        job_ = &fn;
+        active_.store(num_threads_ - 1, std::memory_order_relaxed);
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_start_.notify_all();
+    fn(0); // the caller participates as thread 0
+
+    // Spin briefly for the stragglers, then sleep.
+    for (unsigned spin = 0; spin < kSpinIterations; ++spin) {
+        if (active_.load(std::memory_order_acquire) == 0) break;
+        cpu_relax();
+    }
+    if (active_.load(std::memory_order_acquire) != 0) {
+        std::unique_lock lock(mutex_);
+        cv_done_.wait(lock, [this] { return active_.load(std::memory_order_acquire) == 0; });
+    }
+    job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned tid) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        // Spin for the next epoch, then block on the cv.
+        bool advanced = false;
+        for (unsigned spin = 0; spin < kSpinIterations; ++spin) {
+            if (epoch_.load(std::memory_order_acquire) != seen_epoch) {
+                advanced = true;
+                break;
+            }
+            cpu_relax();
+        }
+        const std::function<void(unsigned)>* job = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            if (!advanced) {
+                cv_start_.wait(lock, [&] {
+                    return epoch_.load(std::memory_order_acquire) != seen_epoch;
+                });
+            }
+            seen_epoch = epoch_.load(std::memory_order_acquire);
+            if (stop_) return;
+            job = job_;
+        }
+        if (job) (*job)(tid);
+        if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last worker done: wake the caller if it fell asleep.
+            std::lock_guard lock(mutex_);
+            cv_done_.notify_one();
+        }
+    }
+}
+
+} // namespace gesmc

@@ -1,0 +1,72 @@
+/// \file alias_table.hpp
+/// \brief Walker/Vose alias method: O(1) draws from a discrete distribution.
+///
+/// Used by the power-law degree sampler (SynPld dataset, §6): the degree
+/// distribution Pld([a..b], gamma) is tabulated once and then sampled in
+/// constant time per degree.
+#pragma once
+
+#include "rng/bounded.hpp"
+#include "util/check.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gesmc {
+
+class AliasTable {
+public:
+    /// Builds from non-negative weights (need not be normalized; at least
+    /// one weight must be positive).
+    explicit AliasTable(const std::vector<double>& weights) {
+        const std::size_t n = weights.size();
+        GESMC_CHECK(n > 0, "empty weight vector");
+        double total = 0;
+        for (const double w : weights) {
+            GESMC_CHECK(w >= 0, "negative weight");
+            total += w;
+        }
+        GESMC_CHECK(total > 0, "all weights zero");
+
+        prob_.resize(n);
+        alias_.resize(n);
+        // Vose's algorithm: split scaled probabilities into under/over-full
+        // and pair them so every cell holds at most two outcomes.
+        std::vector<double> scaled(n);
+        for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / total;
+        std::vector<std::uint32_t> small, large;
+        for (std::size_t i = 0; i < n; ++i) {
+            (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+        }
+        while (!small.empty() && !large.empty()) {
+            const std::uint32_t s = small.back();
+            const std::uint32_t l = large.back();
+            small.pop_back();
+            prob_[s] = scaled[s];
+            alias_[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if (scaled[l] < 1.0) {
+                large.pop_back();
+                small.push_back(l);
+            }
+        }
+        for (const std::uint32_t i : large) prob_[i] = 1.0;
+        for (const std::uint32_t i : small) prob_[i] = 1.0; // numerical leftovers
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    template <typename Urbg>
+    [[nodiscard]] std::uint32_t sample(Urbg& gen) const {
+        const std::uint64_t cell = uniform_below(gen, prob_.size());
+        return uniform_real(gen) < prob_[cell] ? static_cast<std::uint32_t>(cell)
+                                               : alias_[cell];
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+} // namespace gesmc

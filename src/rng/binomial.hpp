@@ -1,0 +1,37 @@
+/// \file binomial.hpp
+/// \brief Exact binomial sampling for the global-switch length l (paper §3).
+///
+/// G-ES-MC draws l ~ Binom(floor(m/2), 1 - P_L) per global switch.  Two
+/// exact strategies are combined:
+///   * geometric skipping over success positions when min(np, nq) is small
+///     (the common case: P_L is tiny, so the number of *rejected* switches
+///     is small) — expected O(min(np, nq) + 1) time;
+///   * inversion started at the mode with an outward alternating sweep for
+///     the general case — expected O(sqrt(n p q)) time, numerically stable
+///     via the PMF ratio recurrence.
+/// Both consume a UniformRandomBitGenerator and are exact up to floating-
+/// point rounding of the PMF (no normal approximation).
+#pragma once
+
+#include "rng/bounded.hpp"
+
+#include <cstdint>
+
+namespace gesmc {
+
+namespace detail {
+std::uint64_t binomial_small_np(double (*next_unit)(void*), void* gen, std::uint64_t n, double p);
+std::uint64_t binomial_inversion_mode(double (*next_unit)(void*), void* gen, std::uint64_t n,
+                                      double p);
+std::uint64_t sample_binomial_impl(double (*next_unit)(void*), void* gen, std::uint64_t n,
+                                   double p);
+} // namespace detail
+
+/// Draws X ~ Binom(n, p). Requires 0 <= p <= 1.
+template <typename Urbg>
+std::uint64_t sample_binomial(Urbg& gen, std::uint64_t n, double p) {
+    auto next_unit = +[](void* g) { return uniform_real_nonzero(*static_cast<Urbg*>(g)); };
+    return detail::sample_binomial_impl(next_unit, &gen, n, p);
+}
+
+} // namespace gesmc

@@ -1,0 +1,68 @@
+/// \file bounded.hpp
+/// \brief Unbiased bounded random integers and related draws (paper §5.3).
+///
+/// Implements Lemire's multiply-shift rejection method ("Fast random integer
+/// generation in an interval", TOMACS 2019): a single 64x64->128-bit multiply
+/// plus a cheap, rarely-taken rejection loop yields an exactly uniform value
+/// in [0, bound).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace gesmc {
+
+/// Uniform integer in [0, bound). bound must be > 0. Unbiased.
+template <typename Urbg>
+std::uint64_t uniform_below(Urbg& gen, std::uint64_t bound) {
+    assert(bound > 0);
+    std::uint64_t x = gen();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound; // 2^64 mod bound
+        while (lo < threshold) {
+            x = gen();
+            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Uniform integer in [lo, hi] (inclusive).
+template <typename Urbg>
+std::uint64_t uniform_between(Urbg& gen, std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    return lo + uniform_below(gen, hi - lo + 1);
+}
+
+/// Uniform double in [0, 1) with 53 bits of precision.
+template <typename Urbg>
+double uniform_real(Urbg& gen) {
+    return static_cast<double>(gen() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in (0, 1] — safe as an argument to log().
+template <typename Urbg>
+double uniform_real_nonzero(Urbg& gen) {
+    return static_cast<double>((gen() >> 11) + 1) * 0x1.0p-53;
+}
+
+/// Fair coin.
+template <typename Urbg>
+bool uniform_bit(Urbg& gen) {
+    return (gen() >> 63) != 0;
+}
+
+/// Draws an ordered pair (i, j) with i != j uniformly from [0, n)^2,
+/// using exactly two bounded draws (the j-draw skips i).
+template <typename Urbg>
+void uniform_distinct_pair(Urbg& gen, std::uint64_t n, std::uint64_t& i, std::uint64_t& j) {
+    assert(n >= 2);
+    i = uniform_below(gen, n);
+    j = uniform_below(gen, n - 1);
+    if (j >= i) ++j;
+}
+
+} // namespace gesmc

@@ -1,0 +1,38 @@
+#include "rng/mt19937_64.hpp"
+
+namespace gesmc {
+
+void Mt19937_64::seed(std::uint64_t value) noexcept {
+    state_[0] = value;
+    for (unsigned i = 1; i < kN; ++i) {
+        state_[i] = 6364136223846793005ULL * (state_[i - 1] ^ (state_[i - 1] >> 62)) + i;
+    }
+    index_ = kN;
+}
+
+void Mt19937_64::regenerate() noexcept {
+    static constexpr std::uint64_t mag01[2] = {0ULL, kMatrixA};
+    for (unsigned i = 0; i < kN - kM; ++i) {
+        const std::uint64_t x = (state_[i] & kUpperMask) | (state_[i + 1] & kLowerMask);
+        state_[i] = state_[i + kM] ^ (x >> 1) ^ mag01[x & 1ULL];
+    }
+    for (unsigned i = kN - kM; i < kN - 1; ++i) {
+        const std::uint64_t x = (state_[i] & kUpperMask) | (state_[i + 1] & kLowerMask);
+        state_[i] = state_[i + kM - kN] ^ (x >> 1) ^ mag01[x & 1ULL];
+    }
+    const std::uint64_t x = (state_[kN - 1] & kUpperMask) | (state_[0] & kLowerMask);
+    state_[kN - 1] = state_[kM - 1] ^ (x >> 1) ^ mag01[x & 1ULL];
+    index_ = 0;
+}
+
+std::uint64_t Mt19937_64::operator()() noexcept {
+    if (index_ >= kN) regenerate();
+    std::uint64_t x = state_[index_++];
+    x ^= (x >> 29) & 0x5555555555555555ULL;
+    x ^= (x << 17) & 0x71D67FFFEDA60000ULL;
+    x ^= (x << 37) & 0xFFF7EEE000000000ULL;
+    x ^= x >> 43;
+    return x;
+}
+
+} // namespace gesmc

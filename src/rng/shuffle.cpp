@@ -1,0 +1,109 @@
+#include "rng/shuffle.hpp"
+
+#include "rng/counter_rng.hpp"
+#include "rng/mt19937_64.hpp"
+#include "util/bits.hpp"
+
+#include <algorithm>
+
+namespace gesmc {
+
+namespace {
+
+constexpr std::uint64_t kBucketSalt = 0xb5c4e1a3f2d60789ULL;
+constexpr std::uint64_t kSmallSalt = 0x9d3f6c2ab54e8701ULL;
+
+// Below this size a single sequential Fisher-Yates is faster than the
+// bucket machinery. The cutoff only depends on n, so determinism across
+// pool sizes is preserved.
+constexpr std::uint64_t kSequentialCutoff = 2048;
+constexpr unsigned kBucketBits = 8; // 256 buckets, power of two: unbiased via top bits
+
+/// In-place Fisher-Yates over a subrange.
+template <typename Urbg>
+void shuffle_range(std::uint32_t* first, std::uint64_t count, Urbg& gen) {
+    for (std::uint64_t i = count; i > 1; --i) {
+        const std::uint64_t j = uniform_below(gen, i);
+        std::swap(first[i - 1], first[j]);
+    }
+}
+
+} // namespace
+
+void sample_permutation(std::vector<std::uint32_t>& out, std::uint64_t n, std::uint64_t seed,
+                        ThreadPool& pool) {
+    out.resize(n);
+    if (n == 0) return;
+
+    if (n < kSequentialCutoff) {
+        for (std::uint64_t i = 0; i < n; ++i) out[i] = static_cast<std::uint32_t>(i);
+        Mt19937_64 gen(mix64(seed, kSmallSalt));
+        shuffle_range(out.data(), n, gen);
+        return;
+    }
+
+    constexpr std::uint64_t num_buckets = 1ULL << kBucketBits;
+    const unsigned p = pool.num_threads();
+
+    // The bucket of item i is the top kBucketBits bits of mix64 — exactly
+    // uniform because the bucket count is a power of two.
+    auto bucket_of = [seed](std::uint64_t i) {
+        return mix64(mix64(seed, kBucketSalt), i) >> (64 - kBucketBits);
+    };
+
+    // Pass 1: per-(thread, bucket) counts over contiguous ascending chunks.
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(p) * num_buckets, 0);
+    pool.for_chunks(0, n, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+        std::uint64_t* local = counts.data() + static_cast<std::size_t>(tid) * num_buckets;
+        for (std::uint64_t i = lo; i < hi; ++i) ++local[bucket_of(i)];
+    });
+
+    // Exclusive prefix sums in (bucket-major, thread-minor) order give each
+    // (thread, bucket) cell its scatter offset; because chunks ascend with
+    // the thread id, items land within each bucket in ascending item order —
+    // a canonical pre-shuffle layout independent of the thread count.
+    std::vector<std::uint64_t> offsets(counts.size());
+    std::uint64_t running = 0;
+    for (std::uint64_t b = 0; b < num_buckets; ++b) {
+        for (unsigned t = 0; t < p; ++t) {
+            offsets[static_cast<std::size_t>(t) * num_buckets + b] = running;
+            running += counts[static_cast<std::size_t>(t) * num_buckets + b];
+        }
+    }
+    std::vector<std::uint64_t> bucket_begin(num_buckets + 1);
+    bucket_begin[0] = 0;
+    {
+        std::uint64_t acc = 0;
+        for (std::uint64_t b = 0; b < num_buckets; ++b) {
+            for (unsigned t = 0; t < p; ++t)
+                acc += counts[static_cast<std::size_t>(t) * num_buckets + b];
+            bucket_begin[b + 1] = acc;
+        }
+    }
+
+    // Pass 2: scatter.
+    pool.for_chunks(0, n, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+        std::uint64_t* local = offsets.data() + static_cast<std::size_t>(tid) * num_buckets;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            out[local[bucket_of(i)]++] = static_cast<std::uint32_t>(i);
+        }
+    });
+
+    // Pass 3: shuffle every bucket with its own deterministic generator.
+    pool.for_chunks_dynamic(0, num_buckets, 8, [&](unsigned, std::uint64_t blo, std::uint64_t bhi) {
+        for (std::uint64_t b = blo; b < bhi; ++b) {
+            const std::uint64_t begin = bucket_begin[b];
+            const std::uint64_t count = bucket_begin[b + 1] - begin;
+            if (count < 2) continue;
+            Mt19937_64 gen(mix64(seed, kBucketSalt, b));
+            shuffle_range(out.data() + begin, count, gen);
+        }
+    });
+}
+
+void sample_permutation(std::vector<std::uint32_t>& out, std::uint64_t n, std::uint64_t seed) {
+    ThreadPool pool(1);
+    sample_permutation(out, n, seed, pool);
+}
+
+} // namespace gesmc

@@ -1,0 +1,46 @@
+/// \file shuffle.hpp
+/// \brief Uniform random permutations, sequential and parallel (paper §5.3).
+///
+/// G-ES-MC consumes one uniform random permutation of the edge indices [m]
+/// per global switch.  The parallel sampler follows the bucket scheme of
+/// Sanders (IPL 1998): every item is assigned to one of B buckets
+/// independently and uniformly, each bucket is Fisher–Yates-shuffled, and
+/// the buckets are concatenated in fixed order.  Conditioning on the bucket
+/// sizes, every output order is equally likely, so the result is an exactly
+/// uniform permutation.
+///
+/// Determinism: the bucket of item i is derived from mix64(seed, i) and each
+/// bucket shuffle is seeded with mix64(seed, bucket) — the output is a pure
+/// function of (seed, n) and therefore *independent of the thread count*.
+/// SeqGlobalES and ParGlobalES share this function, which is what makes
+/// their outputs comparable bit-for-bit in the exactness tests.
+#pragma once
+
+#include "parallel/thread_pool.hpp"
+#include "rng/bounded.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gesmc {
+
+/// In-place Fisher–Yates shuffle; uniform given a uniform generator.
+template <typename T, typename Urbg>
+void fisher_yates(std::vector<T>& items, Urbg& gen) {
+    for (std::uint64_t i = items.size(); i > 1; --i) {
+        const std::uint64_t j = uniform_below(gen, i);
+        std::swap(items[i - 1], items[j]);
+    }
+}
+
+/// Writes a uniform random permutation of [0, n) into `out` (resized).
+/// Deterministic given `seed`; identical for every pool size.
+/// The number of buckets is fixed (independent of the pool) so that the
+/// result only depends on (seed, n).
+void sample_permutation(std::vector<std::uint32_t>& out, std::uint64_t n, std::uint64_t seed,
+                        ThreadPool& pool);
+
+/// Convenience overload running on a single thread.
+void sample_permutation(std::vector<std::uint32_t>& out, std::uint64_t n, std::uint64_t seed);
+
+} // namespace gesmc

@@ -1,0 +1,62 @@
+/// \file bits.hpp
+/// \brief Small bit-manipulation and integer helpers used across the library.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace gesmc {
+
+/// Returns true iff x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x == 0 yields 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+    if (x <= 1) return 1;
+    --x;
+    x |= x >> 1;
+    x |= x >> 2;
+    x |= x >> 4;
+    x |= x >> 8;
+    x |= x >> 16;
+    x |= x >> 32;
+    return x + 1;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+    assert(x > 0);
+    unsigned r = 0;
+    while (x >>= 1) ++r;
+    return r;
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) noexcept {
+    static_assert(std::is_integral_v<T>);
+    assert(b > 0);
+    return static_cast<T>((a + b - 1) / b);
+}
+
+/// SplitMix64 finalizer: a fast, well-mixing 64-bit permutation.
+/// Used as the base mixer for counter-based random streams and hashing.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Combines two 64-bit values into one (order-sensitive).
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+    return mix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)) ^ mix64(b));
+}
+
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+    return mix64(mix64(a, b), c);
+}
+
+} // namespace gesmc

@@ -1,0 +1,67 @@
+// Tests for the measurement harness the figure benches rely on: timing
+// protocol (init + N supersteps), timeout/DNF semantics, cell formatting,
+// and the calibration kernel.
+#include "bench_util/harness.hpp"
+#include "gen/gnp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gesmc {
+namespace {
+
+TEST(Harness, TimesInitPlusSupersteps) {
+    const EdgeList g = generate_gnp(500, 0.02, 1);
+    ChainConfig config;
+    config.seed = 1;
+    const auto m = time_chain(ChainAlgorithm::kSeqES, g, config, 3);
+    EXPECT_TRUE(m.finished);
+    EXPECT_EQ(m.supersteps_done, 3u);
+    EXPECT_GT(m.seconds, 0.0);
+    EXPECT_EQ(m.stats.supersteps, 3u);
+    EXPECT_EQ(m.stats.attempted, 3 * (g.num_edges() / 2));
+}
+
+TEST(Harness, TimeoutMarksDnf) {
+    const EdgeList g = generate_gnp(2000, 0.05, 2);
+    ChainConfig config;
+    // Timeout of 0: the first between-superstep check already fires.
+    const auto m = time_chain(ChainAlgorithm::kSeqES, g, config, 1000, /*timeout_s=*/0.0);
+    EXPECT_FALSE(m.finished);
+    EXPECT_LT(m.supersteps_done, 1000u);
+    EXPECT_EQ(format_cell(m), "—");
+}
+
+TEST(Harness, FormatCellPrecision) {
+    BenchMeasurement fast;
+    fast.finished = true;
+    fast.seconds = 0.01234;
+    EXPECT_EQ(format_cell(fast), "0.0123");
+    BenchMeasurement slow;
+    slow.finished = true;
+    slow.seconds = 12.3456;
+    EXPECT_EQ(format_cell(slow), "12.35");
+}
+
+TEST(Harness, MaxThreadsPositive) { EXPECT_GE(bench_max_threads(), 1u); }
+
+TEST(Harness, CalibrationCeilingSane) {
+    // P=1 against itself must be ~1x; any P must report a positive ratio.
+    const double self_ratio = measure_parallel_ceiling(1);
+    EXPECT_GT(self_ratio, 0.5);
+    EXPECT_LT(self_ratio, 2.0);
+}
+
+TEST(Harness, DeterministicMeasurementGraphs) {
+    // Two measurements with the same config must agree on the statistics
+    // (times differ, stats must not — they derive from the seed only).
+    const EdgeList g = generate_gnp(400, 0.03, 3);
+    ChainConfig config;
+    config.seed = 9;
+    const auto a = time_chain(ChainAlgorithm::kSeqGlobalES, g, config, 2);
+    const auto b = time_chain(ChainAlgorithm::kSeqGlobalES, g, config, 2);
+    EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+    EXPECT_EQ(a.stats.attempted, b.stats.attempted);
+}
+
+} // namespace
+} // namespace gesmc

@@ -1,0 +1,254 @@
+// Tests for the generators: G(n,p), power-law degrees, Havel–Hakimi,
+// configuration model, alias table, and the NetRep-like corpus.
+#include "gen/configuration_model.hpp"
+#include "gen/corpus.hpp"
+#include "gen/gnp.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "gen/powerlaw.hpp"
+#include "graph/metrics.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/mt19937_64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gesmc {
+namespace {
+
+// ---------------------------------------------------------------- alias
+
+TEST(AliasTable, MatchesWeights) {
+    const std::vector<double> w{1, 2, 3, 4};
+    AliasTable table(w);
+    Mt19937_64 gen(1);
+    std::vector<int> counts(4, 0);
+    constexpr int draws = 400000;
+    for (int i = 0; i < draws; ++i) ++counts[table.sample(gen)];
+    for (int i = 0; i < 4; ++i) {
+        const double expect = draws * w[i] / 10.0;
+        EXPECT_NEAR(counts[i], expect, 5 * std::sqrt(expect)) << i;
+    }
+}
+
+TEST(AliasTable, SingleOutcome) {
+    AliasTable table(std::vector<double>{5.0});
+    Mt19937_64 gen(2);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(gen), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverDrawn) {
+    AliasTable table(std::vector<double>{0.0, 1.0, 0.0, 1.0});
+    Mt19937_64 gen(3);
+    for (int i = 0; i < 10000; ++i) {
+        const auto s = table.sample(gen);
+        EXPECT_TRUE(s == 1 || s == 3);
+    }
+}
+
+TEST(AliasTable, RejectsInvalidInput) {
+    EXPECT_THROW(AliasTable(std::vector<double>{}), Error);
+    EXPECT_THROW(AliasTable(std::vector<double>{0, 0}), Error);
+    EXPECT_THROW(AliasTable(std::vector<double>{-1, 2}), Error);
+}
+
+// ------------------------------------------------------------------ gnp
+
+TEST(Gnp, EdgeCountConcentrates) {
+    const node_t n = 2000;
+    const double p = 0.01;
+    const EdgeList g = generate_gnp(n, p, 42);
+    const double expect = p * n * (n - 1) / 2.0;
+    const double sd = std::sqrt(expect * (1 - p));
+    EXPECT_NEAR(static_cast<double>(g.num_edges()), expect, 6 * sd);
+    EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Gnp, ExtremeProbabilities) {
+    EXPECT_EQ(generate_gnp(100, 0.0, 1).num_edges(), 0u);
+    EXPECT_EQ(generate_gnp(100, 1.0, 1).num_edges(), 100u * 99 / 2);
+    EXPECT_EQ(generate_gnp(1, 0.5, 1).num_edges(), 0u);
+}
+
+TEST(Gnp, DeterministicAcrossThreadCounts) {
+    const node_t n = 5000;
+    const double p = 0.002;
+    const EdgeList ref = generate_gnp(n, p, 7);
+    for (unsigned threads : {2u, 3u, 4u}) {
+        ThreadPool pool(threads);
+        const EdgeList g = generate_gnp(n, p, 7, pool);
+        EXPECT_EQ(g.keys(), ref.keys()) << "threads=" << threads;
+    }
+}
+
+TEST(Gnp, SeedChangesGraph) {
+    const EdgeList a = generate_gnp(1000, 0.01, 1);
+    const EdgeList b = generate_gnp(1000, 0.01, 2);
+    EXPECT_FALSE(a.same_graph(b));
+}
+
+TEST(Gnp, PerEdgeInclusionIsUniform) {
+    // Each fixed pair must appear with probability ~p across seeds.
+    const double p = 0.3;
+    int hits = 0;
+    constexpr int trials = 2000;
+    for (int s = 0; s < trials; ++s) {
+        const EdgeList g = generate_gnp(30, p, 1000 + s);
+        const auto keys = g.sorted_keys();
+        hits += std::binary_search(keys.begin(), keys.end(), edge_key(3, 17)) ? 1 : 0;
+    }
+    EXPECT_NEAR(hits, trials * p, 5 * std::sqrt(trials * p * (1 - p)));
+}
+
+TEST(Gnp, ProbabilityForTargetEdges) {
+    const double p = gnp_probability_for_edges(1000, 5000);
+    EXPECT_NEAR(p * 1000 * 999 / 2, 5000, 1e-6);
+    EXPECT_EQ(gnp_probability_for_edges(10, 1000000), 1.0);
+}
+
+// ------------------------------------------------------------- power law
+
+TEST(Powerlaw, MaxDegreeBound) {
+    EXPECT_EQ(powerlaw_max_degree(1024, 3.0), 32u);          // n^(1/2)
+    EXPECT_EQ(powerlaw_max_degree(1 << 12, 2.0), (1u << 12) - 1); // capped at n-1
+}
+
+TEST(Powerlaw, SampleRespectsBounds) {
+    PowerlawDistribution dist(2, 50, 2.5);
+    Mt19937_64 gen(4);
+    for (int i = 0; i < 10000; ++i) {
+        const auto d = dist.sample(gen);
+        EXPECT_GE(d, 2u);
+        EXPECT_LE(d, 50u);
+    }
+}
+
+TEST(Powerlaw, TailFollowsExponent) {
+    // Empirical ratio P[X=1]/P[X=2] must be ~2^gamma.
+    const double gamma = 2.5;
+    PowerlawDistribution dist(1, 100, gamma);
+    Mt19937_64 gen(5);
+    int ones = 0, twos = 0;
+    constexpr int draws = 500000;
+    for (int i = 0; i < draws; ++i) {
+        const auto d = dist.sample(gen);
+        ones += (d == 1);
+        twos += (d == 2);
+    }
+    const double ratio = static_cast<double>(ones) / twos;
+    EXPECT_NEAR(ratio, std::pow(2.0, gamma), 0.25);
+}
+
+TEST(Powerlaw, DegreesAreGraphicalAndEvenSum) {
+    for (const double gamma : {2.01, 2.2, 2.9}) {
+        const DegreeSequence seq = sample_powerlaw_degrees(3000, gamma, 6);
+        EXPECT_TRUE(seq.is_graphical()) << gamma;
+        EXPECT_EQ(seq.degree_sum() % 2, 0u);
+        EXPECT_LE(seq.max_degree(), powerlaw_max_degree(3000, gamma));
+    }
+}
+
+TEST(Powerlaw, Deterministic) {
+    const DegreeSequence a = sample_powerlaw_degrees(500, 2.3, 9);
+    const DegreeSequence b = sample_powerlaw_degrees(500, 2.3, 9);
+    EXPECT_EQ(a.degrees(), b.degrees());
+}
+
+// ------------------------------------------------------------ havel-hakimi
+
+TEST(HavelHakimi, RealizesExactDegrees) {
+    const std::vector<std::uint32_t> want{3, 2, 2, 2, 1, 4, 1, 1};
+    const EdgeList g = havel_hakimi(DegreeSequence{want});
+    EXPECT_TRUE(g.is_simple());
+    EXPECT_EQ(g.degrees(), want);
+}
+
+TEST(HavelHakimi, ThrowsOnNonGraphical) {
+    EXPECT_THROW(havel_hakimi(DegreeSequence{{3, 1}}), Error);
+    EXPECT_THROW(havel_hakimi(DegreeSequence{{1}}), Error);
+}
+
+TEST(HavelHakimi, HandlesZeroDegrees) {
+    const EdgeList g = havel_hakimi(DegreeSequence{{0, 2, 0, 1, 1}});
+    EXPECT_EQ(g.degrees(), (std::vector<std::uint32_t>{0, 2, 0, 1, 1}));
+}
+
+TEST(HavelHakimi, PowerlawSequencesUpTo20k) {
+    const DegreeSequence seq = sample_powerlaw_degrees(20000, 2.1, 11);
+    const EdgeList g = havel_hakimi(seq);
+    EXPECT_TRUE(g.is_simple());
+    EXPECT_EQ(g.degrees(), seq.degrees());
+}
+
+// ---------------------------------------------------- configuration model
+
+TEST(ConfigurationModel, PairingPreservesStubCounts) {
+    const DegreeSequence seq({2, 3, 1, 2});
+    const auto pairs = configuration_model_pairing(seq, 12);
+    EXPECT_EQ(pairs.size(), 4u);
+    std::vector<std::uint32_t> deg(4, 0);
+    for (const Edge e : pairs) {
+        ++deg[e.u];
+        ++deg[e.v];
+    }
+    EXPECT_EQ(deg, seq.degrees());
+}
+
+TEST(ConfigurationModel, ErasedIsSimpleSubsetOfDegrees) {
+    const DegreeSequence seq = sample_powerlaw_degrees(1000, 2.2, 13);
+    const EdgeList g = configuration_model_erased(seq, 13);
+    EXPECT_TRUE(g.is_simple());
+    const auto got = g.degrees();
+    for (std::size_t v = 0; v < got.size(); ++v) EXPECT_LE(got[v], seq.degrees()[v]);
+}
+
+TEST(ConfigurationModel, RejectionProducesExactSimpleGraph) {
+    const DegreeSequence seq({2, 2, 2, 2}); // 4-cycle family
+    const EdgeList g = configuration_model_rejection(seq, 14);
+    EXPECT_TRUE(g.is_simple());
+    EXPECT_EQ(g.degrees(), seq.degrees());
+}
+
+// ------------------------------------------------------------------ corpus
+
+TEST(Corpus, GridDegreesAndSize) {
+    const EdgeList g = generate_grid(3, 4);
+    EXPECT_EQ(g.num_nodes(), 12u);
+    EXPECT_EQ(g.num_edges(), 3u * 3 + 2 * 4); // 17
+    const auto deg = g.degrees();
+    EXPECT_EQ(*std::max_element(deg.begin(), deg.end()), 4u);
+    EXPECT_EQ(*std::min_element(deg.begin(), deg.end()), 2u);
+    EXPECT_EQ(connected_components(Adjacency(g)), 1u);
+}
+
+TEST(Corpus, RegularGraph) {
+    const EdgeList g = generate_regular(100, 6);
+    const auto deg = g.degrees();
+    for (const auto d : deg) EXPECT_EQ(d, 6u);
+    EXPECT_TRUE(g.is_simple());
+    EXPECT_THROW(generate_regular(5, 3), Error); // odd n*d
+}
+
+TEST(Corpus, TestCorpusIsWellFormed) {
+    const auto corpus = corpus_test();
+    EXPECT_GE(corpus.size(), 5u);
+    for (const auto& entry : corpus) {
+        EXPECT_FALSE(entry.name.empty());
+        EXPECT_TRUE(entry.graph.is_simple()) << entry.name;
+        EXPECT_GE(entry.graph.num_edges(), 100u) << entry.name;
+    }
+}
+
+TEST(Corpus, Deterministic) {
+    const auto a = corpus_test();
+    const auto b = corpus_test();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].graph.keys(), b[i].graph.keys()) << a[i].name;
+    }
+}
+
+} // namespace
+} // namespace gesmc

@@ -1,0 +1,463 @@
+// Tests for the hashing substrate: hash functions, sequential robin-hood
+// set, concurrent edge set (incl. ticket semantics), dependency table.
+#include "hashing/concurrent_edge_set.hpp"
+#include "hashing/dependency_table.hpp"
+#include "hashing/hash.hpp"
+#include "hashing/robin_set.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/bounded.hpp"
+#include "rng/mt19937_64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace gesmc {
+namespace {
+
+// ------------------------------------------------------------------ hash
+
+TEST(Hash, HardwareAndSoftwareCrcAgree) {
+#if defined(__SSE4_2__)
+    Mt19937_64 gen(1);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t key = gen();
+        const auto hw = static_cast<std::uint32_t>(_mm_crc32_u64(0xB2D05E13u, key));
+        EXPECT_EQ(hw, detail::crc32c_sw(0xB2D05E13u, key)) << key;
+    }
+#else
+    GTEST_SKIP() << "no SSE4.2 on this target";
+#endif
+}
+
+TEST(Hash, NoObviousCollisionsOnSequentialKeys) {
+    std::set<std::uint64_t> crc, mix;
+    for (std::uint64_t i = 1; i <= 50000; ++i) {
+        crc.insert(crc_hash(i));
+        mix.insert(mix_hash(i));
+    }
+    EXPECT_EQ(crc.size(), 50000u);
+    EXPECT_EQ(mix.size(), 50000u);
+}
+
+TEST(Hash, HighBitsAreSpread) {
+    // Tables index with the top bits; sequential keys must not cluster.
+    constexpr unsigned kBuckets = 64;
+    std::vector<int> hist(kBuckets, 0);
+    constexpr int n = 64000;
+    for (std::uint64_t i = 1; i <= n; ++i) ++hist[edge_hash(i) >> 58];
+    const double expect = static_cast<double>(n) / kBuckets;
+    for (int c : hist) {
+        EXPECT_GT(c, expect * 0.7);
+        EXPECT_LT(c, expect * 1.3);
+    }
+}
+
+// ------------------------------------------------------------- robin set
+
+TEST(RobinSet, BasicInsertContainsErase) {
+    RobinSet set;
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_FALSE(set.contains(42));
+    EXPECT_TRUE(set.insert(42));
+    EXPECT_FALSE(set.insert(42));
+    EXPECT_TRUE(set.contains(42));
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_TRUE(set.erase(42));
+    EXPECT_FALSE(set.erase(42));
+    EXPECT_FALSE(set.contains(42));
+    EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(RobinSet, RejectsReservedKey) { EXPECT_THROW(RobinSet{}.insert(0), Error); }
+
+TEST(RobinSet, GrowsBeyondInitialCapacity) {
+    RobinSet set(4);
+    for (std::uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(set.insert(i));
+    EXPECT_EQ(set.size(), 10000u);
+    EXPECT_LE(set.load_factor(), 0.5);
+    for (std::uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(set.contains(i));
+    EXPECT_FALSE(set.contains(10001));
+}
+
+TEST(RobinSet, FuzzAgainstStdUnorderedSet) {
+    // Mixed workload mirroring edge switching: ~equal parts insert, erase,
+    // and lookup on a small key universe to force collisions and shifts.
+    Mt19937_64 gen(7);
+    RobinSet set;
+    std::unordered_set<std::uint64_t> ref;
+    for (int op = 0; op < 200000; ++op) {
+        const std::uint64_t key = 1 + uniform_below(gen, 512);
+        switch (uniform_below(gen, 3)) {
+        case 0:
+            ASSERT_EQ(set.insert(key), ref.insert(key).second) << "op " << op;
+            break;
+        case 1:
+            ASSERT_EQ(set.erase(key), ref.erase(key) > 0) << "op " << op;
+            break;
+        default:
+            ASSERT_EQ(set.contains(key), ref.count(key) > 0) << "op " << op;
+        }
+        ASSERT_EQ(set.size(), ref.size());
+    }
+    std::size_t enumerated = 0;
+    set.for_each([&](std::uint64_t k) {
+        ++enumerated;
+        EXPECT_TRUE(ref.count(k));
+    });
+    EXPECT_EQ(enumerated, ref.size());
+}
+
+TEST(RobinSet, PreparedContainsMatchesPlain) {
+    Mt19937_64 gen(8);
+    RobinSet set(4096);
+    set.reserve(4096);
+    for (int i = 0; i < 2000; ++i) set.insert(1 + uniform_below(gen, 8192));
+    EXPECT_FALSE(set.would_rehash_on_insert());
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key = 1 + uniform_below(gen, 8192);
+        const auto prepared = set.prepare(key);
+        EXPECT_EQ(set.contains_prepared(prepared), set.contains(key));
+    }
+}
+
+TEST(RobinSet, ClearEmptiesTheSet) {
+    RobinSet set;
+    for (std::uint64_t i = 1; i <= 100; ++i) set.insert(i);
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    for (std::uint64_t i = 1; i <= 100; ++i) EXPECT_FALSE(set.contains(i));
+}
+
+// --------------------------------------------------- concurrent edge set
+
+TEST(ConcurrentEdgeSet, SequentialSemantics) {
+    ConcurrentEdgeSet set(1024);
+    EXPECT_TRUE(set.insert(5));
+    EXPECT_FALSE(set.insert(5));
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_FALSE(set.contains(6));
+    EXPECT_TRUE(set.erase(5));
+    EXPECT_FALSE(set.erase(5));
+    EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(ConcurrentEdgeSet, RejectsOutOfDomainKeys) {
+    ConcurrentEdgeSet set(16);
+    EXPECT_THROW(set.insert(0), Error);
+    EXPECT_THROW(set.insert(ConcurrentEdgeSet::kTomb), Error);
+    EXPECT_THROW(set.insert(1ULL << 60), Error);
+}
+
+TEST(ConcurrentEdgeSet, TombstoneRecyclingKeepsProbesBounded) {
+    ConcurrentEdgeSet set(256);
+    Mt19937_64 gen(9);
+    std::unordered_set<std::uint64_t> ref;
+    // Long insert/erase churn at constant live size; without tombstone
+    // recycling + rebuild this would exhaust the table.
+    for (int round = 0; round < 30000; ++round) {
+        const std::uint64_t key = 1 + uniform_below(gen, 1024);
+        if (ref.count(key)) {
+            EXPECT_TRUE(set.erase(key));
+            ref.erase(key);
+        } else if (ref.size() < 256) {
+            EXPECT_TRUE(set.insert(key));
+            ref.insert(key);
+        }
+        set.maybe_rebuild();
+        ASSERT_EQ(set.size(), ref.size());
+    }
+    for (const auto key : ref) EXPECT_TRUE(set.contains(key));
+}
+
+TEST(ConcurrentEdgeSet, ForEachEnumeratesExactlyLiveKeys) {
+    ConcurrentEdgeSet set(64);
+    std::set<std::uint64_t> expect;
+    for (std::uint64_t k = 10; k < 50; ++k) {
+        set.insert(k);
+        if (k % 3 == 0) {
+            set.erase(k);
+        } else {
+            expect.insert(k);
+        }
+    }
+    std::set<std::uint64_t> got;
+    set.for_each([&](std::uint64_t k) { got.insert(k); });
+    EXPECT_EQ(got, expect);
+}
+
+TEST(ConcurrentEdgeSet, SampleUniformChiSquare) {
+    ConcurrentEdgeSet set(64);
+    for (std::uint64_t k = 1; k <= 10; ++k) set.insert(k);
+    Mt19937_64 gen(10);
+    std::vector<int> counts(11, 0);
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i) ++counts[set.sample_uniform(gen)];
+    const double expect = draws / 10.0;
+    double chi2 = 0;
+    for (std::uint64_t k = 1; k <= 10; ++k)
+        chi2 += (counts[k] - expect) * (counts[k] - expect) / expect;
+    EXPECT_LT(chi2, 27.9); // 9 dof, 99.9%
+}
+
+TEST(ConcurrentEdgeSet, ConcurrentDistinctKeyInsertsAllLand) {
+    constexpr unsigned p = 4;
+    constexpr std::uint64_t per_thread = 20000;
+    ConcurrentEdgeSet set(p * per_thread);
+    ThreadPool pool(p);
+    pool.run([&](unsigned tid) {
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+            EXPECT_TRUE(set.insert_unique(1 + tid * per_thread + i));
+        }
+    });
+    EXPECT_EQ(set.size(), p * per_thread);
+    for (std::uint64_t k = 1; k <= p * per_thread; ++k) ASSERT_TRUE(set.contains(k));
+}
+
+TEST(ConcurrentEdgeSet, ConcurrentSameKeyInsertsNeverDuplicate) {
+    // All threads hammer the same small key set with striped-lock inserts;
+    // exactly one insert per key must win per round.
+    constexpr unsigned p = 4;
+    ConcurrentEdgeSet set(512);
+    ThreadPool pool(p);
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<int> winners{0};
+        pool.run([&](unsigned) {
+            for (std::uint64_t key = 1; key <= 64; ++key) {
+                if (set.insert(key)) winners.fetch_add(1);
+            }
+        });
+        EXPECT_EQ(winners.load(), 64);
+        EXPECT_EQ(set.size(), 64u);
+        std::atomic<int> erasers{0};
+        pool.run([&](unsigned) {
+            for (std::uint64_t key = 1; key <= 64; ++key) {
+                if (set.erase(key)) erasers.fetch_add(1);
+            }
+        });
+        EXPECT_EQ(erasers.load(), 64);
+        EXPECT_EQ(set.size(), 0u);
+        set.maybe_rebuild();
+    }
+}
+
+TEST(ConcurrentEdgeSet, TicketLockingProtocol) {
+    ConcurrentEdgeSet set(64);
+    set.insert(100);
+    auto slot = set.try_lock(100, /*tid=*/0);
+    ASSERT_TRUE(slot.has_value());
+    // A second locker must fail while the ticket is held.
+    EXPECT_FALSE(set.try_lock(100, 1).has_value());
+    // The key is still visible to lock-free readers.
+    EXPECT_TRUE(set.contains(100));
+    set.unlock(*slot);
+    auto slot2 = set.try_lock(100, 1);
+    ASSERT_TRUE(slot2.has_value());
+    set.erase_locked(*slot2);
+    EXPECT_FALSE(set.contains(100));
+    EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(ConcurrentEdgeSet, TryLockAbsentKeyFails) {
+    ConcurrentEdgeSet set(64);
+    EXPECT_FALSE(set.try_lock(7, 0).has_value());
+}
+
+TEST(ConcurrentEdgeSet, InsertAndLockSemantics) {
+    ConcurrentEdgeSet set(64);
+    std::uint64_t slot = 0;
+    EXPECT_EQ(set.try_insert_and_lock(9, 0, slot), ConcurrentEdgeSet::InsertLock::kInserted);
+    // Inserted-and-locked: visible, but not lockable by others.
+    EXPECT_TRUE(set.contains(9));
+    std::uint64_t other = 0;
+    EXPECT_EQ(set.try_insert_and_lock(9, 1, other),
+              ConcurrentEdgeSet::InsertLock::kExistsLocked);
+    EXPECT_FALSE(set.try_lock(9, 1).has_value());
+    set.unlock(slot);
+    EXPECT_EQ(set.try_insert_and_lock(9, 1, other), ConcurrentEdgeSet::InsertLock::kExists);
+}
+
+TEST(ConcurrentEdgeSet, ConcurrentTicketContention) {
+    // p threads repeatedly try to grab the ticket for one key, mutate a
+    // guarded counter, and release. The counter must never tear.
+    constexpr unsigned p = 4;
+    ConcurrentEdgeSet set(64);
+    set.insert(5);
+    ThreadPool pool(p);
+    std::uint64_t guarded = 0; // protected by the key-5 ticket
+    std::atomic<std::uint64_t> acquisitions{0};
+    pool.run([&](unsigned tid) {
+        for (int i = 0; i < 20000;) {
+            auto slot = set.try_lock(5, tid);
+            if (!slot) {
+                std::this_thread::yield();
+                continue;
+            }
+            guarded += 1;
+            acquisitions.fetch_add(1);
+            set.unlock(*slot);
+            ++i;
+        }
+    });
+    EXPECT_EQ(guarded, acquisitions.load());
+    EXPECT_EQ(guarded, 4 * 20000u);
+}
+
+TEST(ConcurrentEdgeSet, ParallelInsertEraseChurnDistinctRanges) {
+    // Each thread owns a disjoint key range and churns inserts/erases with
+    // the unique (lock-free) API; sizes must reconcile at the end.
+    constexpr unsigned p = 4;
+    ConcurrentEdgeSet set(4 * 4096);
+    ThreadPool pool(p);
+    pool.run([&](unsigned tid) {
+        Mt19937_64 gen(tid);
+        std::vector<bool> present(4096, false);
+        const std::uint64_t base = 1 + tid * 4096;
+        for (int op = 0; op < 100000; ++op) {
+            const std::uint64_t off = uniform_below(gen, 4096);
+            if (present[off]) {
+                ASSERT_TRUE(set.erase_unique(base + off));
+                present[off] = false;
+            } else {
+                ASSERT_TRUE(set.insert_unique(base + off));
+                present[off] = true;
+            }
+        }
+        for (std::uint64_t off = 0; off < 4096; ++off) {
+            ASSERT_EQ(set.contains(base + off), present[off]);
+        }
+    });
+}
+
+// ------------------------------------------------------ dependency table
+
+TEST(DependencyTable, EraseRegistrationAndLookup) {
+    DependencyTable table(64);
+    ThreadPool pool(1);
+    table.begin_superstep(64, pool);
+    EXPECT_EQ(table.lookup_erase(42), DependencyTable::kNone);
+    table.register_erase(42, 7, 0);
+    EXPECT_EQ(table.lookup_erase(42), 7u);
+    EXPECT_EQ(table.lookup_erase(43), DependencyTable::kNone);
+}
+
+TEST(DependencyTable, InsertMinSkipsIllegal) {
+    DependencyTable table(64);
+    ThreadPool pool(1);
+    table.begin_superstep(64, pool);
+    std::vector<std::atomic<SwitchStatus>> status(64);
+    for (auto& s : status) s.store(SwitchStatus::kUndecided);
+
+    // Status changes take effect at the next round id (cache granularity).
+    std::uint32_t round = 1;
+    table.register_insert(99, 5, 0, 0);
+    table.register_insert(99, 3, 1, 0);
+    table.register_insert(99, 9, 0, 0);
+    EXPECT_EQ(table.lookup_insert_min(99, status, round), 3u);
+    status[3].store(SwitchStatus::kIllegal);
+    EXPECT_EQ(table.lookup_insert_min(99, status, ++round), 5u);
+    status[5].store(SwitchStatus::kIllegal);
+    EXPECT_EQ(table.lookup_insert_min(99, status, ++round), 9u);
+    status[9].store(SwitchStatus::kIllegal);
+    EXPECT_EQ(table.lookup_insert_min(99, status, ++round), DependencyTable::kNone);
+    EXPECT_EQ(table.lookup_insert_min(100, status, round), DependencyTable::kNone);
+}
+
+TEST(DependencyTable, InsertMinCachePerRound) {
+    DependencyTable table(64);
+    ThreadPool pool(1);
+    table.begin_superstep(64, pool);
+    std::vector<std::atomic<SwitchStatus>> status(64);
+    for (auto& s : status) s.store(SwitchStatus::kUndecided);
+
+    table.register_insert(42, 2, 0, 0);
+    table.register_insert(42, 7, 0, 0);
+    EXPECT_EQ(table.lookup_insert_min(42, status, 1), 2u);
+    // Same round: the memoized value is served even after a transition —
+    // callers re-read status[q] and treat stale minima as "wait".
+    status[2].store(SwitchStatus::kIllegal);
+    EXPECT_EQ(table.lookup_insert_min(42, status, 1), 2u);
+    // Next round: recomputed.
+    EXPECT_EQ(table.lookup_insert_min(42, status, 2), 7u);
+}
+
+TEST(DependencyTable, ResetClearsPreviousSuperstep) {
+    DependencyTable table(64);
+    ThreadPool pool(2);
+    std::vector<std::atomic<SwitchStatus>> status(64);
+    for (auto& s : status) s.store(SwitchStatus::kUndecided);
+
+    table.begin_superstep(64, pool);
+    table.register_erase(10, 1, 0);
+    table.register_insert(11, 2, 0, 0);
+    table.begin_superstep(64, pool);
+    EXPECT_EQ(table.lookup_erase(10), DependencyTable::kNone);
+    EXPECT_EQ(table.lookup_insert_min(11, status, 1), DependencyTable::kNone);
+}
+
+TEST(DependencyTable, SameKeyBothRoles) {
+    // An edge can be erased by one switch and (re)inserted by others.
+    DependencyTable table(64);
+    ThreadPool pool(1);
+    table.begin_superstep(64, pool);
+    std::vector<std::atomic<SwitchStatus>> status(64);
+    for (auto& s : status) s.store(SwitchStatus::kUndecided);
+    table.register_erase(77, 2, 0);
+    table.register_insert(77, 4, 1, 0);
+    EXPECT_EQ(table.lookup_erase(77), 2u);
+    EXPECT_EQ(table.lookup_insert_min(77, status, 1), 4u);
+}
+
+TEST(DependencyTable, ConcurrentRegistrationIsComplete) {
+    // Many threads register inserts for overlapping keys; every tuple must
+    // be reachable through the per-key list.
+    constexpr unsigned p = 4;
+    constexpr std::uint32_t switches = 20000;
+    DependencyTable table(switches);
+    ThreadPool pool(p);
+    table.begin_superstep(switches, pool);
+    std::vector<std::atomic<SwitchStatus>> status(switches);
+    for (auto& s : status) s.store(SwitchStatus::kUndecided);
+
+    // Key layout: key = 1 + (k % 97) — about 206 switches share each key.
+    pool.for_chunks(0, switches, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t k = lo; k < hi; ++k) {
+            table.register_insert(1 + (k % 97), static_cast<std::uint32_t>(k), 0, tid);
+        }
+    });
+    // Minimum per key must be the smallest switch index with that residue,
+    // i.e. the residue itself.
+    for (std::uint64_t key = 1; key <= 97; ++key) {
+        EXPECT_EQ(table.lookup_insert_min(key, status, 1), key - 1);
+    }
+    // Marking the minimum illegal exposes the next one (residue + 97).
+    status[13].store(SwitchStatus::kIllegal);
+    EXPECT_EQ(table.lookup_insert_min(14, status, 2), 13u + 97u);
+}
+
+TEST(DependencyTable, ConcurrentMixedRolesStress) {
+    constexpr unsigned p = 4;
+    constexpr std::uint32_t switches = 50000;
+    DependencyTable table(switches);
+    ThreadPool pool(p);
+    table.begin_superstep(switches, pool);
+
+    // Every switch k erases key 2k+1 (unique) and inserts key 1+(k%1009).
+    pool.for_chunks(0, switches, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t k = lo; k < hi; ++k) {
+            table.register_erase(2 * k + 1, static_cast<std::uint32_t>(k), tid);
+            table.register_insert(1 + (k % 1009), static_cast<std::uint32_t>(k), 1, tid);
+        }
+    });
+    for (std::uint64_t k = 0; k < switches; k += 997) {
+        ASSERT_EQ(table.lookup_erase(2 * k + 1), k);
+    }
+}
+
+} // namespace
+} // namespace gesmc

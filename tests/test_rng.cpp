@@ -1,0 +1,344 @@
+// Unit and statistical tests for the randomness substrate: MT19937-64
+// reference equivalence, Lemire bounded draws, binomial sampling, and the
+// (parallel) permutation sampler.
+#include "rng/binomial.hpp"
+#include "rng/bounded.hpp"
+#include "rng/counter_rng.hpp"
+#include "rng/mt19937_64.hpp"
+#include "rng/shuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace gesmc {
+namespace {
+
+TEST(Mt19937_64, MatchesStdLibraryStream) {
+    // Our from-scratch Mersenne Twister must be bit-identical to
+    // std::mt19937_64 (the paper uses the libstdc++ implementation).
+    for (std::uint64_t seed : {5489ULL, 0ULL, 1ULL, 0xdeadbeefULL, ~0ULL}) {
+        Mt19937_64 ours(seed);
+        std::mt19937_64 ref(seed);
+        for (int i = 0; i < 2000; ++i) {
+            ASSERT_EQ(ours(), ref()) << "seed=" << seed << " i=" << i;
+        }
+    }
+}
+
+TEST(Mt19937_64, KnownFirstOutput) {
+    // Well-known value: mt19937_64 with default seed 5489 starts with
+    // 14514284786278117030.
+    Mt19937_64 gen;
+    EXPECT_EQ(gen(), 14514284786278117030ULL);
+}
+
+TEST(Mt19937_64, ReseedResetsStream) {
+    Mt19937_64 a(42), b(42);
+    (void)a();
+    (void)a();
+    a.seed(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64Rng, DistinctStreamsForDistinctKeys) {
+    auto s1 = stream_for(123, 0);
+    auto s2 = stream_for(123, 1);
+    auto s3 = stream_for(124, 0);
+    const auto a = s1(), b = s2(), c = s3();
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+}
+
+TEST(SplitMix64Rng, Deterministic) {
+    auto s1 = stream_for(7, 9);
+    auto s2 = stream_for(7, 9);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(s1(), s2());
+}
+
+TEST(Bounded, StaysInRange) {
+    Mt19937_64 gen(1);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40) + 7}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(uniform_below(gen, bound), bound);
+        }
+    }
+}
+
+TEST(Bounded, BoundOneAlwaysZero) {
+    Mt19937_64 gen(2);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_below(gen, 1), 0u);
+}
+
+TEST(Bounded, ChiSquareUniformity) {
+    // 10 buckets, 100k draws: chi-square with 9 dof; 99.9% quantile ~ 27.9.
+    Mt19937_64 gen(3);
+    constexpr std::uint64_t k = 10;
+    constexpr int draws = 100000;
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < draws; ++i) ++counts[uniform_below(gen, k)];
+    const double expect = static_cast<double>(draws) / k;
+    double chi2 = 0;
+    for (auto c : counts) chi2 += (c - expect) * (c - expect) / expect;
+    EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Bounded, IntervalInclusive) {
+    Mt19937_64 gen(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = uniform_between(gen, 5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Bounded, RealInUnitInterval) {
+    Mt19937_64 gen(5);
+    double mn = 1, mx = 0, sum = 0;
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+        const double u = uniform_real(gen);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        mn = std::min(mn, u);
+        mx = std::max(mx, u);
+        sum += u;
+    }
+    EXPECT_LT(mn, 0.01);
+    EXPECT_GT(mx, 0.99);
+    EXPECT_NEAR(sum / draws, 0.5, 0.01);
+    const double nz = uniform_real_nonzero(gen);
+    EXPECT_GT(nz, 0.0);
+    EXPECT_LE(nz, 1.0);
+}
+
+TEST(Bounded, DistinctPairNeverEqualAndUniform) {
+    Mt19937_64 gen(6);
+    constexpr std::uint64_t n = 5;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, int> counts;
+    constexpr int draws = 200000;
+    for (int i = 0; i < draws; ++i) {
+        std::uint64_t a, b;
+        uniform_distinct_pair(gen, n, a, b);
+        ASSERT_NE(a, b);
+        ASSERT_LT(a, n);
+        ASSERT_LT(b, n);
+        ++counts[{a, b}];
+    }
+    // 20 ordered pairs; chi-square with 19 dof, 99.9% quantile ~ 43.8.
+    EXPECT_EQ(counts.size(), n * (n - 1));
+    const double expect = static_cast<double>(draws) / (n * (n - 1));
+    double chi2 = 0;
+    for (auto& [pair, c] : counts) chi2 += (c - expect) * (c - expect) / expect;
+    EXPECT_LT(chi2, 43.8);
+}
+
+// ---------------------------------------------------------------- binomial
+
+TEST(Binomial, DegenerateCases) {
+    Mt19937_64 gen(7);
+    EXPECT_EQ(sample_binomial(gen, 0, 0.5), 0u);
+    EXPECT_EQ(sample_binomial(gen, 100, 0.0), 0u);
+    EXPECT_EQ(sample_binomial(gen, 100, 1.0), 100u);
+}
+
+TEST(Binomial, WithinSupport) {
+    Mt19937_64 gen(8);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LE(sample_binomial(gen, 50, 0.3), 50u);
+    }
+}
+
+double binom_pmf(std::uint64_t n, std::uint64_t k, double p) {
+    const double lp = std::lgamma(double(n) + 1) - std::lgamma(double(k) + 1) -
+                      std::lgamma(double(n - k) + 1) + double(k) * std::log(p) +
+                      double(n - k) * std::log1p(-p);
+    return std::exp(lp);
+}
+
+void check_binomial_chi_square(std::uint64_t n, double p, int draws, std::uint64_t seed) {
+    Mt19937_64 gen(seed);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < draws; ++i) ++counts[sample_binomial(gen, n, p)];
+    // Pool cells with expected count < 5 into tails.
+    double chi2 = 0;
+    double pooled_expect = 0;
+    int pooled_count = 0;
+    int cells = 0;
+    for (std::uint64_t k = 0; k <= n; ++k) {
+        const double e = binom_pmf(n, k, p) * draws;
+        const int c = counts.count(k) ? counts.at(k) : 0;
+        if (e < 5) {
+            pooled_expect += e;
+            pooled_count += c;
+            if (pooled_expect >= 5) {
+                chi2 += (pooled_count - pooled_expect) * (pooled_count - pooled_expect) /
+                        pooled_expect;
+                ++cells;
+                pooled_expect = 0;
+                pooled_count = 0;
+            }
+        } else {
+            chi2 += (c - e) * (c - e) / e;
+            ++cells;
+        }
+    }
+    if (pooled_expect > 0.5) {
+        chi2 += (pooled_count - pooled_expect) * (pooled_count - pooled_expect) / pooled_expect;
+        ++cells;
+    }
+    // Very loose bound: 99.99% quantile of chi2 with `cells` dof is below
+    // cells + 4*sqrt(2*cells) + 30 for our cell counts.
+    EXPECT_LT(chi2, cells + 4 * std::sqrt(2.0 * cells) + 30)
+        << "n=" << n << " p=" << p << " cells=" << cells;
+}
+
+TEST(Binomial, ChiSquareSmallNp) { check_binomial_chi_square(1000, 0.002, 50000, 11); }
+TEST(Binomial, ChiSquareModerate) { check_binomial_chi_square(60, 0.4, 50000, 12); }
+TEST(Binomial, ChiSquareLargeN) { check_binomial_chi_square(100000, 0.001, 30000, 13); }
+TEST(Binomial, ChiSquareHighP) { check_binomial_chi_square(500, 0.995, 50000, 14); }
+
+TEST(Binomial, MeanAndVarianceLargeRegime) {
+    // Exercises the mode-inversion path (np large).
+    Mt19937_64 gen(15);
+    constexpr std::uint64_t n = 1 << 20;
+    constexpr double p = 0.999; // like l ~ Binom(m/2, 1-P_L)
+    constexpr int draws = 2000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < draws; ++i) {
+        const double x = static_cast<double>(sample_binomial(gen, n, p));
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / draws;
+    const double var = sum2 / draws - mean * mean;
+    const double expect_mean = n * p;
+    const double expect_var = n * p * (1 - p);
+    EXPECT_NEAR(mean, expect_mean, 5 * std::sqrt(expect_var / draws));
+    EXPECT_GT(var, expect_var * 0.8);
+    EXPECT_LT(var, expect_var * 1.25);
+}
+
+// ---------------------------------------------------------------- shuffle
+
+TEST(Shuffle, FisherYatesIsPermutation) {
+    Mt19937_64 gen(20);
+    std::vector<int> v(1000);
+    std::iota(v.begin(), v.end(), 0);
+    fisher_yates(v, gen);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Shuffle, FisherYatesUniformOnSmallN) {
+    // All 24 permutations of 4 elements should be roughly equally likely.
+    Mt19937_64 gen(21);
+    std::map<std::vector<int>, int> counts;
+    constexpr int draws = 120000;
+    for (int i = 0; i < draws; ++i) {
+        std::vector<int> v{0, 1, 2, 3};
+        fisher_yates(v, gen);
+        ++counts[v];
+    }
+    EXPECT_EQ(counts.size(), 24u);
+    const double expect = draws / 24.0;
+    double chi2 = 0;
+    for (auto& [perm, c] : counts) chi2 += (c - expect) * (c - expect) / expect;
+    EXPECT_LT(chi2, 52.0); // 23 dof, 99.9% quantile ~ 49.7 (small slack)
+}
+
+void expect_is_permutation(const std::vector<std::uint32_t>& p, std::uint64_t n) {
+    ASSERT_EQ(p.size(), n);
+    std::vector<bool> seen(n, false);
+    for (auto x : p) {
+        ASSERT_LT(x, n);
+        ASSERT_FALSE(seen[x]);
+        seen[x] = true;
+    }
+}
+
+TEST(Shuffle, SamplePermutationValidSmallAndLarge) {
+    for (std::uint64_t n : {0ULL, 1ULL, 2ULL, 100ULL, 5000ULL, 100000ULL}) {
+        std::vector<std::uint32_t> p;
+        sample_permutation(p, n, 99);
+        expect_is_permutation(p, n);
+    }
+}
+
+TEST(Shuffle, SamplePermutationDeterministicAcrossThreadCounts) {
+    // The core determinism property: the permutation depends only on
+    // (seed, n), never on the pool size.
+    constexpr std::uint64_t n = 50000;
+    std::vector<std::uint32_t> ref;
+    sample_permutation(ref, n, 1234);
+    for (unsigned threads : {1u, 2u, 3u, 4u, 7u}) {
+        ThreadPool pool(threads);
+        std::vector<std::uint32_t> p;
+        sample_permutation(p, n, 1234, pool);
+        EXPECT_EQ(p, ref) << "threads=" << threads;
+    }
+}
+
+TEST(Shuffle, SamplePermutationDiffersAcrossSeeds) {
+    std::vector<std::uint32_t> a, b;
+    sample_permutation(a, 10000, 1);
+    sample_permutation(b, 10000, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(Shuffle, SamplePermutationPositionUniformity) {
+    // Item 0 should land in every quartile of the output equally often.
+    constexpr std::uint64_t n = 4096; // above the sequential cutoff
+    constexpr int draws = 2000;
+    std::vector<int> quartile(4, 0);
+    for (int s = 0; s < draws; ++s) {
+        std::vector<std::uint32_t> p;
+        sample_permutation(p, n, 10000 + s);
+        for (std::uint64_t pos = 0; pos < n; ++pos) {
+            if (p[pos] == 0) {
+                ++quartile[pos * 4 / n];
+                break;
+            }
+        }
+    }
+    const double expect = draws / 4.0;
+    double chi2 = 0;
+    for (int c : quartile) chi2 += (c - expect) * (c - expect) / expect;
+    EXPECT_LT(chi2, 16.3); // 3 dof, 99.9% quantile
+}
+
+TEST(Shuffle, SamplePermutationPairwiseOrderUniformity) {
+    // For a uniform permutation P(item a before item b) == 1/2.
+    constexpr std::uint64_t n = 8192;
+    constexpr int draws = 600;
+    int before = 0;
+    for (int s = 0; s < draws; ++s) {
+        std::vector<std::uint32_t> p;
+        sample_permutation(p, n, 777 + s);
+        for (auto x : p) {
+            if (x == 17) {
+                ++before;
+                break;
+            }
+            if (x == 4711) break;
+        }
+    }
+    // Binomial(600, 1/2): mean 300, sd ~ 12.2; allow 5 sigma.
+    EXPECT_NEAR(before, draws / 2.0, 5 * std::sqrt(draws * 0.25));
+}
+
+} // namespace
+} // namespace gesmc
