@@ -1,0 +1,67 @@
+/// \file bench_pipeline_policies.cpp
+/// \brief Replicate-parallel vs intra-chain scheduling of a batch run.
+///
+/// The pipeline's acceptance bar: scheduling R replicates across the shared
+/// pool (policy = replicates) must beat running the same R replicates one
+/// after another (the sequential baseline: intra-chain with a single-thread
+/// pool) once the machine has >= 4 threads.  This bench prints both, plus
+/// the intra-chain policy at full width, for each chain kind — the
+/// Bhuiyan-style tradeoff the policy knob exists for.
+#include "bench_util/harness.hpp"
+#include "gen/corpus.hpp"
+#include "pipeline/pipeline.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+#include <iostream>
+
+using namespace gesmc;
+
+namespace {
+
+double time_run(const PipelineConfig& base, SchedulePolicy policy, unsigned threads) {
+    PipelineConfig config = base;
+    config.policy = policy;
+    config.threads = threads;
+    Timer timer;
+    const RunReport report = run_pipeline(config, nullptr);
+    if (!all_succeeded(report)) {
+        std::cerr << "bench run failed\n";
+        std::exit(1);
+    }
+    return timer.elapsed_s();
+}
+
+} // namespace
+
+int main() {
+    print_bench_header("pipeline scheduling policies",
+                       "batch sampling; replicate- vs intra-chain parallelism");
+    const unsigned threads = bench_max_threads();
+
+    PipelineConfig base;
+    base.input_kind = InputKind::kGenerator;
+    base.generator = "powerlaw";
+    base.gen_n = 20000;
+    base.gen_gamma = 2.2;
+    base.supersteps = 10;
+    base.replicates = 8;
+    base.seed = 1;
+    base.metrics = false; // time the sampling, not the analysis
+
+    TextTable table({"algorithm", "R", "P", "sequential", "replicates", "intra-chain",
+                     "speedup(repl)", "speedup(intra)"});
+    for (const char* algo : {"seq-es", "par-es", "seq-global-es", "par-global-es"}) {
+        base.algorithm = algo;
+        const double sequential = time_run(base, SchedulePolicy::kIntraChain, 1);
+        const double repl = time_run(base, SchedulePolicy::kReplicates, threads);
+        const double intra = time_run(base, SchedulePolicy::kIntraChain, threads);
+        table.add_row({algo, std::to_string(base.replicates), std::to_string(threads),
+                       fmt_seconds(sequential), fmt_seconds(repl), fmt_seconds(intra),
+                       fmt_double(sequential / repl, 2) + "x",
+                       fmt_double(sequential / intra, 2) + "x"});
+    }
+    table.print(std::cout);
+    table.print_csv(std::cout, "pipeline_policies");
+    return 0;
+}

@@ -28,6 +28,34 @@ std::string to_string(ChainAlgorithm algo) {
     return "unknown";
 }
 
+const std::vector<std::pair<std::string, ChainAlgorithm>>& chain_algorithm_names() {
+    static const std::vector<std::pair<std::string, ChainAlgorithm>> names = {
+        {"seq-es", ChainAlgorithm::kSeqES},
+        {"seq-global-es", ChainAlgorithm::kSeqGlobalES},
+        {"par-es", ChainAlgorithm::kParES},
+        {"par-global-es", ChainAlgorithm::kParGlobalES},
+        {"naive-par-es", ChainAlgorithm::kNaiveParES},
+        {"adj-list-es", ChainAlgorithm::kAdjListES},
+    };
+    return names;
+}
+
+std::string chain_algorithm_name(ChainAlgorithm algo) {
+    for (const auto& [name, a] : chain_algorithm_names()) {
+        if (a == algo) return name;
+    }
+    return "unknown";
+}
+
+ChainAlgorithm chain_algorithm_from_string(const std::string& name) {
+    std::string valid;
+    for (const auto& [n, algo] : chain_algorithm_names()) {
+        if (n == name) return algo;
+        valid += valid.empty() ? n : " | " + n;
+    }
+    throw Error("unknown chain algorithm: \"" + name + "\" (expected " + valid + ")");
+}
+
 std::unique_ptr<Chain> make_chain(ChainAlgorithm algo, const EdgeList& initial,
                                   const ChainConfig& config) {
     switch (algo) {

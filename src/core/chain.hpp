@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gesmc {
@@ -25,6 +26,14 @@ struct ChainConfig {
 
     /// Threads for parallel chains (ignored by sequential ones).
     unsigned threads = 1;
+
+    /// Optional externally owned pool shared across chains.  When set, the
+    /// chain runs its parallel sections on this pool instead of spawning a
+    /// private one and `threads` is ignored.  The pool must outlive the
+    /// chain, and because ThreadPool::run is a single fork-join job, at most
+    /// one chain may be running on a shared pool at any moment (the pipeline
+    /// scheduler's intra-chain policy guarantees this).
+    ThreadPool* shared_pool = nullptr;
 
     /// G-ES-MC per-switch rejection probability P_L (Definition 3 requires
     /// 0 < P_L < 1 for aperiodicity; small values keep a global switch at
@@ -90,6 +99,17 @@ enum class ChainAlgorithm {
 };
 
 [[nodiscard]] std::string to_string(ChainAlgorithm algo);
+
+/// CLI/config-facing names ("seq-es", "par-global-es", ...), one per
+/// algorithm, in a stable order. Shared by every tool and the pipeline.
+[[nodiscard]] const std::vector<std::pair<std::string, ChainAlgorithm>>&
+chain_algorithm_names();
+
+/// The CLI/config-facing name of `algo` ("par-global-es", ...).
+[[nodiscard]] std::string chain_algorithm_name(ChainAlgorithm algo);
+
+/// Parses a CLI/config-facing name; throws Error listing the valid names.
+[[nodiscard]] ChainAlgorithm chain_algorithm_from_string(const std::string& name);
 
 /// Creates a chain of the given kind started at `initial`.
 std::unique_ptr<Chain> make_chain(ChainAlgorithm algo, const EdgeList& initial,

@@ -11,7 +11,7 @@ NaiveParES::NaiveParES(const EdgeList& initial, const ChainConfig& config)
       num_nodes_(initial.num_nodes()),
       set_(initial.num_edges()),
       seed_(config.seed),
-      pool_(config.threads) {
+      pool_(make_pool_ref(config.shared_pool, config.threads)) {
     GESMC_CHECK(initial.num_edges() >= 2, "need at least two edges to switch");
     GESMC_CHECK(initial.is_simple(), "initial graph must be simple");
     for (std::uint64_t i = 0; i < initial.num_edges(); ++i) {
@@ -43,7 +43,7 @@ void NaiveParES::run_supersteps(std::uint64_t count) {
         // The switch stream is deterministic; its partition onto threads is
         // not part of the chain's definition (the algorithm is inexact
         // anyway), so a static split suffices.
-        pool_.for_chunks(base, base + per_superstep,
+        pool_->for_chunks(base, base + per_superstep,
                          [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
                              SwitchStream stream(seed_, m);
                              std::uint64_t acc = 0, rl = 0, re = 0;

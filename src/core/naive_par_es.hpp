@@ -21,6 +21,7 @@
 #include "core/chain.hpp"
 #include "core/switch_stream.hpp"
 #include "hashing/concurrent_edge_set.hpp"
+#include "parallel/pool_ref.hpp"
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
@@ -50,7 +51,7 @@ private:
     node_t num_nodes_;
     ConcurrentEdgeSet set_;
     std::uint64_t seed_;
-    ThreadPool pool_;
+    PoolRef pool_; ///< owned, or borrowed from ChainConfig::shared_pool
     std::uint64_t next_switch_ = 0;
     ChainStats stats_;
 

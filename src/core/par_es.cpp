@@ -50,8 +50,8 @@ ParES::ParES(const EdgeList& initial, const ChainConfig& config)
     : edges_(initial),
       set_(initial.num_edges()),
       stream_(config.seed, initial.num_edges()),
-      pool_(config.threads),
-      index_map_(initial.num_edges(), pool_.num_threads()),
+      pool_(make_pool_ref(config.shared_pool, config.threads)),
+      index_map_(initial.num_edges(), pool_->num_threads()),
       runner_(initial.num_edges(), config.prefetch) {
     GESMC_CHECK(initial.num_edges() >= 2, "need at least two edges to switch");
     GESMC_CHECK(initial.is_simple(), "initial graph must be simple");
@@ -76,7 +76,7 @@ void ParES::run_supersteps(std::uint64_t count) {
 }
 
 std::uint64_t ParES::find_window_end(std::uint64_t s, std::uint64_t cap) {
-    index_map_.reset(pool_);
+    index_map_.reset(*pool_);
     std::atomic<std::uint64_t> bound{cap};
     // Expected window length is Theta(sqrt(m)) (paper §3); scan in chunks of
     // that order, doubling, so we rarely overshoot by more than 2x.
@@ -86,7 +86,7 @@ std::uint64_t ParES::find_window_end(std::uint64_t s, std::uint64_t cap) {
     while (scanned < bound.load(std::memory_order_relaxed)) {
         const std::uint64_t begin = scanned;
         const std::uint64_t end = std::min(begin + chunk, cap);
-        pool_.for_chunks(begin, end, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
+        pool_->for_chunks(begin, end, [&](unsigned tid, std::uint64_t lo, std::uint64_t hi) {
             for (std::uint64_t k = lo; k < hi; ++k) {
                 // Skip work beyond the current bound (it will be discarded),
                 // but stay conservative: the bound may still shrink.
@@ -122,11 +122,11 @@ void ParES::run_switch_range(std::uint64_t end) {
         const std::uint64_t t = find_window_end(s, end);
 
         window_.resize(t - s);
-        pool_.for_chunks(s, t, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+        pool_->for_chunks(s, t, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
             for (std::uint64_t k = lo; k < hi; ++k) window_[k - s] = stream_.get(k);
         });
 
-        const SuperstepResult result = runner_.run(pool_, edges_.keys(), set_, window_);
+        const SuperstepResult result = runner_.run(*pool_, edges_.keys(), set_, window_);
         stats_.attempted += t - s;
         stats_.accepted += result.accepted;
         stats_.rejected_loop += result.rejected_loop;

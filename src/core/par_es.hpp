@@ -19,6 +19,7 @@
 #include "core/parallel_superstep.hpp"
 #include "core/switch_stream.hpp"
 #include "hashing/concurrent_edge_set.hpp"
+#include "parallel/pool_ref.hpp"
 #include "parallel/thread_pool.hpp"
 
 #include <atomic>
@@ -75,7 +76,7 @@ private:
     mutable EdgeList edges_; // keys mutated in place; num_nodes constant
     ConcurrentEdgeSet set_;
     SwitchStream stream_;
-    ThreadPool pool_;
+    PoolRef pool_; ///< owned, or borrowed from ChainConfig::shared_pool
     MinIndexMap index_map_;
     SuperstepRunner runner_;
     std::vector<Switch> window_;

@@ -11,7 +11,7 @@ ParGlobalES::ParGlobalES(const EdgeList& initial, const ChainConfig& config)
       seed_(config.seed),
       pl_(config.pl),
       small_graph_cutoff_(config.small_graph_cutoff),
-      pool_(config.threads),
+      pool_(make_pool_ref(config.shared_pool, config.threads)),
       runner_(initial.num_edges() / 2, config.prefetch) {
     GESMC_CHECK(initial.num_edges() >= 2, "need at least two edges to switch");
     GESMC_CHECK(initial.is_simple(), "initial graph must be simple");
@@ -24,7 +24,7 @@ void ParGlobalES::run_supersteps(std::uint64_t count) {
     for (std::uint64_t step = 0; step < count; ++step) {
         const std::uint64_t l =
             sample_global_switch(switch_scratch_, perm_scratch_, edges_.num_edges(), seed_,
-                                 next_global_++, pl_, pool_);
+                                 next_global_++, pl_, *pool_);
         stats_.attempted += l;
         if (edges_.num_edges() < small_graph_cutoff_) {
             // §7 base case: skip the superstep machinery; the outcome is
@@ -33,7 +33,7 @@ void ParGlobalES::run_supersteps(std::uint64_t count) {
             last_rounds_ = 0;
         } else {
             const SuperstepResult result =
-                runner_.run(pool_, edges_.keys(), set_, switch_scratch_);
+                runner_.run(*pool_, edges_.keys(), set_, switch_scratch_);
             last_rounds_ = result.rounds;
             stats_.accepted += result.accepted;
             stats_.rejected_loop += result.rejected_loop;

@@ -13,6 +13,7 @@
 #include "core/chain.hpp"
 #include "core/parallel_superstep.hpp"
 #include "hashing/concurrent_edge_set.hpp"
+#include "parallel/pool_ref.hpp"
 #include "parallel/thread_pool.hpp"
 
 #include <vector>
@@ -43,7 +44,7 @@ private:
     std::uint64_t seed_;
     double pl_;
     std::uint64_t small_graph_cutoff_;
-    ThreadPool pool_;
+    PoolRef pool_; ///< owned, or borrowed from ChainConfig::shared_pool
     SuperstepRunner runner_;
     std::vector<Switch> switch_scratch_;
     std::vector<std::uint32_t> perm_scratch_;

@@ -38,7 +38,7 @@ SeqGlobalES::SeqGlobalES(const EdgeList& initial, const ChainConfig& config)
       set_(initial.num_edges()),
       seed_(config.seed),
       pl_(config.pl),
-      pool_(std::make_unique<ThreadPool>(1)) {
+      pool_(make_pool_ref(config.shared_pool, 1)) {
     GESMC_CHECK(initial.num_edges() >= 2, "need at least two edges to switch");
     GESMC_CHECK(initial.is_simple(), "initial graph must be simple");
     set_.reserve(initial.num_edges());

@@ -12,8 +12,8 @@
 #include "core/chain.hpp"
 #include "core/edge_switch.hpp"
 #include "hashing/robin_set.hpp"
+#include "parallel/pool_ref.hpp"
 
-#include <memory>
 #include <vector>
 
 namespace gesmc {
@@ -46,7 +46,7 @@ private:
     std::uint64_t next_global_ = 0; ///< index of the next global switch
     std::vector<Switch> switch_scratch_;
     std::vector<std::uint32_t> perm_scratch_;
-    std::unique_ptr<ThreadPool> pool_; ///< single-thread pool for the shared sampler
+    PoolRef pool_; ///< single-thread pool for the shared sampler (or borrowed)
     ChainStats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "gen/configuration_model.hpp"
 
+#include "hashing/robin_set.hpp"
+#include "rng/bounded.hpp"
 #include "rng/mt19937_64.hpp"
 #include "rng/shuffle.hpp"
 #include "util/bits.hpp"
@@ -37,6 +39,58 @@ EdgeList configuration_model_erased(const DegreeSequence& seq, std::uint64_t see
     }
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return EdgeList::from_keys(static_cast<node_t>(seq.num_nodes()), std::move(keys));
+}
+
+EdgeList configuration_model_repaired(const DegreeSequence& seq, std::uint64_t seed,
+                                      int max_tries) {
+    const auto pairs = configuration_model_pairing(seq, seed);
+    RobinSet set(pairs.size());
+    std::vector<edge_key_t> keys;
+    keys.reserve(pairs.size());
+    std::vector<node_t> residual; // stubs freed by dropped loops/multi-edges
+    for (const Edge e : pairs) {
+        if (!e.is_loop() && set.insert(edge_key(e))) {
+            keys.push_back(edge_key(e));
+        } else {
+            residual.push_back(e.u);
+            residual.push_back(e.v);
+        }
+    }
+    Mt19937_64 gen(mix64(seed, 0x5e1fBA5Eull));
+    fisher_yates(residual, gen);
+    for (std::size_t s = 0; s + 1 < residual.size(); s += 2) {
+        const node_t u = residual[s];
+        const node_t v = residual[s + 1];
+        // Direct placement when {u,v} is a fresh non-loop edge.
+        if (u != v && !set.contains(edge_key(u, v))) {
+            set.insert(edge_key(u, v));
+            keys.push_back(edge_key(u, v));
+            continue;
+        }
+        // Degree-preserving split: remove existing {x,y}, add {u,x}, {v,y}.
+        bool placed = false;
+        for (int attempt = 0; !keys.empty() && attempt < max_tries; ++attempt) {
+            const std::uint64_t pick = uniform_below(gen, keys.size());
+            const Edge xy = edge_from_key(keys[pick]);
+            // Randomize the orientation so u may bind to either endpoint.
+            const bool flip = uniform_bit(gen);
+            const node_t x = flip ? xy.v : xy.u;
+            const node_t y = flip ? xy.u : xy.v;
+            if (u == x || v == y) continue;
+            const edge_key_t ux = edge_key(u, x);
+            const edge_key_t vy = edge_key(v, y);
+            if (ux == vy || set.contains(ux) || set.contains(vy)) continue;
+            set.erase(keys[pick]);
+            set.insert(ux);
+            set.insert(vy);
+            keys[pick] = ux;
+            keys.push_back(vy);
+            placed = true;
+            break;
+        }
+        GESMC_CHECK(placed, "configuration model repair stalled; sequence too dense");
+    }
     return EdgeList::from_keys(static_cast<node_t>(seq.num_nodes()), std::move(keys));
 }
 

@@ -30,4 +30,15 @@ EdgeList configuration_model_erased(const DegreeSequence& seq, std::uint64_t see
 EdgeList configuration_model_rejection(const DegreeSequence& seq, std::uint64_t seed,
                                        int max_attempts = 10000);
 
+/// Configuration model with repair: pairs stubs uniformly, then places the
+/// stubs left over from loops/multi-edges via degree-preserving edge splits
+/// (remove {x,y}, add {u,x} and {v,y}) until the graph is simple and
+/// realizes `seq` *exactly*.  The result is not exactly uniform — it is an
+/// initial state for the switching chains, which is all the pipeline needs —
+/// but unlike the erased variant it never loses degrees.  Throws if a stub
+/// pair cannot be placed after max_tries random splits (pathological only
+/// for near-complete sequences).
+EdgeList configuration_model_repaired(const DegreeSequence& seq, std::uint64_t seed,
+                                      int max_tries = 1000);
+
 } // namespace gesmc

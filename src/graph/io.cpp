@@ -3,11 +3,45 @@
 #include "util/check.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 namespace gesmc {
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'G', 'E', 'S', 'B'};
+constexpr std::uint8_t kBinaryVersion = 1;
+
+void write_varint(std::ostream& os, std::uint64_t v) {
+    char buf[10];
+    int len = 0;
+    while (v >= 0x80) {
+        buf[len++] = static_cast<char>((v & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    buf[len++] = static_cast<char>(v);
+    os.write(buf, len);
+}
+
+std::uint64_t read_varint(std::istream& is) {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        const int byte = is.get();
+        GESMC_CHECK(byte != std::char_traits<char>::eof(), "binary edge list truncated");
+        // The 10th byte (shift 63) has room for one data bit only; higher
+        // bits would be shifted out silently.
+        GESMC_CHECK(shift < 63 || (byte & 0x7E) == 0,
+                    "binary edge list: varint overflows 64 bits");
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) return v;
+    }
+    throw Error("binary edge list: varint longer than 64 bits");
+}
+
+} // namespace
 
 void write_edge_list(std::ostream& os, const EdgeList& graph) {
     os << "# nodes " << graph.num_nodes() << " edges " << graph.num_edges() << '\n';
@@ -15,6 +49,7 @@ void write_edge_list(std::ostream& os, const EdgeList& graph) {
         const Edge e = graph.edge(i);
         os << e.u << ' ' << e.v << '\n';
     }
+    GESMC_CHECK(os.good(), "edge list write failed");
 }
 
 void write_edge_list_file(const std::string& path, const EdgeList& graph) {
@@ -57,6 +92,121 @@ EdgeList read_edge_list_file(const std::string& path) {
     std::ifstream is(path);
     GESMC_CHECK(is.good(), "cannot open for reading: " + path);
     return read_edge_list(is);
+}
+
+// ------------------------------------------------------------------ binary
+
+void write_edge_list_binary(std::ostream& os, const EdgeList& graph) {
+    os.write(kBinaryMagic, sizeof(kBinaryMagic));
+    os.put(static_cast<char>(kBinaryVersion));
+    write_varint(os, graph.num_nodes());
+    write_varint(os, graph.num_edges());
+    const std::vector<edge_key_t> sorted = graph.sorted_keys();
+    edge_key_t prev = 0;
+    for (const edge_key_t key : sorted) {
+        write_varint(os, key - prev);
+        prev = key;
+    }
+    GESMC_CHECK(os.good(), "binary edge list write failed");
+}
+
+void write_edge_list_binary_file(const std::string& path, const EdgeList& graph) {
+    std::ofstream os(path, std::ios::binary);
+    GESMC_CHECK(os.good(), "cannot open for writing: " + path);
+    write_edge_list_binary(os, graph);
+}
+
+EdgeList read_edge_list_binary(std::istream& is) {
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    GESMC_CHECK(is.gcount() == sizeof(magic) &&
+                    std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0,
+                "not a GESB binary edge list");
+    const int version = is.get();
+    GESMC_CHECK(version == kBinaryVersion,
+                "unsupported GESB version: " + std::to_string(version));
+    const std::uint64_t n = read_varint(is);
+    GESMC_CHECK(n <= static_cast<std::uint64_t>(kMaxNode) + 1, "node count exceeds 2^28");
+    const std::uint64_t m = read_varint(is);
+    std::vector<edge_key_t> keys;
+    // Don't trust the header's edge count for the allocation: a corrupt m
+    // must fail as "truncated" below, not as a multi-exabyte reserve here.
+    keys.reserve(std::min<std::uint64_t>(m, 1u << 20));
+    edge_key_t prev = 0;
+    for (std::uint64_t i = 0; i < m; ++i) {
+        const std::uint64_t delta = read_varint(is);
+        // Deltas of the sorted key sequence are strictly positive (key 0 is
+        // the loop {0,0}, never a simple edge; a zero delta later would be a
+        // duplicate).  Guard the sum against wrap-around too: wrapped keys
+        // would break the strictly-increasing order that from_keys's
+        // per-key validation cannot check.
+        GESMC_CHECK(delta != 0, "binary edge list: duplicate or zero key");
+        GESMC_CHECK(delta <= ~prev, "binary edge list: key overflows 64 bits");
+        prev += delta;
+        keys.push_back(prev);
+    }
+    // from_keys validates canonical form and node range.
+    return EdgeList::from_keys(static_cast<node_t>(n), std::move(keys));
+}
+
+EdgeList read_edge_list_binary_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    GESMC_CHECK(is.good(), "cannot open for reading: " + path);
+    return read_edge_list_binary(is);
+}
+
+bool is_binary_edge_list(std::istream& is) {
+    char magic[4] = {};
+    const std::streampos pos = is.tellg();
+    is.read(magic, sizeof(magic));
+    const bool matched = is.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+                         std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0;
+    is.clear();
+    is.seekg(pos);
+    return matched;
+}
+
+EdgeList read_any_edge_list_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    GESMC_CHECK(is.good(), "cannot open for reading: " + path);
+    if (is_binary_edge_list(is)) return read_edge_list_binary(is);
+    return read_edge_list(is);
+}
+
+// --------------------------------------------------------- degree sequence
+
+void write_degree_sequence(std::ostream& os, const DegreeSequence& seq) {
+    os << "# nodes " << seq.num_nodes() << '\n';
+    for (const std::uint32_t d : seq.degrees()) os << d << '\n';
+    GESMC_CHECK(os.good(), "degree sequence write failed");
+}
+
+void write_degree_sequence_file(const std::string& path, const DegreeSequence& seq) {
+    std::ofstream os(path);
+    GESMC_CHECK(os.good(), "cannot open for writing: " + path);
+    write_degree_sequence(os, seq);
+}
+
+DegreeSequence read_degree_sequence(std::istream& is) {
+    std::vector<std::uint32_t> degrees;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+        std::istringstream fields(line);
+        std::uint64_t d = 0;
+        while (fields >> d) {
+            GESMC_CHECK(d <= kMaxNode, "degree exceeds max node count");
+            degrees.push_back(static_cast<std::uint32_t>(d));
+        }
+        GESMC_CHECK(fields.eof(), "malformed degree line: " + line);
+    }
+    return DegreeSequence(std::move(degrees));
+}
+
+DegreeSequence read_degree_sequence_file(const std::string& path) {
+    std::ifstream is(path);
+    GESMC_CHECK(is.good(), "cannot open for reading: " + path);
+    return read_degree_sequence(is);
 }
 
 } // namespace gesmc

@@ -1,12 +1,30 @@
 /// \file io.hpp
-/// \brief Plain-text edge-list IO for examples and interoperability.
+/// \brief Graph and degree-sequence IO: text edge lists, a compact binary
+/// edge-list format, and degree-sequence files.
 ///
-/// Format: optional '%'/'#' comment lines, then one "u v" pair per line
+/// Text format: optional '%'/'#' comment lines, then one "u v" pair per line
 /// (0-based node ids). Loops and duplicate edges are rejected on read, and
 /// directed duplicates collapse to one undirected edge — the same cleaning
 /// the paper applies to the NetRep graphs (§6).
+///
+/// Binary format ("GESB", version 1): a canonical, compact encoding for
+/// large corpora. Layout:
+///   bytes 0..3   magic "GESB"
+///   byte  4      format version (1)
+///   varint       num_nodes
+///   varint       num_edges
+///   varint * m   delta-encoded sorted edge keys (first key absolute, then
+///                key[i] - key[i-1]; strictly positive for simple graphs)
+/// Varints are LEB128 (7 data bits per byte, high bit = continuation).
+/// Sorting makes the encoding canonical — two equal graphs always produce
+/// identical bytes — and keeps deltas small: real corpora compress to a few
+/// bytes per edge instead of the text format's ~2 decimal ids + separators.
+///
+/// Degree-sequence files: whitespace-separated non-negative integers with
+/// the same '%'/'#' comment rules, in node-id order.
 #pragma once
 
+#include "graph/degree_sequence.hpp"
 #include "graph/edge_list.hpp"
 
 #include <iosfwd>
@@ -23,5 +41,28 @@ void write_edge_list_file(const std::string& path, const EdgeList& graph);
 /// the paper's NetRep preprocessing.
 EdgeList read_edge_list(std::istream& is);
 EdgeList read_edge_list_file(const std::string& path);
+
+/// Writes the compact binary format (canonical: edges sorted by key).
+void write_edge_list_binary(std::ostream& os, const EdgeList& graph);
+void write_edge_list_binary_file(const std::string& path, const EdgeList& graph);
+
+/// Reads the binary format; throws Error on bad magic/version/payload.
+EdgeList read_edge_list_binary(std::istream& is);
+EdgeList read_edge_list_binary_file(const std::string& path);
+
+/// True iff the stream/file starts with the binary magic (peeks, does not
+/// consume).
+bool is_binary_edge_list(std::istream& is);
+
+/// Reads either format, sniffing the magic bytes.
+EdgeList read_any_edge_list_file(const std::string& path);
+
+/// Writes one degree per line with a "# nodes <n>" header.
+void write_degree_sequence(std::ostream& os, const DegreeSequence& seq);
+void write_degree_sequence_file(const std::string& path, const DegreeSequence& seq);
+
+/// Reads whitespace-separated degrees ('%'/'#' comment lines allowed).
+DegreeSequence read_degree_sequence(std::istream& is);
+DegreeSequence read_degree_sequence_file(const std::string& path);
 
 } // namespace gesmc

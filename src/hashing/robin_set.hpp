@@ -53,13 +53,35 @@ public:
     }
 
     /// Inserts key; returns false if already present. key must be non-zero.
+    /// A duplicate insert never rehashes (and thus never invalidates
+    /// outstanding Prepared handles): the table only grows when the key is
+    /// actually added.
     bool insert(std::uint64_t key) {
         GESMC_CHECK(key != kEmpty, "key 0 is reserved");
-        if ((size_ + 1) * 2 > table_.size()) rehash_for(size_ * 2 + 8);
+        // Probe without mutating until the key is proven absent: the robin-
+        // hood invariant bounds the search at the first resident closer to
+        // its home than we are to ours.
         std::uint64_t idx = home(key);
         std::uint64_t dist = 0;
+        for (;;) {
+            const std::uint64_t k = table_[idx];
+            if (k == key) return false;
+            if (k == kEmpty || probe_distance(k, idx) < dist) break;
+            idx = (idx + 1) & mask_;
+            ++dist;
+        }
+        if ((size_ + 1) * 2 > table_.size()) {
+            rehash_for(size_ * 2 + 8);
+            idx = home(key);
+            dist = 0;
+            while (table_[idx] != kEmpty && probe_distance(table_[idx], idx) >= dist) {
+                idx = (idx + 1) & mask_;
+                ++dist;
+            }
+        }
+        // Rob the rich: displace residents closer to their home while
+        // carrying the evicted key forward. The key is known absent here.
         std::uint64_t carry = key;
-        bool inserted = false;
         for (;;) {
             const std::uint64_t k = table_[idx];
             if (k == kEmpty) {
@@ -67,16 +89,11 @@ public:
                 ++size_;
                 return true;
             }
-            if (!inserted && k == key) return false;
             const std::uint64_t res_dist = probe_distance(k, idx);
             if (res_dist < dist) {
-                // Rob the rich: displace the resident, keep probing for a
-                // slot for it. Once we displaced anything the original key
-                // can no longer be encountered (it would have matched before).
                 table_[idx] = carry;
                 carry = k;
                 dist = res_dist;
-                inserted = true;
             }
             idx = (idx + 1) & mask_;
             ++dist;
@@ -147,9 +164,11 @@ public:
         return (size_ + 1) * 2 > table_.size();
     }
 
-    /// Grows the table so that `expected_keys` fit at load <= 1/2.
+    /// Grows the table so that `expected_keys` fit at load <= 1/2 with one
+    /// insert of headroom (matching rehash_for): after reserve(m) and m
+    /// inserts, would_rehash_on_insert() is guaranteed false.
     void reserve(std::uint64_t expected_keys) {
-        if (expected_keys * 2 > table_.size()) rehash_for(expected_keys);
+        if (expected_keys * 2 + 1 > table_.size()) rehash_for(expected_keys);
     }
 
     void clear() noexcept {
@@ -176,7 +195,12 @@ private:
     }
 
     void rehash_for(std::uint64_t expected_keys) {
-        const std::uint64_t cap = next_pow2(std::max<std::uint64_t>(16, expected_keys * 2));
+        // +1 gives one insert of headroom at exactly `expected_keys` keys:
+        // reserve(m) must leave would_rehash_on_insert() false even when 2m
+        // is itself a power of two (e.g. m = 8), or SeqES's stable-prepare
+        // invariant breaks on small graphs.
+        const std::uint64_t cap =
+            next_pow2(std::max<std::uint64_t>(16, expected_keys * 2 + 1));
         std::vector<std::uint64_t> old = std::move(table_);
         table_.assign(cap, kEmpty);
         mask_ = cap - 1;

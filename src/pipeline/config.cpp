@@ -1,0 +1,213 @@
+#include "pipeline/config.hpp"
+
+#include "util/check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace gesmc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    auto begin = s.begin();
+    while (begin != s.end() && is_space(*begin)) ++begin;
+    auto end = s.end();
+    while (end != begin && is_space(*(end - 1))) --end;
+    return std::string(begin, end);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+    std::istringstream is(value);
+    std::uint64_t v = 0;
+    // istream >> uint64_t silently wraps negative input; reject it up front.
+    GESMC_CHECK(value.find('-') == std::string::npos &&
+                    static_cast<bool>(is >> v) && is.eof(),
+                "config key \"" + key + "\": expected a non-negative integer, got \"" +
+                    value + "\"");
+    return v;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+    std::istringstream is(value);
+    double v = 0;
+    GESMC_CHECK(static_cast<bool>(is >> v) && is.eof(),
+                "config key \"" + key + "\": expected a number, got \"" + value + "\"");
+    return v;
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+    if (value == "true" || value == "1" || value == "yes" || value == "on") return true;
+    if (value == "false" || value == "0" || value == "no" || value == "off") return false;
+    throw Error("config key \"" + key + "\": expected true/false, got \"" + value + "\"");
+}
+
+} // namespace
+
+std::string to_string(InputKind kind) {
+    switch (kind) {
+    case InputKind::kEdgeList:
+        return "edges";
+    case InputKind::kDegreeSequence:
+        return "degrees";
+    case InputKind::kGenerator:
+        return "generator";
+    }
+    return "unknown";
+}
+
+std::string to_string(InitMethod method) {
+    switch (method) {
+    case InitMethod::kHavelHakimi:
+        return "havel-hakimi";
+    case InitMethod::kConfigurationModel:
+        return "configuration-model";
+    }
+    return "unknown";
+}
+
+std::string to_string(SchedulePolicy policy) {
+    switch (policy) {
+    case SchedulePolicy::kAuto:
+        return "auto";
+    case SchedulePolicy::kReplicates:
+        return "replicates";
+    case SchedulePolicy::kIntraChain:
+        return "intra-chain";
+    }
+    return "unknown";
+}
+
+std::string to_string(OutputFormat format) {
+    switch (format) {
+    case OutputFormat::kText:
+        return "text";
+    case OutputFormat::kBinary:
+        return "binary";
+    }
+    return "unknown";
+}
+
+void apply_config_entry(PipelineConfig& config, const std::string& raw_key,
+                        const std::string& raw_value) {
+    const std::string key = trim(raw_key);
+    const std::string value = trim(raw_value);
+    if (key == "input") {
+        config.input_path = value;
+    } else if (key == "input-kind") {
+        if (value == "edges") config.input_kind = InputKind::kEdgeList;
+        else if (value == "degrees") config.input_kind = InputKind::kDegreeSequence;
+        else if (value == "generator") config.input_kind = InputKind::kGenerator;
+        else throw Error("config key \"input-kind\": expected edges|degrees|generator, got \"" +
+                         value + "\"");
+    } else if (key == "init") {
+        if (value == "havel-hakimi") config.init = InitMethod::kHavelHakimi;
+        else if (value == "configuration-model")
+            config.init = InitMethod::kConfigurationModel;
+        else throw Error(
+            "config key \"init\": expected havel-hakimi|configuration-model, got \"" +
+            value + "\"");
+    } else if (key == "generator") {
+        config.generator = value;
+    } else if (key == "gen-n") {
+        config.gen_n = parse_u64(key, value);
+    } else if (key == "gen-m") {
+        config.gen_m = parse_u64(key, value);
+    } else if (key == "gen-gamma") {
+        config.gen_gamma = parse_double(key, value);
+    } else if (key == "gen-rows") {
+        config.gen_rows = parse_u64(key, value);
+    } else if (key == "gen-cols") {
+        config.gen_cols = parse_u64(key, value);
+    } else if (key == "gen-degree") {
+        const std::uint64_t v = parse_u64(key, value);
+        GESMC_CHECK(v <= 0xFFFFFFFFull, "config key \"gen-degree\": value too large");
+        config.gen_degree = static_cast<std::uint32_t>(v);
+    } else if (key == "algorithm") {
+        config.algorithm = value;
+    } else if (key == "supersteps") {
+        config.supersteps = parse_u64(key, value);
+    } else if (key == "pl") {
+        config.pl = parse_double(key, value);
+    } else if (key == "prefetch") {
+        config.prefetch = parse_bool(key, value);
+    } else if (key == "small-cutoff") {
+        config.small_graph_cutoff = parse_u64(key, value);
+    } else if (key == "replicates") {
+        config.replicates = parse_u64(key, value);
+    } else if (key == "seed") {
+        config.seed = parse_u64(key, value);
+    } else if (key == "threads") {
+        const std::uint64_t v = parse_u64(key, value);
+        GESMC_CHECK(v <= 0xFFFFFFFFull, "config key \"threads\": value too large");
+        config.threads = static_cast<unsigned>(v);
+    } else if (key == "policy") {
+        if (value == "auto") config.policy = SchedulePolicy::kAuto;
+        else if (value == "replicates") config.policy = SchedulePolicy::kReplicates;
+        else if (value == "intra-chain") config.policy = SchedulePolicy::kIntraChain;
+        else throw Error("config key \"policy\": expected auto|replicates|intra-chain, got \"" +
+                         value + "\"");
+    } else if (key == "output-dir") {
+        config.output_dir = value;
+    } else if (key == "output-prefix") {
+        config.output_prefix = value;
+    } else if (key == "output-format") {
+        if (value == "text") config.output_format = OutputFormat::kText;
+        else if (value == "binary") config.output_format = OutputFormat::kBinary;
+        else throw Error("config key \"output-format\": expected text|binary, got \"" +
+                         value + "\"");
+    } else if (key == "report") {
+        config.report_path = value;
+    } else if (key == "metrics") {
+        config.metrics = parse_bool(key, value);
+    } else if (key == "verify") {
+        config.verify = parse_bool(key, value);
+    } else {
+        throw Error("unknown config key: \"" + key + "\"");
+    }
+}
+
+PipelineConfig read_pipeline_config(std::istream& is) {
+    PipelineConfig config;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#' || stripped[0] == '%') continue;
+        const std::size_t eq = stripped.find('=');
+        GESMC_CHECK(eq != std::string::npos,
+                    "config line " + std::to_string(line_no) + ": expected \"key = value\", got \"" +
+                        stripped + "\"");
+        apply_config_entry(config, stripped.substr(0, eq), stripped.substr(eq + 1));
+    }
+    return config;
+}
+
+PipelineConfig read_pipeline_config_file(const std::string& path) {
+    std::ifstream is(path);
+    GESMC_CHECK(is.good(), "cannot open config: " + path);
+    return read_pipeline_config(is);
+}
+
+void validate(const PipelineConfig& config) {
+    GESMC_CHECK(config.replicates > 0, "replicates must be >= 1");
+    GESMC_CHECK(config.supersteps > 0, "supersteps must be >= 1");
+    GESMC_CHECK(config.pl > 0 && config.pl < 1, "pl must be in (0, 1)");
+    if (config.input_kind == InputKind::kGenerator) {
+        GESMC_CHECK(!config.generator.empty(),
+                    "input-kind = generator requires the \"generator\" key");
+        GESMC_CHECK(config.generator == "powerlaw" || config.generator == "gnp" ||
+                        config.generator == "grid" || config.generator == "regular",
+                    "generator must be powerlaw|gnp|grid|regular, got \"" +
+                        config.generator + "\"");
+    } else {
+        GESMC_CHECK(!config.input_path.empty(),
+                    "an \"input\" path is required (or set input-kind = generator)");
+    }
+}
+
+} // namespace gesmc

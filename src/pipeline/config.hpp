@@ -1,0 +1,113 @@
+/// \file config.hpp
+/// \brief Declarative configuration for the batch sampling pipeline.
+///
+/// A pipeline run is described by a flat "key = value" config file ('#'/'%'
+/// comments, blank lines ignored).  The same key/value vocabulary is reused
+/// by the gesmc_sample CLI for overrides, so a run is always expressible as
+/// a single reproducible artifact:
+///
+///     # null-model batch: 64 randomized replicates of a protein network
+///     input        = graphs/ppi.txt
+///     algorithm    = par-global-es
+///     supersteps   = 30
+///     replicates   = 64
+///     seed         = 42
+///     threads      = 8
+///     policy       = auto
+///     output-dir   = out/ppi
+///     output-format= binary
+///     report       = out/ppi/report.json
+///
+/// Every key has a sane default; see the struct fields below.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace gesmc {
+
+/// What the `input` path (or generator) provides.
+enum class InputKind {
+    kEdgeList,        ///< text or GESB binary edge list (sniffed)
+    kDegreeSequence,  ///< degree file; realized via `init`
+    kGenerator,       ///< built-in synthetic generator (`generator` key)
+};
+
+/// How an initial simple graph is materialized from a degree sequence.
+enum class InitMethod {
+    kHavelHakimi,         ///< deterministic realization (paper §6, SynPld)
+    kConfigurationModel,  ///< random stub pairing + degree-preserving repair
+};
+
+/// How replicates share the machine (the pipeline's parallelism knob).
+enum class SchedulePolicy {
+    kAuto,        ///< replicate-parallel when R >= threads, else intra-chain
+    kReplicates,  ///< replicates run concurrently, each chain single-threaded
+    kIntraChain,  ///< replicates run one at a time on the whole shared pool
+};
+
+/// Format of the per-replicate output graphs.
+enum class OutputFormat {
+    kText,    ///< "u v" lines (io.hpp text format)
+    kBinary,  ///< compact GESB binary format
+};
+
+struct PipelineConfig {
+    // ------------------------------------------------------------- input
+    std::string input_path;                      ///< key: input
+    InputKind input_kind = InputKind::kEdgeList; ///< key: input-kind
+                                                 ///<   (edges|degrees|generator)
+    InitMethod init = InitMethod::kHavelHakimi;  ///< key: init
+                                                 ///<   (havel-hakimi|configuration-model)
+    std::string generator;                       ///< key: generator
+                                                 ///<   (powerlaw|gnp|grid|regular)
+    std::uint64_t gen_n = 10000;                 ///< key: gen-n
+    std::uint64_t gen_m = 50000;                 ///< key: gen-m (gnp)
+    double gen_gamma = 2.2;                      ///< key: gen-gamma (powerlaw)
+    std::uint64_t gen_rows = 100;                ///< key: gen-rows (grid)
+    std::uint64_t gen_cols = 100;                ///< key: gen-cols (grid)
+    std::uint32_t gen_degree = 8;                ///< key: gen-degree (regular)
+
+    // ------------------------------------------------------------- chain
+    std::string algorithm = "par-global-es"; ///< key: algorithm (chain name)
+    std::uint64_t supersteps = 20;           ///< key: supersteps
+    double pl = 1e-3;                        ///< key: pl
+    bool prefetch = true;                    ///< key: prefetch (true|false)
+    std::uint64_t small_graph_cutoff = 0;    ///< key: small-cutoff
+
+    // ------------------------------------------------------------- batch
+    std::uint64_t replicates = 8;                       ///< key: replicates
+    std::uint64_t seed = 1;                             ///< key: seed
+    unsigned threads = 0;                               ///< key: threads (0 = hw)
+    SchedulePolicy policy = SchedulePolicy::kAuto;      ///< key: policy
+                                                        ///<   (auto|replicates|intra-chain)
+
+    // ------------------------------------------------------------ output
+    std::string output_dir;                        ///< key: output-dir ("" = none)
+    std::string output_prefix = "replicate";       ///< key: output-prefix
+    OutputFormat output_format = OutputFormat::kText; ///< key: output-format
+                                                      ///<   (text|binary)
+    std::string report_path;                       ///< key: report ("" = stdout only)
+    bool metrics = true;                           ///< key: metrics (true|false)
+    bool verify = true;                            ///< key: verify (true|false)
+};
+
+[[nodiscard]] std::string to_string(InputKind kind);
+[[nodiscard]] std::string to_string(InitMethod method);
+[[nodiscard]] std::string to_string(SchedulePolicy policy);
+[[nodiscard]] std::string to_string(OutputFormat format);
+
+/// Applies one "key = value" entry; throws Error on unknown key/bad value.
+void apply_config_entry(PipelineConfig& config, const std::string& key,
+                        const std::string& value);
+
+/// Parses a config stream/file on top of the defaults.
+PipelineConfig read_pipeline_config(std::istream& is);
+PipelineConfig read_pipeline_config_file(const std::string& path);
+
+/// Validates cross-field constraints (input present, counts positive, ...).
+/// Throws Error with an actionable message.
+void validate(const PipelineConfig& config);
+
+} // namespace gesmc

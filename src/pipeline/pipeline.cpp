@@ -1,0 +1,208 @@
+#include "pipeline/pipeline.hpp"
+
+#include "core/chain.hpp"
+#include "gen/configuration_model.hpp"
+#include "gen/corpus.hpp"
+#include "gen/gnp.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/degree_sequence.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "pipeline/scheduler.hpp"
+#include "pipeline/seeds.hpp"
+#include "util/check.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+namespace gesmc {
+
+namespace {
+
+EdgeList realize_degree_sequence(const DegreeSequence& seq, const PipelineConfig& config) {
+    GESMC_CHECK(seq.degree_sum() % 2 == 0, "degree sum must be even");
+    GESMC_CHECK(seq.is_graphical(), "degree sequence is not graphical");
+    switch (config.init) {
+    case InitMethod::kHavelHakimi:
+        return havel_hakimi(seq);
+    case InitMethod::kConfigurationModel:
+        return configuration_model_repaired(seq, config.seed);
+    }
+    GESMC_CHECK(false, "unknown init method");
+    return {};
+}
+
+EdgeList generate_input(const PipelineConfig& config) {
+    const auto n = static_cast<node_t>(config.gen_n);
+    if (config.generator == "powerlaw") {
+        return generate_powerlaw_graph(n, config.gen_gamma, config.seed);
+    }
+    if (config.generator == "gnp") {
+        return generate_gnp(n, gnp_probability_for_edges(n, config.gen_m), config.seed);
+    }
+    if (config.generator == "grid") {
+        return generate_grid(static_cast<node_t>(config.gen_rows),
+                             static_cast<node_t>(config.gen_cols));
+    }
+    if (config.generator == "regular") {
+        return generate_regular(n, config.gen_degree);
+    }
+    throw Error("unknown generator: " + config.generator);
+}
+
+/// out/<prefix>_0007.txt — zero-padded so lexicographic = numeric order.
+std::string replicate_output_path(const PipelineConfig& config, std::uint64_t index) {
+    std::string digits = std::to_string(index);
+    const std::string width = std::to_string(config.replicates - 1);
+    while (digits.size() < width.size()) digits.insert(digits.begin(), '0');
+    const char* ext = config.output_format == OutputFormat::kBinary ? ".gesb" : ".txt";
+    return (std::filesystem::path(config.output_dir) /
+            (config.output_prefix + "_" + digits + ext))
+        .string();
+}
+
+} // namespace
+
+EdgeList materialize_input(const PipelineConfig& config) {
+    validate(config);
+    switch (config.input_kind) {
+    case InputKind::kEdgeList:
+        return read_any_edge_list_file(config.input_path);
+    case InputKind::kDegreeSequence:
+        return realize_degree_sequence(read_degree_sequence_file(config.input_path), config);
+    case InputKind::kGenerator:
+        return generate_input(config);
+    }
+    GESMC_CHECK(false, "unknown input kind");
+    return {};
+}
+
+bool all_succeeded(const RunReport& report) {
+    for (const ReplicateReport& r : report.replicates) {
+        if (!r.error.empty()) return false;
+    }
+    return true;
+}
+
+RunReport run_pipeline(const PipelineConfig& config, std::ostream* log) {
+    // materialize_input below runs validate(config); no separate call here.
+    const ChainAlgorithm algo = chain_algorithm_from_string(config.algorithm);
+
+    RunReport report;
+    report.config = config;
+
+    Timer total_timer;
+    const EdgeList initial = materialize_input(config);
+    GESMC_CHECK(initial.num_edges() >= 2,
+                "input graph needs at least two edges to run a switching chain");
+    const DegreeSequence degrees = degree_sequence_of(initial);
+    report.input_nodes = initial.num_nodes();
+    report.input_edges = initial.num_edges();
+    report.input_max_degree = degrees.max_degree();
+    report.input_p2 = degrees.p2();
+    report.init_seconds = total_timer.elapsed_s();
+
+    ThreadPool pool(config.threads);
+    report.threads = pool.num_threads();
+    report.resolved_policy =
+        resolve_policy(config.policy, config.replicates, pool.num_threads());
+
+    if (log != nullptr && algo == ChainAlgorithm::kNaiveParES) {
+        *log << "pipeline: warning: naive-par-es outputs depend on the policy and "
+                "thread count (inexact chain); only exact chains are "
+                "byte-reproducible across schedules\n";
+    }
+    if (log != nullptr) {
+        *log << "pipeline: n = " << initial.num_nodes() << ", m = " << initial.num_edges()
+             << ", max degree = " << report.input_max_degree << "\n"
+             << "pipeline: " << config.replicates << " x " << config.algorithm << " x "
+             << config.supersteps << " supersteps, policy = "
+             << to_string(report.resolved_policy) << ", threads = " << pool.num_threads()
+             << "\n";
+    }
+
+    if (!config.output_dir.empty()) {
+        std::filesystem::create_directories(config.output_dir);
+    }
+
+    report.replicates.resize(config.replicates);
+    const std::vector<std::uint32_t> initial_degrees = initial.degrees();
+
+    run_replicates(pool, config.replicates, config.policy,
+                   [&](const ReplicateSlot& slot) {
+        ReplicateReport& out = report.replicates[slot.index];
+        out.index = slot.index;
+        out.seed = replicate_seed(config.seed, slot.index);
+        Timer timer;
+        try {
+            ChainConfig chain_config;
+            chain_config.seed = out.seed;
+            chain_config.threads = slot.chain_threads;
+            chain_config.shared_pool = slot.shared_pool;
+            chain_config.pl = config.pl;
+            chain_config.prefetch = config.prefetch;
+            chain_config.small_graph_cutoff = config.small_graph_cutoff;
+
+            const auto chain = make_chain(algo, initial, chain_config);
+            chain->run_supersteps(config.supersteps);
+            out.stats = chain->stats();
+
+            const EdgeList& result = chain->graph();
+            if (config.verify) {
+                GESMC_CHECK(result.is_simple(), "replicate produced a non-simple graph");
+                GESMC_CHECK(result.degrees() == initial_degrees,
+                            "replicate changed the degree sequence");
+            }
+            if (!config.output_dir.empty()) {
+                out.output_path = replicate_output_path(config, slot.index);
+                if (config.output_format == OutputFormat::kBinary) {
+                    write_edge_list_binary_file(out.output_path, result);
+                } else {
+                    write_edge_list_file(out.output_path, result);
+                }
+            }
+            if (config.metrics) {
+                const Adjacency adj(result);
+                out.triangles = triangle_count(adj);
+                out.global_clustering = global_clustering(adj);
+                out.assortativity = degree_assortativity(result);
+                out.components = connected_components(adj);
+                out.has_metrics = true;
+            }
+        } catch (const std::exception& e) {
+            // Exceptions must not cross the pool boundary (scheduler.hpp);
+            // record and let the remaining replicates run.
+            out.error = e.what();
+        }
+        out.seconds = timer.elapsed_s();
+    });
+
+    report.chain_name = to_string(algo);
+    report.total_seconds = total_timer.elapsed_s();
+
+    if (!config.report_path.empty()) {
+        const std::filesystem::path parent =
+            std::filesystem::path(config.report_path).parent_path();
+        if (!parent.empty()) std::filesystem::create_directories(parent);
+        write_json_report_file(config.report_path, report);
+    }
+
+    if (log != nullptr) {
+        std::uint64_t failed = 0;
+        for (const ReplicateReport& r : report.replicates) {
+            if (!r.error.empty()) ++failed;
+        }
+        *log << "pipeline: done in " << fmt_seconds(report.total_seconds) << " ("
+             << fmt_si(report.switches_per_second()) << " switches/s";
+        if (failed > 0) *log << ", " << failed << " replicate(s) FAILED";
+        *log << ")\n";
+    }
+    return report;
+}
+
+} // namespace gesmc

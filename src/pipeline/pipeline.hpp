@@ -1,0 +1,52 @@
+/// \file pipeline.hpp
+/// \brief The batch sampling pipeline: config in, R replicate graphs +
+/// JSON report out.
+///
+/// This is the subsystem that turns the G-ES-MC chains into a service-shaped
+/// sampler (ROADMAP north star).  One run:
+///
+///   1. ingests an input — an edge list (text or GESB binary), a degree
+///      sequence, or a built-in generator spec;
+///   2. materializes one initial simple graph (degree sequences via
+///      Havel–Hakimi or the repaired configuration model);
+///   3. runs R independent replicates of the configured chain, each seeded
+///      by replicate_seed(master, index), scheduled over one shared
+///      ThreadPool under the configured policy (replicate-parallel vs
+///      intra-chain parallel, see scheduler.hpp);
+///   4. writes one output graph per replicate plus a JSON run report with
+///      timings, ChainStats and structural metrics.
+///
+/// Replicate results are a pure function of (config, seed): the chains use
+/// counter-based randomness, so neither the thread count nor the schedule
+/// policy changes any output byte — asserted by tests/test_pipeline.cpp.
+/// Exception: naive-par-es (thread partition is part of the process, paper
+/// §5.1) is only reproducible for a fixed policy and thread count.
+///
+/// Failure model: a replicate that throws (IO error, invariant violation)
+/// records its message in ReplicateReport::error; the remaining replicates
+/// still run.  Callers check RunReport::all_succeeded (the CLI exits
+/// non-zero, tests assert it).
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/report.hpp"
+
+#include <iosfwd>
+
+namespace gesmc {
+
+/// Materializes the initial graph a run starts from (step 1 + 2).  Exposed
+/// separately so tools and tests can inspect the input without running
+/// chains.
+[[nodiscard]] EdgeList materialize_input(const PipelineConfig& config);
+
+/// True iff every replicate finished without error.
+[[nodiscard]] bool all_succeeded(const RunReport& report);
+
+/// Runs the full pipeline; `log` (may be null) receives human-readable
+/// progress lines.  Writes output graphs and the report file as configured,
+/// and always returns the in-memory report.
+RunReport run_pipeline(const PipelineConfig& config, std::ostream* log = nullptr);
+
+} // namespace gesmc

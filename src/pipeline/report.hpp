@@ -1,0 +1,99 @@
+/// \file report.hpp
+/// \brief Machine-readable JSON run reports for batch sampling runs.
+///
+/// Every pipeline run can emit one JSON document describing the input, the
+/// effective configuration, and per-replicate results (timings, ChainStats
+/// counters, structural metrics).  Downstream null-model analyses consume
+/// the report instead of re-deriving statistics from the output graphs.
+/// The writer is a minimal hand-rolled emitter (no external dependency) —
+/// the schema is flat enough that correctness is easy to eyeball, and the
+/// tests parse the output back with string checks.
+#pragma once
+
+#include "core/chain.hpp"
+#include "pipeline/config.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gesmc {
+
+/// Minimal streaming JSON emitter: tracks nesting and comma placement,
+/// escapes strings, prints doubles round-trippably.
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Emits the key of the next member (object context only).
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(bool v);
+
+    template <typename T>
+    JsonWriter& kv(const std::string& name, const T& v) {
+        key(name);
+        return value(v);
+    }
+
+private:
+    void comma_and_indent();
+    void write_escaped(const std::string& s);
+
+    std::ostream& os_;
+    std::vector<bool> first_in_scope_;
+    bool pending_key_ = false;
+};
+
+/// Outcome of one replicate.
+struct ReplicateReport {
+    std::uint64_t index = 0;
+    std::uint64_t seed = 0;
+    double seconds = 0;        ///< chain construction + supersteps + output
+    ChainStats stats;
+    std::string output_path;   ///< empty when graphs are not written
+    std::string error;         ///< empty on success
+
+    bool has_metrics = false;  ///< structural metrics were computed
+    std::uint64_t triangles = 0;
+    double global_clustering = 0;
+    double assortativity = 0;
+    std::uint64_t components = 0;
+};
+
+/// Everything the JSON report records about a run.
+struct RunReport {
+    PipelineConfig config;      ///< effective configuration
+    std::string chain_name;     ///< e.g. "ParGlobalES"
+    SchedulePolicy resolved_policy = SchedulePolicy::kAuto;
+    unsigned threads = 1;       ///< shared pool width
+
+    std::uint64_t input_nodes = 0;
+    std::uint64_t input_edges = 0;
+    std::uint32_t input_max_degree = 0;
+    double input_p2 = 0;        ///< paper Theorem 3 round-bound statistic
+
+    double init_seconds = 0;    ///< input load + initial graph materialization
+    double total_seconds = 0;   ///< whole run wall clock
+    std::vector<ReplicateReport> replicates;
+
+    /// Attempted switches per second summed over replicates (throughput).
+    [[nodiscard]] double switches_per_second() const noexcept;
+};
+
+/// Serializes the report as a self-contained JSON document.
+void write_json_report(std::ostream& os, const RunReport& report);
+void write_json_report_file(const std::string& path, const RunReport& report);
+
+} // namespace gesmc

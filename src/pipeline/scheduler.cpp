@@ -1,0 +1,44 @@
+#include "pipeline/scheduler.hpp"
+
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace gesmc {
+
+SchedulePolicy resolve_policy(SchedulePolicy policy, std::uint64_t replicates,
+                              unsigned pool_threads) noexcept {
+    if (policy != SchedulePolicy::kAuto) return policy;
+    return replicates >= pool_threads ? SchedulePolicy::kReplicates
+                                      : SchedulePolicy::kIntraChain;
+}
+
+void run_replicates(ThreadPool& pool, std::uint64_t replicates, SchedulePolicy policy,
+                    const std::function<void(const ReplicateSlot&)>& fn) {
+    GESMC_CHECK(fn != nullptr, "null replicate body");
+    const SchedulePolicy resolved = resolve_policy(policy, replicates, pool.num_threads());
+    switch (resolved) {
+    case SchedulePolicy::kReplicates:
+        // Dynamic grain-1 queue: replicate runtimes vary (rejections, IO),
+        // so static chunking would leave threads idle at the tail.
+        pool.for_chunks_dynamic(0, replicates, 1,
+                                [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                                    for (std::uint64_t r = lo; r < hi; ++r) {
+                                        fn(ReplicateSlot{r, 1, nullptr});
+                                    }
+                                });
+        return;
+    case SchedulePolicy::kIntraChain:
+        // One replicate at a time; the chain saturates the pool itself.
+        // Running on the calling thread keeps ThreadPool::run un-nested
+        // (a pool job must never submit to its own pool).
+        for (std::uint64_t r = 0; r < replicates; ++r) {
+            fn(ReplicateSlot{r, pool.num_threads(), &pool});
+        }
+        return;
+    case SchedulePolicy::kAuto:
+        break; // unreachable: resolve_policy never returns kAuto
+    }
+    GESMC_CHECK(false, "unresolved schedule policy");
+}
+
+} // namespace gesmc

@@ -1,0 +1,55 @@
+/// \file scheduler.hpp
+/// \brief Replicate scheduling over a shared ThreadPool.
+///
+/// The pipeline's central scheduling decision (cf. Bhuiyan et al.: replicate-
+/// and intra-chain parallelism must be traded off together) is *where* the
+/// machine's P threads go:
+///
+///   * kReplicates — the R replicates are the parallel work items.  Each
+///     chain runs single-threaded; the shared pool's threads pull replicates
+///     from a dynamic queue.  Best when R >= P (throughput regime: many
+///     short chains, zero synchronization inside a superstep).
+///   * kIntraChain — replicates run strictly one after another, and each
+///     chain *borrows the shared pool* (ChainConfig::shared_pool) for its
+///     parallel supersteps.  Best when R < P or the graph is huge (latency
+///     regime: few long chains that each saturate the machine).
+///   * kAuto — picks kReplicates iff R >= the pool's thread count.
+///
+/// Replicate outputs are identical under every policy for the *exact*
+/// chains (SeqES, ParES, SeqGlobalES, ParGlobalES, AdjListES): they draw
+/// all randomness from counter-based streams keyed by their (derived) seed,
+/// so results depend neither on the thread count nor on execution order.
+/// The one exception is NaiveParES, whose partition onto threads is part of
+/// the process (paper §5.1) — its outputs change with the chain's thread
+/// count, and hence with the policy.  run_pipeline logs a warning for it.
+#pragma once
+
+#include "pipeline/config.hpp"
+
+#include <cstdint>
+#include <functional>
+
+namespace gesmc {
+
+class ThreadPool;
+
+/// Execution context handed to each replicate body.
+struct ReplicateSlot {
+    std::uint64_t index;      ///< replicate index in [0, R)
+    unsigned chain_threads;   ///< threads the chain may use
+    ThreadPool* shared_pool;  ///< pool to borrow (null: chain owns its pool)
+};
+
+/// Resolves kAuto against the actual replicate count and pool width.
+[[nodiscard]] SchedulePolicy resolve_policy(SchedulePolicy policy, std::uint64_t replicates,
+                                            unsigned pool_threads) noexcept;
+
+/// Runs `fn` once per replicate index under the resolved policy.  Under
+/// kReplicates, `fn` is invoked concurrently from pool threads and must be
+/// thread-safe across distinct indices; under kIntraChain it runs on the
+/// calling thread.  `fn` must not throw — exceptions cannot cross the pool
+/// boundary; catch and record failures per replicate instead.
+void run_replicates(ThreadPool& pool, std::uint64_t replicates, SchedulePolicy policy,
+                    const std::function<void(const ReplicateSlot&)>& fn);
+
+} // namespace gesmc

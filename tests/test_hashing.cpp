@@ -126,6 +126,28 @@ TEST(RobinSet, PreparedContainsMatchesPlain) {
     }
 }
 
+TEST(RobinSet, DuplicateInsertNeverRehashes) {
+    // Fill the set right up to the growth threshold, then re-insert present
+    // keys: the table must not grow (a rehash would invalidate outstanding
+    // Prepared prefetch handles even though nothing was added).
+    RobinSet set;
+    std::uint64_t key = 0;
+    while (!set.would_rehash_on_insert()) set.insert(++key);
+    const std::uint64_t buckets = set.bucket_count();
+    const std::uint64_t size = set.size();
+    for (std::uint64_t k = 1; k <= key; ++k) {
+        const auto prepared = set.prepare(k);
+        EXPECT_FALSE(set.insert(k));
+        // The handle prepared before the duplicate insert must stay valid.
+        EXPECT_TRUE(set.contains_prepared(prepared));
+    }
+    EXPECT_EQ(set.bucket_count(), buckets);
+    EXPECT_EQ(set.size(), size);
+    // The next *novel* insert is what grows the table.
+    EXPECT_TRUE(set.insert(key + 1));
+    EXPECT_GT(set.bucket_count(), buckets);
+}
+
 TEST(RobinSet, ClearEmptiesTheSet) {
     RobinSet set;
     for (std::uint64_t i = 1; i <= 100; ++i) set.insert(i);

@@ -1,0 +1,427 @@
+// Tests for the batch sampling pipeline: extended graph IO (binary format,
+// degree-sequence files), config parsing, seed derivation, the replicate
+// scheduler, and end-to-end determinism of pipeline runs across schedule
+// policies and thread counts.
+#include "core/chain.hpp"
+#include "gen/configuration_model.hpp"
+#include "gen/corpus.hpp"
+#include "graph/degree_sequence.hpp"
+#include "graph/io.hpp"
+#include "parallel/thread_pool.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/scheduler.hpp"
+#include "pipeline/seeds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace gesmc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/// Fresh per-test scratch directory under the gtest temp dir.
+fs::path scratch_dir(const std::string& name) {
+    const fs::path dir = fs::path(testing::TempDir()) / ("gesmc_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+// ------------------------------------------------------------- binary IO
+
+TEST(BinaryIo, RoundTripsATypicalGraph) {
+    const EdgeList g = generate_powerlaw_graph(500, 2.2, 3);
+    std::stringstream ss;
+    write_edge_list_binary(ss, g);
+    const EdgeList back = read_edge_list_binary(ss);
+    EXPECT_EQ(back.num_nodes(), g.num_nodes());
+    EXPECT_TRUE(back.same_graph(g));
+}
+
+TEST(BinaryIo, RoundTripsTheEmptyGraph) {
+    const EdgeList empty;
+    std::stringstream ss;
+    write_edge_list_binary(ss, empty);
+    const EdgeList back = read_edge_list_binary(ss);
+    EXPECT_EQ(back.num_nodes(), 0u);
+    EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST(BinaryIo, RoundTripsMaxNodeIdEdges) {
+    const EdgeList g = EdgeList::from_pairs(
+        kMaxNode + 1, {Edge{0, kMaxNode}, Edge{kMaxNode - 1, kMaxNode}});
+    std::stringstream ss;
+    write_edge_list_binary(ss, g);
+    const EdgeList back = read_edge_list_binary(ss);
+    EXPECT_EQ(back.num_nodes(), kMaxNode + 1);
+    EXPECT_TRUE(back.same_graph(g));
+}
+
+TEST(BinaryIo, EncodingIsCanonical) {
+    // Two edge lists describing the same graph in different order must
+    // produce identical bytes (sorted delta encoding).
+    const EdgeList a = EdgeList::from_pairs(4, {Edge{0, 1}, Edge{1, 2}, Edge{2, 3}});
+    const EdgeList b = EdgeList::from_pairs(4, {Edge{2, 3}, Edge{0, 1}, Edge{1, 2}});
+    std::stringstream sa, sb;
+    write_edge_list_binary(sa, a);
+    write_edge_list_binary(sb, b);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(BinaryIo, IsCompactForSortedKeys) {
+    // Delta-varint coding: a sparse graph should cost only a few bytes per
+    // edge, far below the 8-byte raw keys.
+    const EdgeList g = generate_grid(40, 40);
+    std::stringstream ss;
+    write_edge_list_binary(ss, g);
+    EXPECT_LT(ss.str().size(), g.num_edges() * 6);
+}
+
+TEST(BinaryIo, RejectsBadMagicAndTruncation) {
+    std::stringstream bad("not a binary edge list");
+    EXPECT_THROW(read_edge_list_binary(bad), Error);
+
+    const EdgeList g = generate_grid(4, 4);
+    std::stringstream ss;
+    write_edge_list_binary(ss, g);
+    const std::string full = ss.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(read_edge_list_binary(truncated), Error);
+}
+
+TEST(BinaryIo, FileSniffingPicksTheRightReader) {
+    const fs::path dir = scratch_dir("sniff");
+    const EdgeList g = generate_grid(6, 7);
+    const std::string text_path = (dir / "g.txt").string();
+    const std::string bin_path = (dir / "g.gesb").string();
+    write_edge_list_file(text_path, g);
+    write_edge_list_binary_file(bin_path, g);
+    EXPECT_TRUE(read_any_edge_list_file(text_path).same_graph(g));
+    EXPECT_TRUE(read_any_edge_list_file(bin_path).same_graph(g));
+}
+
+TEST(TextIo, RoundTripsThroughAFile) {
+    const fs::path dir = scratch_dir("text_roundtrip");
+    const EdgeList g = generate_powerlaw_graph(300, 2.5, 9);
+    const std::string path = (dir / "g.txt").string();
+    write_edge_list_file(path, g);
+    const EdgeList back = read_edge_list_file(path);
+    EXPECT_EQ(back.num_nodes(), g.num_nodes());
+    EXPECT_TRUE(back.same_graph(g));
+}
+
+TEST(TextIo, RoundTripsTheEmptyGraph) {
+    std::stringstream ss;
+    write_edge_list(ss, EdgeList{});
+    const EdgeList back = read_edge_list(ss);
+    EXPECT_EQ(back.num_nodes(), 0u);
+    EXPECT_EQ(back.num_edges(), 0u);
+}
+
+// ------------------------------------------------------- degree sequences
+
+TEST(DegreeSequenceIo, RoundTrips) {
+    const DegreeSequence seq({3, 3, 2, 2, 2, 1, 1});
+    std::stringstream ss;
+    write_degree_sequence(ss, seq);
+    const DegreeSequence back = read_degree_sequence(ss);
+    EXPECT_EQ(back.degrees(), seq.degrees());
+}
+
+TEST(DegreeSequenceIo, AcceptsCommentsAndMultiplePerLine) {
+    std::stringstream ss("# a comment\n3 3 2\n% another\n2 2\n1 1\n");
+    const DegreeSequence seq = read_degree_sequence(ss);
+    EXPECT_EQ(seq.degrees(), (std::vector<std::uint32_t>{3, 3, 2, 2, 2, 1, 1}));
+}
+
+TEST(DegreeSequenceIo, RejectsMalformedLines) {
+    std::stringstream ss("3 two 1\n");
+    EXPECT_THROW(read_degree_sequence(ss), Error);
+}
+
+// -------------------------------------------------- configuration repair
+
+TEST(ConfigurationModelRepaired, RealizesTheExactDegreeSequence) {
+    // Skewed sequence: the raw pairing virtually always needs repair.
+    const DegreeSequence seq = degree_sequence_of(generate_powerlaw_graph(400, 2.0, 5));
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const EdgeList g = configuration_model_repaired(seq, seed);
+        EXPECT_TRUE(g.is_simple());
+        EXPECT_EQ(g.degrees(), seq.degrees());
+    }
+}
+
+// ----------------------------------------------------------------- config
+
+TEST(PipelineConfig, ParsesAFullFile) {
+    std::stringstream ss(R"(# comment
+input       = graphs/a.txt
+input-kind  = edges
+algorithm   = seq-global-es
+supersteps  = 7
+replicates  = 3
+seed        = 99
+threads     = 2
+policy      = intra-chain
+output-dir  = out
+output-format = binary
+report      = out/r.json
+metrics     = false
+)");
+    const PipelineConfig c = read_pipeline_config(ss);
+    EXPECT_EQ(c.input_path, "graphs/a.txt");
+    EXPECT_EQ(c.algorithm, "seq-global-es");
+    EXPECT_EQ(c.supersteps, 7u);
+    EXPECT_EQ(c.replicates, 3u);
+    EXPECT_EQ(c.seed, 99u);
+    EXPECT_EQ(c.threads, 2u);
+    EXPECT_EQ(c.policy, SchedulePolicy::kIntraChain);
+    EXPECT_EQ(c.output_dir, "out");
+    EXPECT_EQ(c.output_format, OutputFormat::kBinary);
+    EXPECT_EQ(c.report_path, "out/r.json");
+    EXPECT_FALSE(c.metrics);
+}
+
+TEST(PipelineConfig, RejectsUnknownKeysAndBadValues) {
+    PipelineConfig c;
+    EXPECT_THROW(apply_config_entry(c, "no-such-key", "1"), Error);
+    EXPECT_THROW(apply_config_entry(c, "replicates", "many"), Error);
+    EXPECT_THROW(apply_config_entry(c, "policy", "sideways"), Error);
+    EXPECT_THROW(apply_config_entry(c, "prefetch", "maybe"), Error);
+}
+
+TEST(PipelineConfig, ValidateCatchesContradictions) {
+    PipelineConfig c; // no input at all
+    EXPECT_THROW(validate(c), Error);
+    c.input_kind = InputKind::kGenerator;
+    EXPECT_THROW(validate(c), Error); // generator kind without generator name
+    c.generator = "powerlaw";
+    EXPECT_NO_THROW(validate(c));
+    c.replicates = 0;
+    EXPECT_THROW(validate(c), Error);
+}
+
+// ------------------------------------------------------------------ seeds
+
+TEST(ReplicateSeeds, DeterministicAndDistinct) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t r = 0; r < 1000; ++r) {
+        const std::uint64_t s = replicate_seed(42, r);
+        EXPECT_EQ(s, replicate_seed(42, r));
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 1000u);                      // no collisions
+    EXPECT_NE(replicate_seed(42, 0), replicate_seed(43, 0)); // master matters
+}
+
+// -------------------------------------------------------------- scheduler
+
+TEST(Scheduler, ResolvesAutoByReplicateCount) {
+    EXPECT_EQ(resolve_policy(SchedulePolicy::kAuto, 8, 4), SchedulePolicy::kReplicates);
+    EXPECT_EQ(resolve_policy(SchedulePolicy::kAuto, 2, 4), SchedulePolicy::kIntraChain);
+    EXPECT_EQ(resolve_policy(SchedulePolicy::kReplicates, 2, 4),
+              SchedulePolicy::kReplicates);
+    EXPECT_EQ(resolve_policy(SchedulePolicy::kIntraChain, 100, 4),
+              SchedulePolicy::kIntraChain);
+}
+
+TEST(Scheduler, RunsEveryReplicateExactlyOnceUnderBothPolicies) {
+    for (const SchedulePolicy policy :
+         {SchedulePolicy::kReplicates, SchedulePolicy::kIntraChain}) {
+        ThreadPool pool(4);
+        constexpr std::uint64_t kReplicates = 37;
+        std::vector<std::atomic<int>> hits(kReplicates);
+        run_replicates(pool, kReplicates, policy, [&](const ReplicateSlot& slot) {
+            hits[slot.index].fetch_add(1);
+            if (policy == SchedulePolicy::kIntraChain) {
+                EXPECT_EQ(slot.shared_pool, &pool);
+                EXPECT_EQ(slot.chain_threads, pool.num_threads());
+            } else {
+                EXPECT_EQ(slot.shared_pool, nullptr);
+                EXPECT_EQ(slot.chain_threads, 1u);
+            }
+        });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+}
+
+// ----------------------------------------------------------- shared pools
+
+TEST(SharedPool, ChainsProduceIdenticalGraphsOnBorrowedPools) {
+    const EdgeList initial = generate_powerlaw_graph(600, 2.2, 11);
+    for (const ChainAlgorithm algo :
+         {ChainAlgorithm::kSeqGlobalES, ChainAlgorithm::kParGlobalES,
+          ChainAlgorithm::kParES}) {
+        ChainConfig own;
+        own.seed = 5;
+        own.threads = 2;
+        auto owned = make_chain(algo, initial, own);
+        owned->run_supersteps(3);
+
+        ThreadPool pool(2);
+        ChainConfig borrowed = own;
+        borrowed.shared_pool = &pool;
+        auto borrowing = make_chain(algo, initial, borrowed);
+        borrowing->run_supersteps(3);
+
+        EXPECT_TRUE(owned->graph().same_graph(borrowing->graph()))
+            << to_string(algo);
+    }
+}
+
+// ---------------------------------------------------------- chain factory
+
+TEST(ChainFactory, NamesRoundTrip) {
+    for (const auto& [name, algo] : chain_algorithm_names()) {
+        EXPECT_EQ(chain_algorithm_from_string(name), algo);
+        EXPECT_EQ(chain_algorithm_name(algo), name);
+    }
+    EXPECT_THROW(chain_algorithm_from_string("quantum-es"), Error);
+}
+
+// ------------------------------------------------------------ end to end
+
+PipelineConfig small_run_config(const std::string& algo, const fs::path& out_dir) {
+    PipelineConfig c;
+    c.input_kind = InputKind::kGenerator;
+    c.generator = "powerlaw";
+    c.gen_n = 400;
+    c.gen_gamma = 2.2;
+    c.algorithm = algo;
+    c.supersteps = 3;
+    c.replicates = 8;
+    c.seed = 1234;
+    c.metrics = false;
+    c.output_dir = out_dir.string();
+    return c;
+}
+
+TEST(Pipeline, SameConfigAndSeedGiveByteIdenticalOutputs) {
+    // The determinism contract: outputs depend only on (config, seed) — not
+    // on the schedule policy or the thread count.
+    for (const std::string algo : {"seq-es", "par-es", "seq-global-es", "par-global-es"}) {
+        const fs::path dir_a = scratch_dir("det_a_" + algo);
+        const fs::path dir_b = scratch_dir("det_b_" + algo);
+
+        PipelineConfig a = small_run_config(algo, dir_a);
+        a.policy = SchedulePolicy::kReplicates;
+        a.threads = 4;
+        PipelineConfig b = small_run_config(algo, dir_b);
+        b.policy = SchedulePolicy::kIntraChain;
+        b.threads = 2;
+
+        const RunReport ra = run_pipeline(a);
+        const RunReport rb = run_pipeline(b);
+        ASSERT_TRUE(all_succeeded(ra)) << algo;
+        ASSERT_TRUE(all_succeeded(rb)) << algo;
+        ASSERT_EQ(ra.replicates.size(), 8u);
+
+        for (std::uint64_t r = 0; r < 8; ++r) {
+            EXPECT_FALSE(ra.replicates[r].output_path.empty());
+            EXPECT_EQ(slurp(ra.replicates[r].output_path),
+                      slurp(rb.replicates[r].output_path))
+                << algo << " replicate " << r;
+        }
+        // Replicates must be distinct samples, not copies of each other.
+        EXPECT_NE(slurp(ra.replicates[0].output_path),
+                  slurp(ra.replicates[1].output_path))
+            << algo;
+    }
+}
+
+TEST(Pipeline, BinaryOutputsRoundTripAndPreserveDegrees) {
+    const fs::path dir = scratch_dir("binary_outputs");
+    PipelineConfig c = small_run_config("par-global-es", dir);
+    c.output_format = OutputFormat::kBinary;
+    c.replicates = 4;
+    const RunReport report = run_pipeline(c);
+    ASSERT_TRUE(all_succeeded(report));
+
+    const EdgeList input = materialize_input(c);
+    for (const ReplicateReport& r : report.replicates) {
+        const EdgeList g = read_any_edge_list_file(r.output_path);
+        EXPECT_TRUE(g.is_simple());
+        EXPECT_EQ(g.degrees(), input.degrees());
+        EXPECT_FALSE(g.same_graph(input)); // it actually randomized
+    }
+}
+
+TEST(Pipeline, DegreeSequenceInputsWorkWithBothInitMethods) {
+    const fs::path dir = scratch_dir("degree_input");
+    const DegreeSequence seq = degree_sequence_of(generate_powerlaw_graph(300, 2.2, 17));
+    const std::string deg_path = (dir / "degs.txt").string();
+    write_degree_sequence_file(deg_path, seq);
+
+    for (const InitMethod init :
+         {InitMethod::kHavelHakimi, InitMethod::kConfigurationModel}) {
+        PipelineConfig c;
+        c.input_path = deg_path;
+        c.input_kind = InputKind::kDegreeSequence;
+        c.init = init;
+        c.algorithm = "seq-global-es";
+        c.supersteps = 3;
+        c.replicates = 3;
+        c.seed = 5;
+        c.metrics = false;
+        const RunReport report = run_pipeline(c);
+        ASSERT_TRUE(all_succeeded(report)) << to_string(init);
+        EXPECT_EQ(report.input_edges, seq.num_edges());
+    }
+}
+
+TEST(Pipeline, ReportIsWrittenAndContainsPerReplicateStats) {
+    const fs::path dir = scratch_dir("report");
+    PipelineConfig c = small_run_config("par-global-es", dir);
+    c.replicates = 3;
+    c.metrics = true;
+    c.report_path = (dir / "report.json").string();
+    const RunReport report = run_pipeline(c);
+    ASSERT_TRUE(all_succeeded(report));
+
+    const std::string json = slurp(c.report_path);
+    EXPECT_NE(json.find("\"resolved_policy\""), std::string::npos);
+    EXPECT_NE(json.find("\"switches_per_second\""), std::string::npos);
+    EXPECT_NE(json.find("\"replicates\""), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+
+    // Every replicate ran the requested number of supersteps.
+    for (const ReplicateReport& r : report.replicates) {
+        EXPECT_EQ(r.stats.supersteps, c.supersteps);
+        EXPECT_GT(r.stats.attempted, 0u);
+        EXPECT_TRUE(r.has_metrics);
+    }
+}
+
+TEST(Pipeline, RejectsInputsTooSmallToSwitch) {
+    const fs::path dir = scratch_dir("failure");
+    const std::string path = (dir / "tiny.txt").string();
+    write_edge_list_file(path, EdgeList::from_pairs(2, {Edge{0, 1}}));
+    PipelineConfig c;
+    c.input_path = path;
+    c.replicates = 2;
+    EXPECT_THROW(run_pipeline(c), Error); // rejected up front, before replicates
+}
+
+} // namespace
+} // namespace gesmc

@@ -18,7 +18,6 @@
 
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <string>
 
@@ -45,15 +44,6 @@ Options:
   --output FILE       write the randomized edge list
   --help              this text
 )";
-
-std::map<std::string, ChainAlgorithm> algo_names() {
-    return {{"seq-es", ChainAlgorithm::kSeqES},
-            {"seq-global-es", ChainAlgorithm::kSeqGlobalES},
-            {"par-es", ChainAlgorithm::kParES},
-            {"par-global-es", ChainAlgorithm::kParGlobalES},
-            {"naive-par-es", ChainAlgorithm::kNaiveParES},
-            {"adj-list-es", ChainAlgorithm::kAdjListES}};
-}
 
 struct Options {
     std::string input;
@@ -98,13 +88,12 @@ std::optional<Options> parse(int argc, char** argv) {
             opt.output = v;
         } else if (arg == "--algo") {
             if (!(v = need_value(i))) return std::nullopt;
-            const auto names = algo_names();
-            const auto it = names.find(v);
-            if (it == names.end()) {
-                std::cerr << "unknown algorithm: " << v << "\n";
+            try {
+                opt.algo = chain_algorithm_from_string(v);
+            } catch (const Error& e) {
+                std::cerr << e.what() << "\n";
                 return std::nullopt;
             }
-            opt.algo = it->second;
         } else if (arg == "--supersteps") {
             if (!(v = need_value(i))) return std::nullopt;
             opt.supersteps = std::strtoull(v, nullptr, 10);
@@ -151,7 +140,7 @@ std::optional<Options> parse(int argc, char** argv) {
 }
 
 EdgeList build_graph(const Options& opt) {
-    if (!opt.input.empty()) return read_edge_list_file(opt.input);
+    if (!opt.input.empty()) return read_any_edge_list_file(opt.input);
     if (opt.gen == "powerlaw") {
         return generate_powerlaw_graph(static_cast<node_t>(opt.n), opt.gamma, opt.chain.seed);
     }
