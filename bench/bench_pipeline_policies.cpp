@@ -7,6 +7,22 @@
 /// pool) once the machine has >= 4 threads.  This bench prints both, plus
 /// the intra-chain policy at full width, for each chain kind — the
 /// Bhuiyan-style tradeoff the policy knob exists for.
+///
+/// Self-speedup ceiling: speedups are judged against
+/// measure_parallel_ceiling(P) — the machine's *attainable* speedup on an
+/// embarrassingly parallel kernel — not against the advertised thread
+/// count.  Container/VM boxes routinely deliver a ceiling far below P; a
+/// "1.1x at P=8" row is a scheduling bug on bare metal and business as
+/// usual on a throttled 1-core CI runner.  The bench prints each policy's
+/// ceiling fraction (speedup / ceiling) so the two cases are separable.
+///
+/// Reference numbers (Fix5): the kReference table below records the last
+/// measured run for regression eyeballing.  Re-record on a >= 8-core box
+/// by running the bench there and pasting the CSV rows back in — the
+/// in-repo record currently comes from the 1-hw-thread CI container
+/// (ceiling 1.0x, so replicate- and intra-chain land within noise of the
+/// sequential baseline; the interesting >= 8-core spread is still to be
+/// captured on real hardware).
 #include "bench_util/harness.hpp"
 #include "gen/corpus.hpp"
 #include "pipeline/pipeline.hpp"
@@ -32,12 +48,36 @@ double time_run(const PipelineConfig& base, SchedulePolicy policy, unsigned thre
     return timer.elapsed_s();
 }
 
+/// Last recorded run of this bench (see the header comment for the
+/// re-recording protocol).  Seconds, measured with the config below.
+struct ReferenceRow {
+    const char* algorithm;
+    unsigned threads;       ///< P of the recording box
+    double ceiling;         ///< measured self-speedup ceiling at that P
+    double sequential_s;
+    double replicates_s;
+    double intra_chain_s;
+};
+
+constexpr ReferenceRow kReference[] = {
+    // Recorded 2026-07: 1-hw-thread CI container, ceiling 1.0x.
+    {"seq-es", 1, 1.0, 0.438, 0.390, 0.392},
+    {"par-es", 1, 1.0, 0.867, 0.897, 1.052},
+    {"seq-global-es", 1, 1.0, 0.458, 0.453, 0.478},
+    {"par-global-es", 1, 1.0, 0.879, 0.863, 0.989},
+};
+
 } // namespace
 
 int main() {
     print_bench_header("pipeline scheduling policies",
                        "batch sampling; replicate- vs intra-chain parallelism");
     const unsigned threads = bench_max_threads();
+    const double ceiling = measure_parallel_ceiling(threads);
+    std::cout << "Self-speedup ceiling at P = " << threads << ": "
+              << fmt_double(ceiling, 2)
+              << "x (embarrassingly parallel kernel; chain speedups cannot "
+                 "exceed this)\n\n";
 
     PipelineConfig base;
     base.input_kind = InputKind::kGenerator;
@@ -50,7 +90,8 @@ int main() {
     base.metrics = false; // time the sampling, not the analysis
 
     TextTable table({"algorithm", "R", "P", "sequential", "replicates", "intra-chain",
-                     "speedup(repl)", "speedup(intra)"});
+                     "speedup(repl)", "speedup(intra)", "ceiling-frac(repl)",
+                     "ceiling-frac(intra)"});
     for (const char* algo : {"seq-es", "par-es", "seq-global-es", "par-global-es"}) {
         base.algorithm = algo;
         const double sequential = time_run(base, SchedulePolicy::kIntraChain, 1);
@@ -59,9 +100,23 @@ int main() {
         table.add_row({algo, std::to_string(base.replicates), std::to_string(threads),
                        fmt_seconds(sequential), fmt_seconds(repl), fmt_seconds(intra),
                        fmt_double(sequential / repl, 2) + "x",
-                       fmt_double(sequential / intra, 2) + "x"});
+                       fmt_double(sequential / intra, 2) + "x",
+                       fmt_double(sequential / repl / ceiling, 2),
+                       fmt_double(sequential / intra / ceiling, 2)});
     }
     table.print(std::cout);
     table.print_csv(std::cout, "pipeline_policies");
+
+    std::cout << "\nReference record (P = " << kReference[0].threads
+              << ", ceiling " << fmt_double(kReference[0].ceiling, 2)
+              << "x — see header for the re-recording protocol):\n";
+    TextTable ref({"algorithm", "sequential", "replicates", "intra-chain",
+                   "speedup(repl)"});
+    for (const ReferenceRow& row : kReference) {
+        ref.add_row({row.algorithm, fmt_seconds(row.sequential_s),
+                     fmt_seconds(row.replicates_s), fmt_seconds(row.intra_chain_s),
+                     fmt_double(row.sequential_s / row.replicates_s, 2) + "x"});
+    }
+    ref.print(std::cout);
     return 0;
 }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     for (int s = 0; s < samples; ++s) {
         ChainConfig config;
         config.seed = 1000 + static_cast<std::uint64_t>(s);
-        config.threads = 0;
+        config.threads = hardware_threads();
         auto chain = make_chain(ChainAlgorithm::kParGlobalES, observed, config);
         chain->run_supersteps(kBurnInSupersteps);
         null_triangles.push_back(static_cast<double>(triangle_count(Adjacency(chain->graph()))));

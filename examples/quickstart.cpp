@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               << " global switches:\n";
     ChainConfig config;
     config.seed = 1;
-    config.threads = 0; // 0 = hardware concurrency
+    config.threads = hardware_threads();
     auto chain = make_chain(ChainAlgorithm::kParGlobalES, initial, config);
     Timer timer;
     chain->run_supersteps(supersteps);

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
                             ChainAlgorithm::kParGlobalES, ChainAlgorithm::kNaiveParES}) {
         ChainConfig config;
         config.seed = 17;
-        config.threads = 0;
+        config.threads = hardware_threads();
         auto chain = make_chain(algo, initial, config);
 
         ThinningAutocorrelation tracker(*chain, {1, 2, 8},

@@ -20,6 +20,24 @@ AdjListES::AdjListES(const EdgeList& initial, const ChainConfig& config)
     for (auto& nb : adjacency_) std::sort(nb.begin(), nb.end());
 }
 
+AdjListES::AdjListES(const ChainState& state, const ChainConfig& config)
+    : AdjListES(EdgeList::from_keys(state.num_nodes, state.keys),
+                config_with_state(config, state)) {
+    next_switch_ = state.counter;
+    stats_ = state.stats;
+}
+
+ChainState AdjListES::snapshot() const {
+    ChainState state;
+    state.algorithm = ChainAlgorithm::kAdjListES;
+    state.seed = stream_.seed();
+    state.counter = next_switch_;
+    state.num_nodes = edges_.num_nodes();
+    state.keys = edges_.keys();
+    state.stats = stats_;
+    return state;
+}
+
 bool AdjListES::has_edge(edge_key_t key) const {
     const Edge e = edge_from_key(key);
     const auto& small =
@@ -38,8 +56,17 @@ void AdjListES::erase_adj(node_t u, node_t v) {
     nb.erase(std::lower_bound(nb.begin(), nb.end(), v));
 }
 
-void AdjListES::run_supersteps(std::uint64_t count) {
-    const std::uint64_t switches = count * (edges_.num_edges() / 2);
+void AdjListES::run_supersteps(std::uint64_t count, RunObserver* observer,
+                               std::uint64_t replicate) {
+    const std::uint64_t per_superstep = edges_.num_edges() / 2;
+    for (std::uint64_t step = 0; step < count; ++step) {
+        run_switches(per_superstep);
+        ++stats_.supersteps;
+        if (observer != nullptr) observer->on_superstep(replicate, *this);
+    }
+}
+
+void AdjListES::run_switches(std::uint64_t switches) {
     auto& keys = edges_.keys();
     for (std::uint64_t t = 0; t < switches; ++t) {
         const Switch sw = stream_.get(next_switch_++);
@@ -79,7 +106,6 @@ void AdjListES::run_supersteps(std::uint64_t count) {
         }
     }
     stats_.attempted += switches;
-    stats_.supersteps += count;
 }
 
 } // namespace gesmc

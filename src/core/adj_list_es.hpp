@@ -23,7 +23,14 @@ class AdjListES final : public Chain {
 public:
     AdjListES(const EdgeList& initial, const ChainConfig& config);
 
-    void run_supersteps(std::uint64_t count) override;
+    /// Restores a snapshotted chain (see Chain::snapshot / make_chain).
+    AdjListES(const ChainState& state, const ChainConfig& config);
+
+    using Chain::run_supersteps;
+    void run_supersteps(std::uint64_t count, RunObserver* observer,
+                        std::uint64_t replicate) override;
+
+    [[nodiscard]] ChainState snapshot() const override;
 
     [[nodiscard]] const EdgeList& graph() const override { return edges_; }
     [[nodiscard]] bool has_edge(edge_key_t key) const override;
@@ -31,6 +38,7 @@ public:
     [[nodiscard]] std::string name() const override { return "AdjListES"; }
 
 private:
+    void run_switches(std::uint64_t switches);
     void insert_adj(node_t u, node_t v);
     void erase_adj(node_t u, node_t v);
 

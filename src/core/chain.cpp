@@ -8,6 +8,8 @@
 #include "core/seq_global_es.hpp"
 #include "util/check.hpp"
 
+#include <algorithm>
+
 namespace gesmc {
 
 std::string to_string(ChainAlgorithm algo) {
@@ -56,8 +58,21 @@ ChainAlgorithm chain_algorithm_from_string(const std::string& name) {
     throw Error("unknown chain algorithm: \"" + name + "\" (expected " + valid + ")");
 }
 
+void validate(const ChainConfig& config) {
+    if (config.pl <= 0.0 || config.pl >= 1.0) {
+        throw Error("ChainConfig::pl must be in (0, 1) — Definition 3 requires "
+                    "0 < P_L < 1 for aperiodicity (got " +
+                    std::to_string(config.pl) + ")");
+    }
+    if (config.threads == 0) {
+        throw Error("ChainConfig::threads must be >= 1 (resolve hardware "
+                    "concurrency before make_chain)");
+    }
+}
+
 std::unique_ptr<Chain> make_chain(ChainAlgorithm algo, const EdgeList& initial,
                                   const ChainConfig& config) {
+    validate(config);
     switch (algo) {
     case ChainAlgorithm::kSeqES:
         return std::make_unique<SeqES>(initial, config);
@@ -74,6 +89,46 @@ std::unique_ptr<Chain> make_chain(ChainAlgorithm algo, const EdgeList& initial,
     }
     GESMC_CHECK(false, "unknown algorithm");
     return nullptr;
+}
+
+std::unique_ptr<Chain> make_chain(const ChainState& state, const ChainConfig& config) {
+    // Validate what the restored chain will actually run with: the
+    // snapshot's seed and pl override the config's (config_with_state), so
+    // a corrupt .gesc with pl = 0 must be rejected here, not mid-run.
+    validate(config_with_state(config, state));
+    switch (state.algorithm) {
+    case ChainAlgorithm::kSeqES:
+        return std::make_unique<SeqES>(state, config);
+    case ChainAlgorithm::kSeqGlobalES:
+        return std::make_unique<SeqGlobalES>(state, config);
+    case ChainAlgorithm::kParES:
+        return std::make_unique<ParES>(state, config);
+    case ChainAlgorithm::kParGlobalES:
+        return std::make_unique<ParGlobalES>(state, config);
+    case ChainAlgorithm::kNaiveParES:
+        return std::make_unique<NaiveParES>(state, config);
+    case ChainAlgorithm::kAdjListES:
+        return std::make_unique<AdjListES>(state, config);
+    }
+    GESMC_CHECK(false, "unknown algorithm in chain state");
+    return nullptr;
+}
+
+void run_checkpointed(Chain& chain, std::uint64_t target, std::uint64_t checkpoint_every,
+                      RunObserver* observer, std::uint64_t replicate,
+                      const std::function<void()>& on_checkpoint_boundary) {
+    GESMC_CHECK(on_checkpoint_boundary != nullptr, "null checkpoint boundary");
+    std::uint64_t done = chain.stats().supersteps;
+    GESMC_CHECK(done <= target, "chain is already past the target superstep count");
+    while (done < target) {
+        const std::uint64_t chunk = checkpoint_every > 0
+                                        ? std::min(checkpoint_every, target - done)
+                                        : target - done;
+        chain.run_supersteps(chunk, observer, replicate);
+        done += chunk;
+        if (done < target) on_checkpoint_boundary();
+    }
+    on_checkpoint_boundary(); // completion boundary: the finished marker
 }
 
 } // namespace gesmc

@@ -20,7 +20,30 @@ NaiveParES::NaiveParES(const EdgeList& initial, const ChainConfig& config)
     }
 }
 
+NaiveParES::NaiveParES(const ChainState& state, const ChainConfig& config)
+    : NaiveParES(EdgeList::from_keys(state.num_nodes, state.keys),
+                 config_with_state(config, state)) {
+    next_switch_ = state.counter;
+    stats_ = state.stats;
+}
+
 NaiveParES::~NaiveParES() = default;
+
+ChainState NaiveParES::snapshot() const {
+    ChainState state;
+    state.algorithm = ChainAlgorithm::kNaiveParES;
+    state.seed = seed_;
+    state.counter = next_switch_;
+    state.num_nodes = num_nodes_;
+    state.keys.resize(edges_.size());
+    // Only exact at a quiescent point (between run_supersteps calls),
+    // like every other accessor of this chain.
+    for (std::uint64_t i = 0; i < edges_.size(); ++i) {
+        state.keys[i] = edges_[i].load(std::memory_order_relaxed);
+    }
+    state.stats = stats_;
+    return state;
+}
 
 const EdgeList& NaiveParES::graph() const {
     if (!snapshot_valid_) {
@@ -34,7 +57,8 @@ const EdgeList& NaiveParES::graph() const {
     return snapshot_;
 }
 
-void NaiveParES::run_supersteps(std::uint64_t count) {
+void NaiveParES::run_supersteps(std::uint64_t count, RunObserver* observer,
+                                std::uint64_t replicate) {
     const std::uint64_t m = edges_.size();
     const std::uint64_t per_superstep = m / 2;
     for (std::uint64_t step = 0; step < count; ++step) {
@@ -61,8 +85,9 @@ void NaiveParES::run_supersteps(std::uint64_t count) {
         stats_.rejected_edge += redge.load();
         ++stats_.supersteps;
         set_.maybe_rebuild(); // quiescent point between supersteps
+        snapshot_valid_ = false;
+        if (observer != nullptr) observer->on_superstep(replicate, *this);
     }
-    snapshot_valid_ = false;
 }
 
 void NaiveParES::perform_switch(unsigned tid, const Switch& sw, std::uint64_t& accepted,

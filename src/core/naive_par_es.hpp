@@ -32,9 +32,20 @@ namespace gesmc {
 class NaiveParES final : public Chain {
 public:
     NaiveParES(const EdgeList& initial, const ChainConfig& config);
+
+    /// Restores a snapshotted chain.  Caveat (fixed-policy): the thread
+    /// partition is part of this process, so a resume reproduces the
+    /// uninterrupted run only for the same thread count, and exactly only
+    /// with one thread (concurrent interleavings are inherently racy).
+    NaiveParES(const ChainState& state, const ChainConfig& config);
+
     ~NaiveParES() override;
 
-    void run_supersteps(std::uint64_t count) override;
+    using Chain::run_supersteps;
+    void run_supersteps(std::uint64_t count, RunObserver* observer,
+                        std::uint64_t replicate) override;
+
+    [[nodiscard]] ChainState snapshot() const override;
 
     [[nodiscard]] const EdgeList& graph() const override;
     [[nodiscard]] bool has_edge(edge_key_t key) const override { return set_.contains(key); }

@@ -58,20 +58,44 @@ ParES::ParES(const EdgeList& initial, const ChainConfig& config)
     for (const edge_key_t k : edges_.keys()) set_.insert_unique(k);
 }
 
+ParES::ParES(const ChainState& state, const ChainConfig& config)
+    : ParES(EdgeList::from_keys(state.num_nodes, state.keys),
+            config_with_state(config, state)) {
+    next_switch_ = state.counter;
+    stats_ = state.stats;
+    attempted_at_construction_ = state.stats.attempted;
+}
+
 ParES::~ParES() = default;
+
+ChainState ParES::snapshot() const {
+    ChainState state;
+    state.algorithm = ChainAlgorithm::kParES;
+    state.seed = stream_.seed();
+    state.counter = next_switch_;
+    state.num_nodes = edges_.num_nodes();
+    state.keys = edges_.keys();
+    state.stats = stats_;
+    return state;
+}
 
 const EdgeList& ParES::graph() const { return edges_; }
 
 double ParES::mean_superstep_length() const {
     if (windows_executed_ == 0) return 0.0;
-    return static_cast<double>(stats_.attempted) / static_cast<double>(windows_executed_);
+    // Only the switches attempted by this object: restored stats carry the
+    // pre-snapshot attempts, but windows_executed_ starts at the restore.
+    return static_cast<double>(stats_.attempted - attempted_at_construction_) /
+           static_cast<double>(windows_executed_);
 }
 
-void ParES::run_supersteps(std::uint64_t count) {
+void ParES::run_supersteps(std::uint64_t count, RunObserver* observer,
+                           std::uint64_t replicate) {
     const std::uint64_t per_superstep = edges_.num_edges() / 2;
     for (std::uint64_t s = 0; s < count; ++s) {
         run_switch_range(next_switch_ + per_superstep);
         ++stats_.supersteps;
+        if (observer != nullptr) observer->on_superstep(replicate, *this);
     }
 }
 

@@ -52,17 +52,27 @@ private:
 class ParES final : public Chain {
 public:
     ParES(const EdgeList& initial, const ChainConfig& config);
+
+    /// Restores a snapshotted chain (see Chain::snapshot / make_chain).
+    ParES(const ChainState& state, const ChainConfig& config);
+
     ~ParES() override;
 
-    void run_supersteps(std::uint64_t count) override;
+    using Chain::run_supersteps;
+    void run_supersteps(std::uint64_t count, RunObserver* observer,
+                        std::uint64_t replicate) override;
+
+    [[nodiscard]] ChainState snapshot() const override;
 
     [[nodiscard]] const EdgeList& graph() const override;
     [[nodiscard]] bool has_edge(edge_key_t key) const override { return set_.contains(key); }
     [[nodiscard]] const ChainStats& stats() const override { return stats_; }
     [[nodiscard]] std::string name() const override { return "ParES"; }
 
-    /// Average length of the dependency-free prefixes executed so far
-    /// (the paper's Theta(sqrt(m)) expectation for ES-MC, §3).
+    /// Average length of the dependency-free prefixes executed by *this*
+    /// chain object (the paper's Theta(sqrt(m)) expectation for ES-MC,
+    /// §3).  On a restored chain the average covers the windows since the
+    /// restore — window counts are not part of ChainState.
     [[nodiscard]] double mean_superstep_length() const;
 
 private:
@@ -82,6 +92,7 @@ private:
     std::vector<Switch> window_;
     std::uint64_t next_switch_ = 0;
     std::uint64_t windows_executed_ = 0;
+    std::uint64_t attempted_at_construction_ = 0; ///< restored stats baseline
     ChainStats stats_;
 };
 

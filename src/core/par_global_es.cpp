@@ -18,9 +18,29 @@ ParGlobalES::ParGlobalES(const EdgeList& initial, const ChainConfig& config)
     for (const edge_key_t k : edges_.keys()) set_.insert_unique(k);
 }
 
+ParGlobalES::ParGlobalES(const ChainState& state, const ChainConfig& config)
+    : ParGlobalES(EdgeList::from_keys(state.num_nodes, state.keys),
+                  config_with_state(config, state)) {
+    next_global_ = state.counter;
+    stats_ = state.stats;
+}
+
 ParGlobalES::~ParGlobalES() = default;
 
-void ParGlobalES::run_supersteps(std::uint64_t count) {
+ChainState ParGlobalES::snapshot() const {
+    ChainState state;
+    state.algorithm = ChainAlgorithm::kParGlobalES;
+    state.seed = seed_;
+    state.counter = next_global_;
+    state.pl = pl_;
+    state.num_nodes = edges_.num_nodes();
+    state.keys = edges_.keys();
+    state.stats = stats_;
+    return state;
+}
+
+void ParGlobalES::run_supersteps(std::uint64_t count, RunObserver* observer,
+                                 std::uint64_t replicate) {
     for (std::uint64_t step = 0; step < count; ++step) {
         const std::uint64_t l =
             sample_global_switch(switch_scratch_, perm_scratch_, edges_.num_edges(), seed_,
@@ -45,6 +65,7 @@ void ParGlobalES::run_supersteps(std::uint64_t count) {
         }
         ++stats_.supersteps;
         set_.maybe_rebuild();
+        if (observer != nullptr) observer->on_superstep(replicate, *this);
     }
 }
 

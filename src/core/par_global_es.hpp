@@ -23,9 +23,17 @@ namespace gesmc {
 class ParGlobalES final : public Chain {
 public:
     ParGlobalES(const EdgeList& initial, const ChainConfig& config);
+
+    /// Restores a snapshotted chain (see Chain::snapshot / make_chain).
+    ParGlobalES(const ChainState& state, const ChainConfig& config);
+
     ~ParGlobalES() override;
 
-    void run_supersteps(std::uint64_t count) override;
+    using Chain::run_supersteps;
+    void run_supersteps(std::uint64_t count, RunObserver* observer,
+                        std::uint64_t replicate) override;
+
+    [[nodiscard]] ChainState snapshot() const override;
 
     [[nodiscard]] const EdgeList& graph() const override { return edges_; }
     [[nodiscard]] bool has_edge(edge_key_t key) const override { return set_.contains(key); }

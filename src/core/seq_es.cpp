@@ -18,9 +18,32 @@ SeqES::SeqES(const EdgeList& initial, const ChainConfig& config)
     GESMC_CHECK(!set_.would_rehash_on_insert(), "set must be pre-sized (stable prepares)");
 }
 
-void SeqES::run_supersteps(std::uint64_t count) {
-    run_switches(count * (edges_.num_edges() / 2));
-    stats_.supersteps += count;
+SeqES::SeqES(const ChainState& state, const ChainConfig& config)
+    : SeqES(EdgeList::from_keys(state.num_nodes, state.keys),
+            config_with_state(config, state)) {
+    next_switch_ = state.counter;
+    stats_ = state.stats;
+}
+
+ChainState SeqES::snapshot() const {
+    ChainState state;
+    state.algorithm = ChainAlgorithm::kSeqES;
+    state.seed = stream_.seed();
+    state.counter = next_switch_;
+    state.num_nodes = edges_.num_nodes();
+    state.keys = edges_.keys();
+    state.stats = stats_;
+    return state;
+}
+
+void SeqES::run_supersteps(std::uint64_t count, RunObserver* observer,
+                           std::uint64_t replicate) {
+    const std::uint64_t per_superstep = edges_.num_edges() / 2;
+    for (std::uint64_t step = 0; step < count; ++step) {
+        run_switches(per_superstep);
+        ++stats_.supersteps;
+        if (observer != nullptr) observer->on_superstep(replicate, *this);
+    }
 }
 
 void SeqES::run_switches(std::uint64_t count) {

@@ -21,7 +21,14 @@ class SeqES final : public Chain {
 public:
     SeqES(const EdgeList& initial, const ChainConfig& config);
 
-    void run_supersteps(std::uint64_t count) override;
+    /// Restores a snapshotted chain (see Chain::snapshot / make_chain).
+    SeqES(const ChainState& state, const ChainConfig& config);
+
+    using Chain::run_supersteps;
+    void run_supersteps(std::uint64_t count, RunObserver* observer,
+                        std::uint64_t replicate) override;
+
+    [[nodiscard]] ChainState snapshot() const override;
 
     [[nodiscard]] const EdgeList& graph() const override { return edges_; }
     [[nodiscard]] bool has_edge(edge_key_t key) const override { return set_.contains(key); }

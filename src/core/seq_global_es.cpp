@@ -45,9 +45,29 @@ SeqGlobalES::SeqGlobalES(const EdgeList& initial, const ChainConfig& config)
     for (const edge_key_t k : edges_.keys()) set_.insert(k);
 }
 
+SeqGlobalES::SeqGlobalES(const ChainState& state, const ChainConfig& config)
+    : SeqGlobalES(EdgeList::from_keys(state.num_nodes, state.keys),
+                  config_with_state(config, state)) {
+    next_global_ = state.counter;
+    stats_ = state.stats;
+}
+
 SeqGlobalES::~SeqGlobalES() = default;
 
-void SeqGlobalES::run_supersteps(std::uint64_t count) {
+ChainState SeqGlobalES::snapshot() const {
+    ChainState state;
+    state.algorithm = ChainAlgorithm::kSeqGlobalES;
+    state.seed = seed_;
+    state.counter = next_global_;
+    state.pl = pl_;
+    state.num_nodes = edges_.num_nodes();
+    state.keys = edges_.keys();
+    state.stats = stats_;
+    return state;
+}
+
+void SeqGlobalES::run_supersteps(std::uint64_t count, RunObserver* observer,
+                                 std::uint64_t replicate) {
     for (std::uint64_t step = 0; step < count; ++step) {
         const std::uint64_t l =
             sample_global_switch(switch_scratch_, perm_scratch_, edges_.num_edges(), seed_,
@@ -57,6 +77,7 @@ void SeqGlobalES::run_supersteps(std::uint64_t count) {
         }
         stats_.attempted += l;
         ++stats_.supersteps;
+        if (observer != nullptr) observer->on_superstep(replicate, *this);
     }
 }
 

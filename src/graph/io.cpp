@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,6 +15,12 @@ namespace {
 
 constexpr char kBinaryMagic[4] = {'G', 'E', 'S', 'B'};
 constexpr std::uint8_t kBinaryVersion = 1;
+
+// Chain-state sections share the magic; byte 4 carries this tag instead of
+// a graph format version ('S' = 0x53, far from any plausible version
+// number), byte 5 the section's own version.
+constexpr char kChainStateTag = 'S';
+constexpr std::uint8_t kChainStateVersion = 1;
 
 void write_varint(std::ostream& os, std::uint64_t v) {
     char buf[10];
@@ -26,19 +33,22 @@ void write_varint(std::ostream& os, std::uint64_t v) {
     os.write(buf, len);
 }
 
-std::uint64_t read_varint(std::istream& is) {
+/// `what` names the enclosing section in errors ("binary edge list",
+/// "chain state") so a truncated checkpoint is not reported as a broken
+/// graph file.
+std::uint64_t read_varint(std::istream& is, const char* what = "binary edge list") {
     std::uint64_t v = 0;
     for (unsigned shift = 0; shift < 64; shift += 7) {
         const int byte = is.get();
-        GESMC_CHECK(byte != std::char_traits<char>::eof(), "binary edge list truncated");
+        GESMC_CHECK(byte != std::char_traits<char>::eof(), std::string(what) + " truncated");
         // The 10th byte (shift 63) has room for one data bit only; higher
         // bits would be shifted out silently.
         GESMC_CHECK(shift < 63 || (byte & 0x7E) == 0,
-                    "binary edge list: varint overflows 64 bits");
+                    std::string(what) + ": varint overflows 64 bits");
         v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
         if ((byte & 0x80) == 0) return v;
     }
-    throw Error("binary edge list: varint longer than 64 bits");
+    throw Error(std::string(what) + ": varint longer than 64 bits");
 }
 
 } // namespace
@@ -123,6 +133,9 @@ EdgeList read_edge_list_binary(std::istream& is) {
                     std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0,
                 "not a GESB binary edge list");
     const int version = is.get();
+    GESMC_CHECK(version != kChainStateTag,
+                "this GESB file is a chain-state section, not a graph "
+                "(read it with read_chain_state)");
     GESMC_CHECK(version == kBinaryVersion,
                 "unsupported GESB version: " + std::to_string(version));
     const std::uint64_t n = read_varint(is);
@@ -171,6 +184,155 @@ EdgeList read_any_edge_list_file(const std::string& path) {
     GESMC_CHECK(is.good(), "cannot open for reading: " + path);
     if (is_binary_edge_list(is)) return read_edge_list_binary(is);
     return read_edge_list(is);
+}
+
+// ------------------------------------------------------------- chain state
+
+namespace {
+
+void write_double_le(std::ostream& os, double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((bits >> (8 * i)) & 0xFF);
+    os.write(buf, sizeof(buf));
+}
+
+double read_double_le(std::istream& is) {
+    char buf[8];
+    is.read(buf, sizeof(buf));
+    GESMC_CHECK(is.gcount() == static_cast<std::streamsize>(sizeof(buf)),
+                "chain state truncated");
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+    }
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void write_chain_state(std::ostream& os, const ChainState& state) {
+    os.write(kBinaryMagic, sizeof(kBinaryMagic));
+    os.put(kChainStateTag);
+    os.put(static_cast<char>(kChainStateVersion));
+    const std::string name = chain_algorithm_name(state.algorithm);
+    write_varint(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_varint(os, state.seed);
+    write_varint(os, state.counter);
+    write_double_le(os, state.pl);
+    write_varint(os, state.num_nodes);
+    write_varint(os, state.keys.size());
+    write_varint(os, state.stats.supersteps);
+    write_varint(os, state.stats.attempted);
+    write_varint(os, state.stats.accepted);
+    write_varint(os, state.stats.rejected_loop);
+    write_varint(os, state.stats.rejected_edge);
+    write_varint(os, state.stats.rounds_total);
+    write_varint(os, state.stats.rounds_max);
+    write_double_le(os, state.stats.first_round_seconds);
+    write_double_le(os, state.stats.later_rounds_seconds);
+    for (const edge_key_t key : state.keys) write_varint(os, key);
+    GESMC_CHECK(os.good(), "chain state write failed");
+}
+
+void write_chain_state_file(const std::string& path, const ChainState& state) {
+    std::ofstream os(path, std::ios::binary);
+    GESMC_CHECK(os.good(), "cannot open for writing: " + path);
+    write_chain_state(os, state);
+}
+
+void write_chain_state_file_atomic(const std::string& path, const ChainState& state) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        GESMC_CHECK(os.good(), "cannot open for writing: " + tmp);
+        write_chain_state(os, state);
+        // Flush before the rename: a full disk must fail here, not
+        // silently install a truncated state over the last good one.
+        os.close();
+        GESMC_CHECK(os.good(), "chain state flush failed: " + tmp);
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+ChainState read_chain_state(std::istream& is) {
+    char preamble[6] = {};
+    is.read(preamble, sizeof(preamble));
+    GESMC_CHECK(is.gcount() == sizeof(preamble) &&
+                    std::memcmp(preamble, kBinaryMagic, sizeof(kBinaryMagic)) == 0 &&
+                    preamble[4] == kChainStateTag,
+                "not a GESB chain-state section");
+    const int version = static_cast<unsigned char>(preamble[5]);
+    GESMC_CHECK(version == kChainStateVersion,
+                "unsupported chain-state version: " + std::to_string(version));
+
+    ChainState state;
+    const std::uint64_t name_len = read_varint(is, "chain state");
+    GESMC_CHECK(name_len <= 64, "chain state: implausible algorithm name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    GESMC_CHECK(is.gcount() == static_cast<std::streamsize>(name_len),
+                "chain state truncated");
+    state.algorithm = chain_algorithm_from_string(name);
+
+    state.seed = read_varint(is, "chain state");
+    state.counter = read_varint(is, "chain state");
+    state.pl = read_double_le(is);
+    const std::uint64_t n = read_varint(is, "chain state");
+    GESMC_CHECK(n <= static_cast<std::uint64_t>(kMaxNode) + 1,
+                "chain state: node count exceeds 2^28");
+    state.num_nodes = static_cast<node_t>(n);
+    const std::uint64_t m = read_varint(is, "chain state");
+    state.stats.supersteps = read_varint(is, "chain state");
+    state.stats.attempted = read_varint(is, "chain state");
+    state.stats.accepted = read_varint(is, "chain state");
+    state.stats.rejected_loop = read_varint(is, "chain state");
+    state.stats.rejected_edge = read_varint(is, "chain state");
+    state.stats.rounds_total = read_varint(is, "chain state");
+    state.stats.rounds_max = read_varint(is, "chain state");
+    state.stats.first_round_seconds = read_double_le(is);
+    state.stats.later_rounds_seconds = read_double_le(is);
+    // As for graphs: never trust the header's count for the allocation.
+    state.keys.reserve(std::min<std::uint64_t>(m, 1u << 20));
+    for (std::uint64_t i = 0; i < m; ++i) state.keys.push_back(read_varint(is, "chain state"));
+    // Slot order carries no sortedness to exploit (unlike the graph
+    // section's strictly-increasing deltas), so duplicates need an explicit
+    // check — a corrupt snapshot must fail here with the right message, not
+    // as a downstream "non-simple graph" pointing at the chain.
+    std::vector<edge_key_t> sorted = state.keys;
+    std::sort(sorted.begin(), sorted.end());
+    GESMC_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                "chain state: duplicate edge key");
+    return state;
+}
+
+ChainState read_chain_state_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    GESMC_CHECK(is.good(), "cannot open for reading: " + path);
+    return read_chain_state(is);
+}
+
+bool is_chain_state(std::istream& is) {
+    char preamble[5] = {};
+    const std::streampos pos = is.tellg();
+    is.read(preamble, sizeof(preamble));
+    const bool matched =
+        is.gcount() == static_cast<std::streamsize>(sizeof(preamble)) &&
+        std::memcmp(preamble, kBinaryMagic, sizeof(kBinaryMagic)) == 0 &&
+        preamble[4] == kChainStateTag;
+    is.clear();
+    is.seekg(pos);
+    return matched;
+}
+
+bool is_chain_state_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    GESMC_CHECK(is.good(), "cannot open for reading: " + path);
+    return is_chain_state(is);
 }
 
 // --------------------------------------------------------- degree sequence

@@ -20,10 +20,36 @@
 /// identical bytes — and keeps deltas small: real corpora compress to a few
 /// bytes per edge instead of the text format's ~2 decimal ids + separators.
 ///
+/// Chain-state section ("GESB" + tag 'S', version 1): a resumable chain
+/// snapshot (core/chain.hpp ChainState).  Shares the GESB magic so one
+/// sniffing rule covers the whole binary family; the fifth byte
+/// distinguishes sections (graph sections put their format version there,
+/// chain-state sections the tag 'S' followed by their own version byte).
+/// This is the one place graph/ includes a core/ header — deliberate: the
+/// GESB container (magic, varints, sniffing) has a single home, and the
+/// include is acyclic (core/chain.hpp pulls only graph/edge_list.hpp).
+/// Layout after the 6-byte preamble, all integers LEB128 varints:
+///   varint       algorithm name length, then that many name bytes
+///                (CLI names, e.g. "par-global-es" — stable across enum
+///                reorderings)
+///   varint       seed
+///   varint       counter (stream position; see ChainState)
+///   8 bytes      pl (IEEE-754 bit pattern, little-endian; G-ES trajectory
+///                parameter — ES chains ignore it)
+///   varint       num_nodes
+///   varint       num_edges
+///   varint * 7   stats: supersteps, attempted, accepted, rejected_loop,
+///                rejected_edge, rounds_total, rounds_max
+///   8 bytes * 2  stats: first_round_seconds, later_rounds_seconds
+///                (IEEE-754 bit patterns, little-endian)
+///   varint * m   edge keys in slot order (raw, NOT delta-coded: the order
+///                is the chain's sampling array, not sorted)
+///
 /// Degree-sequence files: whitespace-separated non-negative integers with
 /// the same '%'/'#' comment rules, in node-id order.
 #pragma once
 
+#include "core/chain.hpp"
 #include "graph/degree_sequence.hpp"
 #include "graph/edge_list.hpp"
 
@@ -56,6 +82,25 @@ bool is_binary_edge_list(std::istream& is);
 
 /// Reads either format, sniffing the magic bytes.
 EdgeList read_any_edge_list_file(const std::string& path);
+
+/// Writes the GESB chain-state section (see the header comment).
+void write_chain_state(std::ostream& os, const ChainState& state);
+void write_chain_state_file(const std::string& path, const ChainState& state);
+
+/// Crash-safe variant for checkpoints: writes a sibling temp file, then
+/// renames into place, so a kill mid-write can neither leave a truncated
+/// state nor destroy the previous good one.
+void write_chain_state_file_atomic(const std::string& path, const ChainState& state);
+
+/// Reads a chain-state section; throws Error on bad magic/tag/version,
+/// unknown algorithm name, or a truncated/overflowing payload.
+ChainState read_chain_state(std::istream& is);
+ChainState read_chain_state_file(const std::string& path);
+
+/// True iff the stream/file starts with the chain-state preamble (peeks,
+/// does not consume) — the sniffing twin of is_binary_edge_list.
+bool is_chain_state(std::istream& is);
+bool is_chain_state_file(const std::string& path);
 
 /// Writes one degree per line with a "# nodes <n>" header.
 void write_degree_sequence(std::ostream& os, const DegreeSequence& seq);

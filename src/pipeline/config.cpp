@@ -150,6 +150,10 @@ void apply_config_entry(PipelineConfig& config, const std::string& raw_key,
         else if (value == "intra-chain") config.policy = SchedulePolicy::kIntraChain;
         else throw Error("config key \"policy\": expected auto|replicates|intra-chain, got \"" +
                          value + "\"");
+    } else if (key == "checkpoint-every") {
+        config.checkpoint_every = parse_u64(key, value);
+    } else if (key == "resume-from") {
+        config.resume_from = value;
     } else if (key == "output-dir") {
         config.output_dir = value;
     } else if (key == "output-prefix") {
@@ -208,6 +212,8 @@ void validate(const PipelineConfig& config) {
         GESMC_CHECK(!config.input_path.empty(),
                     "an \"input\" path is required (or set input-kind = generator)");
     }
+    GESMC_CHECK(config.checkpoint_every == 0 || !config.output_dir.empty(),
+                "checkpoint-every requires an output-dir to hold the checkpoints");
 }
 
 } // namespace gesmc

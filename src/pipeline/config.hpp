@@ -83,6 +83,21 @@ struct PipelineConfig {
     SchedulePolicy policy = SchedulePolicy::kAuto;      ///< key: policy
                                                         ///<   (auto|replicates|intra-chain)
 
+    // ------------------------------------------------- checkpoint / resume
+    /// Persist each replicate's ChainState to
+    /// <output-dir>/checkpoints/<prefix>_<index>.gesc every this many
+    /// supersteps (and once more when the replicate finishes).  0 = off.
+    /// Requires output-dir.                           key: checkpoint-every
+    std::uint64_t checkpoint_every = 0;
+
+    /// Directory of a previous (interrupted) run whose checkpoints/ should
+    /// seed this one: finished replicates are skipped (their outputs are
+    /// re-emitted from the final checkpoint), in-flight ones resume from
+    /// their (seed, counter) pair, missing ones start from scratch.  The
+    /// rest of the config must match the interrupted run for the outputs
+    /// to be byte-identical.  "" = fresh run.              key: resume-from
+    std::string resume_from;
+
     // ------------------------------------------------------------ output
     std::string output_dir;                        ///< key: output-dir ("" = none)
     std::string output_prefix = "replicate";       ///< key: output-prefix

@@ -16,7 +16,9 @@
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
+#include <algorithm>
 #include <filesystem>
+#include <memory>
 #include <ostream>
 #include <string>
 
@@ -55,14 +57,27 @@ EdgeList generate_input(const PipelineConfig& config) {
     throw Error("unknown generator: " + config.generator);
 }
 
-/// out/<prefix>_0007.txt — zero-padded so lexicographic = numeric order.
-std::string replicate_output_path(const PipelineConfig& config, std::uint64_t index) {
+/// "0007" — zero-padded so lexicographic = numeric order.
+std::string padded_index(const PipelineConfig& config, std::uint64_t index) {
     std::string digits = std::to_string(index);
     const std::string width = std::to_string(config.replicates - 1);
     while (digits.size() < width.size()) digits.insert(digits.begin(), '0');
+    return digits;
+}
+
+std::string replicate_output_path(const PipelineConfig& config, std::uint64_t index) {
     const char* ext = config.output_format == OutputFormat::kBinary ? ".gesb" : ".txt";
     return (std::filesystem::path(config.output_dir) /
-            (config.output_prefix + "_" + digits + ext))
+            (config.output_prefix + "_" + padded_index(config, index) + ext))
+        .string();
+}
+
+/// <run-dir>/checkpoints/<prefix>_0007.gesc — same naming scheme as the
+/// outputs so a run directory is self-describing.
+std::string checkpoint_path(const std::string& run_dir, const PipelineConfig& config,
+                            std::uint64_t index) {
+    return (std::filesystem::path(run_dir) / "checkpoints" /
+            (config.output_prefix + "_" + padded_index(config, index) + ".gesc"))
         .string();
 }
 
@@ -89,7 +104,8 @@ bool all_succeeded(const RunReport& report) {
     return true;
 }
 
-RunReport run_pipeline(const PipelineConfig& config, std::ostream* log) {
+RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
+                       RunObserver* observer) {
     // materialize_input below runs validate(config); no separate call here.
     const ChainAlgorithm algo = chain_algorithm_from_string(config.algorithm);
 
@@ -129,6 +145,32 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log) {
     if (!config.output_dir.empty()) {
         std::filesystem::create_directories(config.output_dir);
     }
+    if (config.checkpoint_every > 0) {
+        std::filesystem::create_directories(std::filesystem::path(config.output_dir) /
+                                            "checkpoints");
+    }
+    if (!config.resume_from.empty()) {
+        // Fail fast on a typo'd directory or a naming mismatch (the
+        // checkpoint filenames encode output-prefix and the replicate
+        // count's digit width) — silently re-running everything from
+        // scratch would discard the compute the resume exists to save.
+        GESMC_CHECK(std::filesystem::is_directory(
+                        std::filesystem::path(config.resume_from) / "checkpoints"),
+                    "resume-from directory \"" + config.resume_from +
+                        "\" has no checkpoints/ subdirectory");
+        bool any_checkpoint = false;
+        for (std::uint64_t r = 0; r < config.replicates && !any_checkpoint; ++r) {
+            any_checkpoint =
+                std::filesystem::exists(checkpoint_path(config.resume_from, config, r));
+        }
+        GESMC_CHECK(any_checkpoint,
+                    "no checkpoint in \"" + config.resume_from +
+                        "/checkpoints\" matches this config (different "
+                        "output-prefix or replicate count?)");
+        if (log != nullptr) {
+            *log << "pipeline: resuming from " << config.resume_from << "/checkpoints\n";
+        }
+    }
 
     report.replicates.resize(config.replicates);
     const std::vector<std::uint32_t> initial_degrees = initial.degrees();
@@ -148,11 +190,81 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log) {
             chain_config.prefetch = config.prefetch;
             chain_config.small_graph_cutoff = config.small_graph_cutoff;
 
-            const auto chain = make_chain(algo, initial, chain_config);
-            chain->run_supersteps(config.supersteps);
-            out.stats = chain->stats();
+            // Resume: seed the replicate from the previous run's checkpoint
+            // when one exists.  A finished replicate is not re-run — its
+            // output is re-emitted from the final snapshot.
+            std::unique_ptr<Chain> chain;
+            EdgeList finished_graph;
+            bool finished_from_checkpoint = false;
+            if (!config.resume_from.empty()) {
+                const std::string prev =
+                    checkpoint_path(config.resume_from, config, slot.index);
+                if (std::filesystem::exists(prev)) {
+                    ChainState state = read_chain_state_file(prev);
+                    GESMC_CHECK(state.algorithm == algo,
+                                "checkpoint " + prev + " was written by " +
+                                    to_string(state.algorithm) +
+                                    ", not the configured algorithm");
+                    GESMC_CHECK(state.seed == out.seed,
+                                "checkpoint " + prev +
+                                    " does not match this run's seed derivation "
+                                    "(different master seed or replicate count?)");
+                    // pl is part of the G-ES trajectory; a resume config
+                    // that changes it would mix distributions across
+                    // resumed and fresh replicates.
+                    GESMC_CHECK((algo != ChainAlgorithm::kSeqGlobalES &&
+                                 algo != ChainAlgorithm::kParGlobalES) ||
+                                    state.pl == config.pl,
+                                "checkpoint " + prev + " was written with pl = " +
+                                    std::to_string(state.pl) +
+                                    ", not the configured pl");
+                    GESMC_CHECK(state.stats.supersteps <= config.supersteps,
+                                "checkpoint " + prev +
+                                    " is ahead of the configured supersteps");
+                    out.resumed_supersteps = state.stats.supersteps;
+                    if (state.stats.supersteps == config.supersteps) {
+                        out.stats = state.stats;
+                        if (config.checkpoint_every > 0) {
+                            // Resuming into a different directory: carry the
+                            // finished marker over, or a later resume from
+                            // *this* run would re-run the replicate.
+                            const std::string here =
+                                checkpoint_path(config.output_dir, config, slot.index);
+                            if (!std::filesystem::exists(here)) {
+                                write_chain_state_file_atomic(here, state);
+                                if (observer != nullptr) {
+                                    observer->on_checkpoint(slot.index, state, here);
+                                }
+                            }
+                        }
+                        finished_graph =
+                            EdgeList::from_keys(state.num_nodes, std::move(state.keys));
+                        finished_from_checkpoint = true;
+                    } else {
+                        chain = make_chain(state, chain_config);
+                    }
+                }
+            }
+            if (!finished_from_checkpoint) {
+                if (chain == nullptr) chain = make_chain(algo, initial, chain_config);
+                // Snapshots are exact at superstep boundaries; the final
+                // one marks the replicate finished so a resume can skip it.
+                run_checkpointed(*chain, config.supersteps, config.checkpoint_every,
+                                 observer, slot.index, [&] {
+                    if (config.checkpoint_every == 0) return;
+                    const std::string path =
+                        checkpoint_path(config.output_dir, config, slot.index);
+                    const ChainState state = chain->snapshot();
+                    write_chain_state_file_atomic(path, state);
+                    if (observer != nullptr) {
+                        observer->on_checkpoint(slot.index, state, path);
+                    }
+                });
+                out.stats = chain->stats();
+            }
 
-            const EdgeList& result = chain->graph();
+            const EdgeList& result =
+                finished_from_checkpoint ? finished_graph : chain->graph();
             if (config.verify) {
                 GESMC_CHECK(result.is_simple(), "replicate produced a non-simple graph");
                 GESMC_CHECK(result.degrees() == initial_degrees,
@@ -180,6 +292,9 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log) {
             out.error = e.what();
         }
         out.seconds = timer.elapsed_s();
+        // Streamed completion: the replicate's graph is already on disk
+        // here — consumers need not wait for the assembled RunReport.
+        if (observer != nullptr) observer->on_replicate_done(out);
     });
 
     report.chain_name = to_string(algo);

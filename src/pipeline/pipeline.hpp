@@ -26,6 +26,21 @@
 /// records its message in ReplicateReport::error; the remaining replicates
 /// still run.  Callers check RunReport::all_succeeded (the CLI exits
 /// non-zero, tests assert it).
+///
+/// Checkpoint/resume: with checkpoint_every > 0 the run persists each
+/// replicate's ChainState (GESB chain-state section, *.gesc) under
+/// <output-dir>/checkpoints/ every N supersteps and once more at replicate
+/// completion; with resume_from set it seeds replicates from a previous
+/// run's checkpoints — finished replicates are re-emitted without running,
+/// in-flight ones continue from their (seed, counter) pair, and the final
+/// outputs are byte-identical to an uninterrupted run (counter-based
+/// randomness; asserted by tests and the CI resume smoke test).
+///
+/// Streaming: replicate graphs are written from inside the scheduler as
+/// each replicate finishes — a RunObserver passed to run_pipeline sees
+/// on_superstep / on_checkpoint / on_replicate_done live instead of
+/// waiting for the buffered RunReport (the hook the ROADMAP's service
+/// front-end will stream over the wire).
 #pragma once
 
 #include "graph/edge_list.hpp"
@@ -46,7 +61,11 @@ namespace gesmc {
 
 /// Runs the full pipeline; `log` (may be null) receives human-readable
 /// progress lines.  Writes output graphs and the report file as configured,
-/// and always returns the in-memory report.
-RunReport run_pipeline(const PipelineConfig& config, std::ostream* log = nullptr);
+/// and always returns the in-memory report.  A non-null `observer` streams
+/// per-superstep, per-checkpoint and per-replicate events as they happen;
+/// under the replicate-parallel policy its callbacks fire concurrently
+/// from pool threads (see RunObserver).
+RunReport run_pipeline(const PipelineConfig& config, std::ostream* log = nullptr,
+                       RunObserver* observer = nullptr);
 
 } // namespace gesmc

@@ -205,6 +205,8 @@ void write_json_report(std::ostream& os, const RunReport& report) {
     w.kv("output_dir", report.config.output_dir);
     w.kv("output_prefix", report.config.output_prefix);
     w.kv("output_format", to_string(report.config.output_format));
+    w.kv("checkpoint_every", report.config.checkpoint_every);
+    if (!report.config.resume_from.empty()) w.kv("resume_from", report.config.resume_from);
     w.kv("metrics", report.config.metrics);
     w.kv("verify", report.config.verify);
     w.end_object();
@@ -232,6 +234,7 @@ void write_json_report(std::ostream& os, const RunReport& report) {
         w.kv("index", r.index);
         w.kv("seed", r.seed);
         w.kv("seconds", r.seconds);
+        if (r.resumed_supersteps > 0) w.kv("resumed_supersteps", r.resumed_supersteps);
         if (!r.output_path.empty()) w.kv("output", r.output_path);
         if (!r.error.empty()) w.kv("error", r.error);
         w.key("stats");

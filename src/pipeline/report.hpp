@@ -65,6 +65,11 @@ struct ReplicateReport {
     std::string output_path;   ///< empty when graphs are not written
     std::string error;         ///< empty on success
 
+    /// Supersteps restored from a checkpoint instead of being re-run
+    /// (equals the configured supersteps when the replicate was skipped as
+    /// already finished); 0 on a fresh run.
+    std::uint64_t resumed_supersteps = 0;
+
     bool has_metrics = false;  ///< structural metrics were computed
     std::uint64_t triangles = 0;
     double global_clustering = 0;

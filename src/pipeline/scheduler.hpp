@@ -49,6 +49,11 @@ struct ReplicateSlot {
 /// thread-safe across distinct indices; under kIntraChain it runs on the
 /// calling thread.  `fn` must not throw — exceptions cannot cross the pool
 /// boundary; catch and record failures per replicate instead.
+///
+/// Streaming contract: each body completes its replicate end-to-end
+/// (run/resume, checkpoints, output graph, RunObserver::on_replicate_done)
+/// before returning — so replicate results reach disk and observers as
+/// they finish, never buffered behind the slowest replicate of the run.
 void run_replicates(ThreadPool& pool, std::uint64_t replicates, SchedulePolicy policy,
                     const std::function<void(const ReplicateSlot&)>& fn);
 

@@ -74,7 +74,11 @@ public:
     explicit ScriptedChain(int period) : period_(period) {
         graph_ = EdgeList::from_pairs(4, {Edge{0, 1}, Edge{2, 3}});
     }
-    void run_supersteps(std::uint64_t count) override { step_ += count; }
+    using Chain::run_supersteps;
+    void run_supersteps(std::uint64_t count, RunObserver*, std::uint64_t) override {
+        step_ += count;
+    }
+    [[nodiscard]] ChainState snapshot() const override { return {}; }
     [[nodiscard]] const EdgeList& graph() const override { return graph_; }
     [[nodiscard]] bool has_edge(edge_key_t key) const override {
         if (key == edge_key(0, 1)) return true; // constant edge
@@ -109,10 +113,12 @@ TEST(Tracker, IidEdgesAreIndependent) {
     class IidChain final : public Chain {
     public:
         IidChain() : gen_(7) { graph_ = EdgeList::from_pairs(4, {Edge{0, 1}, Edge{2, 3}}); }
-        void run_supersteps(std::uint64_t) override {
+        using Chain::run_supersteps;
+        void run_supersteps(std::uint64_t, RunObserver*, std::uint64_t) override {
             state0_ = uniform_bit(gen_);
             state1_ = uniform_bit(gen_);
         }
+        [[nodiscard]] ChainState snapshot() const override { return {}; }
         [[nodiscard]] const EdgeList& graph() const override { return graph_; }
         [[nodiscard]] bool has_edge(edge_key_t key) const override {
             return key == edge_key(0, 1) ? state0_ : state1_;

@@ -139,12 +139,12 @@ TEST(EdgeCases, ExtremePLValues) {
     chain->run_supersteps(3);
     EXPECT_LT(chain->stats().attempted, g.num_edges());
     EXPECT_EQ(chain->graph().degrees(), g.degrees());
-    // P_L at the boundaries is rejected per Definition 3.
+    // P_L at the boundaries is rejected per Definition 3 — at make_chain
+    // time, before any work happens.
     for (const double bad : {0.0, 1.0, -0.1, 1.5}) {
         ChainConfig config;
         config.pl = bad;
-        auto c = make_chain(ChainAlgorithm::kSeqGlobalES, g, config);
-        EXPECT_THROW(c->run_supersteps(1), Error) << bad;
+        EXPECT_THROW(make_chain(ChainAlgorithm::kSeqGlobalES, g, config), Error) << bad;
     }
 }
 

@@ -8,18 +8,21 @@
 ///   gesmc_randomize --input graph.txt --output random.txt
 ///   gesmc_randomize --gen powerlaw --n 100000 --gamma 2.2 --supersteps 30
 ///   gesmc_randomize --input g.txt --algo seq-es --seed 7 --threads 4
+///   gesmc_randomize --input g.txt --checkpoint run.gesc --checkpoint-every 5
+///   gesmc_randomize --resume run.gesc --supersteps 40   # continue to 40 total
 #include "core/chain.hpp"
 #include "gen/corpus.hpp"
 #include "gen/gnp.hpp"
-#include "graph/degree_sequence.hpp"
 #include "graph/io.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
 using namespace gesmc;
 
@@ -42,14 +45,44 @@ Options:
   --small-cutoff M    sequential base case below M edges (0 = off)    [0]
   --no-prefetch       disable the prefetching pipelines
   --output FILE       write the randomized edge list
+  --checkpoint FILE   write a resumable chain-state snapshot (.gesc) to
+                      FILE at completion (and periodically, see below)
+  --checkpoint-every N  also snapshot every N supersteps (needs --checkpoint)
+  --resume FILE       continue a chain from a snapshot instead of --input /
+                      --gen; --supersteps is the *total* target, so a chain
+                      resumed at superstep 20 with --supersteps 40 runs 20
+                      more — byte-identical to one uninterrupted 40-step run
+  --progress          print a line after every superstep
   --help              this text
 )";
+
+/// --progress: a RunObserver streaming per-superstep state to stderr.
+class SuperstepPrinter final : public RunObserver {
+public:
+    explicit SuperstepPrinter(std::uint64_t target) : target_(target) {}
+
+    void on_superstep(std::uint64_t, const Chain& chain) override {
+        const ChainStats& st = chain.stats();
+        std::cerr << "superstep " << st.supersteps << "/" << target_ << ": "
+                  << st.attempted << " attempted, " << st.accepted << " accepted\n";
+    }
+
+private:
+    std::uint64_t target_;
+};
 
 struct Options {
     std::string input;
     std::string gen;
     std::string output;
+    std::string checkpoint;
+    std::uint64_t checkpoint_every = 0;
+    std::string resume;
+    bool progress = false;
     ChainAlgorithm algo = ChainAlgorithm::kParGlobalES;
+    bool algo_set = false; ///< --algo given explicitly (resume conflict check)
+    bool seed_set = false; ///< --seed given explicitly
+    bool pl_set = false;   ///< --pl given explicitly
     std::uint64_t supersteps = 20;
     ChainConfig chain;
     std::uint64_t n = 10000;
@@ -86,10 +119,22 @@ std::optional<Options> parse(int argc, char** argv) {
         } else if (arg == "--output") {
             if (!(v = need_value(i))) return std::nullopt;
             opt.output = v;
+        } else if (arg == "--checkpoint") {
+            if (!(v = need_value(i))) return std::nullopt;
+            opt.checkpoint = v;
+        } else if (arg == "--checkpoint-every") {
+            if (!(v = need_value(i))) return std::nullopt;
+            opt.checkpoint_every = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--resume") {
+            if (!(v = need_value(i))) return std::nullopt;
+            opt.resume = v;
+        } else if (arg == "--progress") {
+            opt.progress = true;
         } else if (arg == "--algo") {
             if (!(v = need_value(i))) return std::nullopt;
             try {
                 opt.algo = chain_algorithm_from_string(v);
+                opt.algo_set = true;
             } catch (const Error& e) {
                 std::cerr << e.what() << "\n";
                 return std::nullopt;
@@ -100,12 +145,14 @@ std::optional<Options> parse(int argc, char** argv) {
         } else if (arg == "--seed") {
             if (!(v = need_value(i))) return std::nullopt;
             opt.chain.seed = std::strtoull(v, nullptr, 10);
+            opt.seed_set = true;
         } else if (arg == "--threads") {
             if (!(v = need_value(i))) return std::nullopt;
             opt.chain.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (arg == "--pl") {
             if (!(v = need_value(i))) return std::nullopt;
             opt.chain.pl = std::strtod(v, nullptr);
+            opt.pl_set = true;
         } else if (arg == "--small-cutoff") {
             if (!(v = need_value(i))) return std::nullopt;
             opt.chain.small_graph_cutoff = std::strtoull(v, nullptr, 10);
@@ -132,8 +179,17 @@ std::optional<Options> parse(int argc, char** argv) {
             return std::nullopt;
         }
     }
-    if (opt.input.empty() == opt.gen.empty()) {
-        std::cerr << "exactly one of --input / --gen is required\n" << kUsage;
+    if (opt.resume.empty()) {
+        if (opt.input.empty() == opt.gen.empty()) {
+            std::cerr << "exactly one of --input / --gen is required\n" << kUsage;
+            return std::nullopt;
+        }
+    } else if (!opt.input.empty() || !opt.gen.empty()) {
+        std::cerr << "--resume replaces --input / --gen (the snapshot holds the graph)\n";
+        return std::nullopt;
+    }
+    if (opt.checkpoint_every > 0 && opt.checkpoint.empty()) {
+        std::cerr << "--checkpoint-every requires --checkpoint FILE\n";
         return std::nullopt;
     }
     return opt;
@@ -161,18 +217,72 @@ EdgeList build_graph(const Options& opt) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const auto opt = parse(argc, argv);
+    auto opt = parse(argc, argv);
     if (!opt) return 2;
     try {
-        const EdgeList initial = build_graph(*opt);
-        std::cerr << "graph: n = " << initial.num_nodes() << ", m = " << initial.num_edges()
-                  << ", max degree = " << degree_sequence_of(initial).max_degree() << "\n";
+        // make_chain validates threads >= 1; 0 means "use the hardware".
+        if (opt->chain.threads == 0) opt->chain.threads = hardware_threads();
 
-        auto chain = make_chain(opt->algo, initial, opt->chain);
-        std::cerr << "running " << chain->name() << " for " << opt->supersteps
+        std::unique_ptr<Chain> chain;
+        if (!opt->resume.empty()) {
+            const ChainState state = read_chain_state_file(opt->resume);
+            // The snapshot decides the algorithm and seed; explicit flags
+            // that disagree are a config error, not something to silently
+            // override.
+            GESMC_CHECK(!opt->algo_set || opt->algo == state.algorithm,
+                        "--algo " + chain_algorithm_name(opt->algo) +
+                            " conflicts with the snapshot's " +
+                            chain_algorithm_name(state.algorithm) +
+                            " (drop --algo to resume)");
+            GESMC_CHECK(!opt->seed_set || opt->chain.seed == state.seed,
+                        "--seed conflicts with the snapshot's seed (drop --seed "
+                        "to resume)");
+            // pl only shapes the G-ES trajectory; ES snapshots leave the
+            // placeholder default, which must not trip the conflict check.
+            const bool pl_matters = state.algorithm == ChainAlgorithm::kSeqGlobalES ||
+                                    state.algorithm == ChainAlgorithm::kParGlobalES;
+            GESMC_CHECK(!opt->pl_set || !pl_matters || opt->chain.pl == state.pl,
+                        "--pl conflicts with the snapshot's P_L (drop --pl to "
+                        "resume)");
+            chain = make_chain(state, opt->chain);
+            std::cerr << "resumed " << chain->name() << " at superstep "
+                      << chain->stats().supersteps << " from " << opt->resume << "\n";
+        } else {
+            const EdgeList initial = build_graph(*opt);
+            chain = make_chain(opt->algo, initial, opt->chain);
+        }
+        // Degree baseline for the final invariant check (keys stay with the
+        // chain — no graph copy, snapshots can be 10^9 edges).
+        const std::vector<std::uint32_t> initial_degrees = chain->graph().degrees();
+        const std::uint32_t max_degree =
+            initial_degrees.empty()
+                ? 0
+                : *std::max_element(initial_degrees.begin(), initial_degrees.end());
+        std::cerr << "graph: n = " << chain->graph().num_nodes()
+                  << ", m = " << chain->graph().num_edges()
+                  << ", max degree = " << max_degree << "\n";
+
+        const std::uint64_t already = chain->stats().supersteps;
+        // A snapshot past the target would make the output a *more*
+        // randomized graph silently mislabeled as the requested run.
+        GESMC_CHECK(already <= opt->supersteps,
+                    "snapshot is at superstep " + std::to_string(already) +
+                        ", ahead of --supersteps " + std::to_string(opt->supersteps) +
+                        " (--supersteps is the total target)");
+        const std::uint64_t remaining = opt->supersteps - already;
+        std::cerr << "running " << chain->name() << " for " << remaining
                   << " supersteps...\n";
+
+        SuperstepPrinter printer(opt->supersteps);
+        RunObserver* observer = opt->progress ? &printer : nullptr;
         Timer timer;
-        chain->run_supersteps(opt->supersteps);
+        run_checkpointed(*chain, opt->supersteps, opt->checkpoint_every, observer, 0,
+                         [&] {
+            if (opt->checkpoint.empty()) return;
+            write_chain_state_file_atomic(opt->checkpoint, chain->snapshot());
+            std::cerr << "checkpoint: superstep " << chain->stats().supersteps
+                      << " -> " << opt->checkpoint << "\n";
+        });
         const double secs = timer.elapsed_s();
 
         const auto& st = chain->stats();
@@ -181,7 +291,7 @@ int main(int argc, char** argv) {
                   << fmt_si(double(st.attempted) / secs) << " switches/s)\n";
 
         GESMC_CHECK(chain->graph().is_simple(), "internal error: non-simple result");
-        GESMC_CHECK(chain->graph().degrees() == initial.degrees(),
+        GESMC_CHECK(chain->graph().degrees() == initial_degrees,
                     "internal error: degree sequence changed");
 
         if (!opt->output.empty()) {

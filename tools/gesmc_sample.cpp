@@ -11,14 +11,19 @@
 ///   gesmc_sample --config run.cfg
 ///   gesmc_sample --input g.txt --replicates 64 --output-dir out --report out/run.json
 ///   gesmc_sample --config run.cfg --set threads=16 --set policy=replicates
+///   gesmc_sample --config run.cfg --output-dir out --checkpoint-every 10
+///   gesmc_sample --config run.cfg --resume out        # after an interruption
 ///
 /// Every option is a config key (see src/pipeline/config.hpp); CLI flags
 /// override file entries in command-line order.
 #include "pipeline/config.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
 #include "util/format.hpp"
 
+#include <algorithm>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -46,9 +51,42 @@ Shortcuts (equivalent to --set):
   --output-dir DIR    write one graph per replicate into DIR
   --output-format F   text | binary
   --report FILE       write the JSON run report to FILE
+  --checkpoint-every N  persist per-replicate chain state (.gesc) every N
+                      supersteps under <output-dir>/checkpoints
+  --resume DIR        resume an interrupted run from DIR's checkpoints:
+                      finished replicates are skipped, in-flight ones
+                      continue from their (seed, counter) pair; outputs go
+                      back into DIR unless --output-dir says otherwise
+                      (pass the same config as the interrupted run)
+  --progress          print a live line as each replicate finishes
   --quiet             suppress progress output
   --help              this text
 )";
+
+/// --progress: stream replicate completions as they happen (RunObserver)
+/// instead of waiting for the final report.  Callbacks may fire from pool
+/// threads concurrently -> one mutex around the shared line.
+class ProgressPrinter final : public RunObserver {
+public:
+    explicit ProgressPrinter(std::uint64_t replicates) : replicates_(replicates) {}
+
+    void on_replicate_done(const ReplicateReport& r) override {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++finished_;
+        std::cerr << "pipeline: replicate " << r.index << " "
+                  << (r.error.empty() ? "done" : "FAILED") << " in "
+                  << fmt_seconds(r.seconds);
+        if (r.resumed_supersteps > 0) {
+            std::cerr << " (resumed at superstep " << r.resumed_supersteps << ")";
+        }
+        std::cerr << " [" << finished_ << "/" << replicates_ << "]\n";
+    }
+
+private:
+    std::mutex mutex_;
+    std::uint64_t replicates_;
+    std::uint64_t finished_ = 0;
+};
 
 struct CliEntry {
     std::string key;
@@ -60,7 +98,9 @@ struct CliEntry {
 int main(int argc, char** argv) {
     std::string config_path;
     std::vector<CliEntry> overrides;
+    std::string resume_dir;
     bool quiet = false;
+    bool progress = false;
 
     auto need_value = [&](int& i) -> const char* {
         if (i + 1 >= argc) {
@@ -76,7 +116,7 @@ int main(int argc, char** argv) {
         {"--supersteps", "supersteps"}, {"--seed", "seed"},
         {"--threads", "threads"},     {"--policy", "policy"},
         {"--output-dir", "output-dir"}, {"--output-format", "output-format"},
-        {"--report", "report"},
+        {"--report", "report"},         {"--checkpoint-every", "checkpoint-every"},
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -88,6 +128,16 @@ int main(int argc, char** argv) {
         }
         if (arg == "--quiet") {
             quiet = true;
+            continue;
+        }
+        if (arg == "--progress") {
+            progress = true;
+            continue;
+        }
+        if (arg == "--resume") {
+            if (!(v = need_value(i))) return 2;
+            overrides.push_back({"resume-from", v});
+            resume_dir = v;
             continue;
         }
         if (arg == "--config") {
@@ -130,6 +180,15 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+    if (!resume_dir.empty()) {
+        // --resume writes back into the interrupted run's directory unless
+        // the user said otherwise anywhere on the command line (resume into
+        // a fresh dir is supported — finished markers are carried over).
+        const bool explicit_output_dir =
+            std::any_of(overrides.begin(), overrides.end(),
+                        [](const CliEntry& e) { return e.key == "output-dir"; });
+        if (!explicit_output_dir) overrides.push_back({"output-dir", resume_dir});
+    }
 
     try {
         PipelineConfig config;
@@ -137,7 +196,10 @@ int main(int argc, char** argv) {
         for (const CliEntry& entry : overrides) {
             apply_config_entry(config, entry.key, entry.value);
         }
-        const RunReport report = run_pipeline(config, quiet ? nullptr : &std::cerr);
+        std::optional<ProgressPrinter> printer;
+        if (progress) printer.emplace(config.replicates);
+        const RunReport report = run_pipeline(config, quiet ? nullptr : &std::cerr,
+                                              progress ? &*printer : nullptr);
         if (config.report_path.empty()) {
             // No report file requested: put the JSON on stdout so the run is
             // still machine-consumable (--quiet only silences progress).
