@@ -29,7 +29,10 @@
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 using namespace gesmc;
 
@@ -92,6 +95,7 @@ int main() {
     TextTable table({"algorithm", "R", "P", "sequential", "replicates", "intra-chain",
                      "speedup(repl)", "speedup(intra)", "ceiling-frac(repl)",
                      "ceiling-frac(intra)"});
+    std::vector<std::string> reference_rows;
     for (const char* algo : {"seq-es", "par-es", "seq-global-es", "par-global-es"}) {
         base.algorithm = algo;
         const double sequential = time_run(base, SchedulePolicy::kIntraChain, 1);
@@ -103,9 +107,20 @@ int main() {
                        fmt_double(sequential / intra, 2) + "x",
                        fmt_double(sequential / repl / ceiling, 2),
                        fmt_double(sequential / intra / ceiling, 2)});
+        char row[160];
+        std::snprintf(row, sizeof(row), "{\"%s\", %u, %.2f, %.3f, %.3f, %.3f},", algo,
+                      threads, ceiling, sequential, repl, intra);
+        reference_rows.emplace_back(row);
     }
     table.print(std::cout);
     table.print_csv(std::cout, "pipeline_policies");
+
+    // Paste-ready kReference rows for the re-recording protocol (see the
+    // header comment); scripts/record_policy_reference.sh extracts these.
+    std::cout << "\n";
+    for (const std::string& row : reference_rows) {
+        std::cout << "kReference-row: " << row << "\n";
+    }
 
     std::cout << "\nReference record (P = " << kReference[0].threads
               << ", ceiling " << fmt_double(kReference[0].ceiling, 2)

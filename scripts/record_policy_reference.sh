@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Fix5 re-record protocol, one command: run bench_pipeline_policies and
+# print kReference-ready C++ rows to paste into
+# bench/bench_pipeline_policies.cpp (the recorded reference table).  Run on
+# a >= 8-core box to capture the real replicate- vs intra-chain spread the
+# ROADMAP asks for; run from the repo root with the build dir as $1
+# (default: build).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench_pipeline_policies"
+if [ ! -x "$BENCH" ]; then
+    echo "record_policy_reference: $BENCH not built (cmake --build $BUILD_DIR)" >&2
+    exit 2
+fi
+
+OUT="$("$BENCH")"
+
+echo "# Measured on: $(uname -srm), $(nproc) hardware threads, $(date -u +%Y-%m-%d)"
+echo "# Paste over the kReference rows in bench/bench_pipeline_policies.cpp"
+echo "# (update the 'Recorded ...' comment line alongside):"
+echo "constexpr ReferenceRow kReference[] = {"
+printf '%s\n' "$OUT" | awk '/^kReference-row: /{ sub(/^kReference-row: /, ""); print "    " $0 }'
+echo "};"

@@ -9,9 +9,11 @@ BUILD_DIR="${1:-build}"
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
 
+# keep-checkpoints: if the "interrupted" run wins the race and completes,
+# the default cleanup would delete the very checkpoints the resume reads.
 SAMPLE="$BUILD_DIR/gesmc_sample"
 ARGS=(--gen powerlaw --set gen-n=3000 --replicates 6 --supersteps 12
-      --seed 7 --checkpoint-every 2 --quiet)
+      --seed 7 --checkpoint-every 2 --set keep-checkpoints=true --quiet)
 
 echo "resume_smoke: reference (uninterrupted) run"
 "$SAMPLE" "${ARGS[@]}" --output-dir "$WORK_DIR/ref" > /dev/null

@@ -154,6 +154,8 @@ void apply_config_entry(PipelineConfig& config, const std::string& raw_key,
         config.checkpoint_every = parse_u64(key, value);
     } else if (key == "resume-from") {
         config.resume_from = value;
+    } else if (key == "keep-checkpoints") {
+        config.keep_checkpoints = parse_bool(key, value);
     } else if (key == "output-dir") {
         config.output_dir = value;
     } else if (key == "output-prefix") {
@@ -194,6 +196,11 @@ PipelineConfig read_pipeline_config(std::istream& is) {
 PipelineConfig read_pipeline_config_file(const std::string& path) {
     std::ifstream is(path);
     GESMC_CHECK(is.good(), "cannot open config: " + path);
+    return read_pipeline_config(is);
+}
+
+PipelineConfig read_pipeline_config_string(const std::string& text) {
+    std::istringstream is(text);
     return read_pipeline_config(is);
 }
 

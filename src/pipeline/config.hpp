@@ -98,6 +98,13 @@ struct PipelineConfig {
     /// to be byte-identical.  "" = fresh run.              key: resume-from
     std::string resume_from;
 
+    /// Retain <output-dir>/checkpoints/ after a fully successful run.  By
+    /// default the run deletes its own .gesc files once every replicate
+    /// finished without error (they only exist to survive interruption, and
+    /// stale ones accumulate); an interrupted or failed run always keeps
+    /// them so resume-from works.               key: keep-checkpoints
+    bool keep_checkpoints = false;
+
     // ------------------------------------------------------------ output
     std::string output_dir;                        ///< key: output-dir ("" = none)
     std::string output_prefix = "replicate";       ///< key: output-prefix
@@ -120,6 +127,11 @@ void apply_config_entry(PipelineConfig& config, const std::string& key,
 /// Parses a config stream/file on top of the defaults.
 PipelineConfig read_pipeline_config(std::istream& is);
 PipelineConfig read_pipeline_config_file(const std::string& path);
+
+/// Parses a config document held in memory — the service path: submitted
+/// jobs carry their config text verbatim inside a control frame, never as a
+/// file on the daemon's disk.
+PipelineConfig read_pipeline_config_string(const std::string& text);
 
 /// Validates cross-field constraints (input present, counts positive, ...).
 /// Throws Error with an actionable message.

@@ -19,12 +19,24 @@
 #include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 
 namespace gesmc {
 
 namespace {
+
+/// Error prefix marking a replicate stopped by PipelineExec::interrupt —
+/// the one signal was_interrupted keys on, so cancel/drain outcomes stay
+/// distinguishable from genuine failures.
+constexpr const char* kInterruptPrefix = "interrupted: ";
+
+/// Thrown out of the checkpoint-boundary callback to unwind a replicate
+/// that must stop: the checkpoint just written is its resumable state.
+struct InterruptReplicate {
+    std::uint64_t superstep;
+};
 
 EdgeList realize_degree_sequence(const DegreeSequence& seq, const PipelineConfig& config) {
     GESMC_CHECK(seq.degree_sum() % 2 == 0, "degree sum must be even");
@@ -104,8 +116,20 @@ bool all_succeeded(const RunReport& report) {
     return true;
 }
 
+bool was_interrupted(const RunReport& report) {
+    for (const ReplicateReport& r : report.replicates) {
+        if (r.error.rfind(kInterruptPrefix, 0) == 0) return true;
+    }
+    return false;
+}
+
 RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                        RunObserver* observer) {
+    return run_pipeline(config, log, observer, PipelineExec{});
+}
+
+RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
+                       RunObserver* observer, const PipelineExec& exec) {
     // materialize_input below runs validate(config); no separate call here.
     const ChainAlgorithm algo = chain_algorithm_from_string(config.algorithm);
 
@@ -123,10 +147,23 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     report.input_p2 = degrees.p2();
     report.init_seconds = total_timer.elapsed_s();
 
-    ThreadPool pool(config.threads);
-    report.threads = pool.num_threads();
+    // Host the replicates: an injected executor (service jobs share one
+    // machine-wide pool) or a private pool owned by this run.
+    std::optional<ThreadPool> own_pool;
+    std::optional<PoolExecutor> own_executor;
+    ReplicateExecutor* executor = exec.executor;
+    if (executor == nullptr) {
+        own_pool.emplace(config.threads);
+        own_executor.emplace(*own_pool);
+        executor = &*own_executor;
+    }
+    const auto interrupted = [&exec]() noexcept {
+        return exec.interrupt != nullptr &&
+               exec.interrupt->load(std::memory_order_relaxed);
+    };
+    report.threads = executor->threads();
     report.resolved_policy =
-        resolve_policy(config.policy, config.replicates, pool.num_threads());
+        resolve_policy(config.policy, config.replicates, executor->threads());
 
     if (log != nullptr && algo == ChainAlgorithm::kNaiveParES) {
         *log << "pipeline: warning: naive-par-es outputs depend on the policy and "
@@ -138,7 +175,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
              << ", max degree = " << report.input_max_degree << "\n"
              << "pipeline: " << config.replicates << " x " << config.algorithm << " x "
              << config.supersteps << " supersteps, policy = "
-             << to_string(report.resolved_policy) << ", threads = " << pool.num_threads()
+             << to_string(report.resolved_policy) << ", threads = " << report.threads
              << "\n";
     }
 
@@ -150,24 +187,38 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                                             "checkpoints");
     }
     if (!config.resume_from.empty()) {
-        // Fail fast on a typo'd directory or a naming mismatch (the
-        // checkpoint filenames encode output-prefix and the replicate
-        // count's digit width) — silently re-running everything from
-        // scratch would discard the compute the resume exists to save.
-        GESMC_CHECK(std::filesystem::is_directory(
-                        std::filesystem::path(config.resume_from) / "checkpoints"),
-                    "resume-from directory \"" + config.resume_from +
-                        "\" has no checkpoints/ subdirectory");
         bool any_checkpoint = false;
         for (std::uint64_t r = 0; r < config.replicates && !any_checkpoint; ++r) {
             any_checkpoint =
                 std::filesystem::exists(checkpoint_path(config.resume_from, config, r));
         }
-        GESMC_CHECK(any_checkpoint,
-                    "no checkpoint in \"" + config.resume_from +
-                        "/checkpoints\" matches this config (different "
-                        "output-prefix or replicate count?)");
-        if (log != nullptr) {
+        if (!any_checkpoint) {
+            // A *completed* run cleans its checkpoints/ away by default, and
+            // an interrupted run can win its race against the interrupt —
+            // so resume-after-drain must tolerate "no checkpoints but every
+            // output present" by recomputing (byte-identical anyway:
+            // outputs are a pure function of config and seed).  Anything
+            // else fails fast: a typo'd directory or a naming mismatch (the
+            // checkpoint filenames encode output-prefix and the replicate
+            // count's digit width) would silently discard the compute the
+            // resume exists to save.
+            bool outputs_complete = true;
+            for (std::uint64_t r = 0; r < config.replicates && outputs_complete; ++r) {
+                PipelineConfig prev = config;
+                prev.output_dir = config.resume_from;
+                outputs_complete = std::filesystem::exists(replicate_output_path(prev, r));
+            }
+            GESMC_CHECK(outputs_complete,
+                        "resume-from \"" + config.resume_from +
+                            "\" has neither matching checkpoints nor a complete "
+                            "set of outputs (wrong directory, output-prefix or "
+                            "replicate count?)");
+            if (log != nullptr) {
+                *log << "pipeline: resume-from " << config.resume_from
+                     << " holds a completed run (checkpoints cleaned); "
+                        "re-running replicates without checkpoints\n";
+            }
+        } else if (log != nullptr) {
             *log << "pipeline: resuming from " << config.resume_from << "/checkpoints\n";
         }
     }
@@ -175,13 +226,18 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     report.replicates.resize(config.replicates);
     const std::vector<std::uint32_t> initial_degrees = initial.degrees();
 
-    run_replicates(pool, config.replicates, config.policy,
-                   [&](const ReplicateSlot& slot) {
+    executor->run(config.replicates, config.policy,
+                  [&](const ReplicateSlot& slot) {
         ReplicateReport& out = report.replicates[slot.index];
         out.index = slot.index;
         out.seed = replicate_seed(config.seed, slot.index);
         Timer timer;
         try {
+            // Drain/cancel: a replicate that has not started is not worth
+            // starting — resume-from (or a resubmit) runs it from scratch.
+            if (interrupted()) {
+                throw InterruptReplicate{0};
+            }
             ChainConfig chain_config;
             chain_config.seed = out.seed;
             chain_config.threads = slot.chain_threads;
@@ -259,6 +315,13 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                     if (observer != nullptr) {
                         observer->on_checkpoint(slot.index, state, path);
                     }
+                    // Drain/cancel: the state just persisted is exactly the
+                    // resume point — stop here instead of running to the
+                    // target.  The completion boundary never throws (the
+                    // replicate is done; finishing beats discarding it).
+                    if (interrupted() && state.stats.supersteps < config.supersteps) {
+                        throw InterruptReplicate{state.stats.supersteps};
+                    }
                 });
                 out.stats = chain->stats();
             }
@@ -286,6 +349,13 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                 out.components = connected_components(adj);
                 out.has_metrics = true;
             }
+        } catch (const InterruptReplicate& stop) {
+            out.error = stop.superstep == 0
+                            ? std::string(kInterruptPrefix) +
+                                  "not started (a resume-from run starts it fresh)"
+                            : std::string(kInterruptPrefix) + "stopped at superstep " +
+                                  std::to_string(stop.superstep) +
+                                  " (checkpointed; a resume-from run continues it)";
         } catch (const std::exception& e) {
             // Exceptions must not cross the pool boundary (scheduler.hpp);
             // record and let the remaining replicates run.
@@ -299,6 +369,31 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
 
     report.chain_name = to_string(algo);
     report.total_seconds = total_timer.elapsed_s();
+
+    // Checkpoints exist to survive interruption; once every replicate
+    // finished cleanly they are dead weight (stale .gesc files shadowing
+    // future runs into the same directory).  keep-checkpoints opts out —
+    // e.g. to seed resume-into-fresh-directory moves later.
+    if (config.checkpoint_every > 0 && !config.keep_checkpoints &&
+        all_succeeded(report)) {
+        std::uint64_t removed = 0;
+        for (std::uint64_t r = 0; r < config.replicates; ++r) {
+            std::error_code ec;
+            if (std::filesystem::remove(checkpoint_path(config.output_dir, config, r),
+                                        ec)) {
+                ++removed;
+            }
+        }
+        std::error_code ec;
+        const std::filesystem::path dir =
+            std::filesystem::path(config.output_dir) / "checkpoints";
+        if (std::filesystem::is_empty(dir, ec) && !ec) std::filesystem::remove(dir, ec);
+        if (log != nullptr && removed > 0) {
+            *log << "pipeline: removed " << removed
+                 << " checkpoint file(s) after the successful run (set "
+                    "keep-checkpoints = true to retain them)\n";
+        }
+    }
 
     if (!config.report_path.empty()) {
         const std::filesystem::path parent =

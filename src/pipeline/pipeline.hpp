@@ -47,9 +47,12 @@
 #include "pipeline/config.hpp"
 #include "pipeline/report.hpp"
 
+#include <atomic>
 #include <iosfwd>
 
 namespace gesmc {
+
+class ReplicateExecutor; // pipeline/scheduler.hpp
 
 /// Materializes the initial graph a run starts from (step 1 + 2).  Exposed
 /// separately so tools and tests can inspect the input without running
@@ -59,6 +62,25 @@ namespace gesmc {
 /// True iff every replicate finished without error.
 [[nodiscard]] bool all_succeeded(const RunReport& report);
 
+/// Execution context for a pipeline run — how the run is hosted and how it
+/// can be stopped from the outside.  The defaults reproduce the standalone
+/// behavior (private pool, uninterruptible); the sampling service injects
+/// its machine-wide executor and a per-job interrupt flag.
+struct PipelineExec {
+    /// Hosts the replicate bodies.  Null: the run owns a private ThreadPool
+    /// of `config.threads` width (the pre-service behavior).
+    ReplicateExecutor* executor = nullptr;
+
+    /// Cooperative stop flag (signal handlers, job cancel, daemon drain).
+    /// Once set: replicates that have not started are recorded as errors
+    /// without running, and running replicates stop at their next
+    /// checkpoint boundary — the checkpoint just written makes the run
+    /// resumable via resume-from.  Replicates without checkpointing run to
+    /// completion (there is no consistent state to stop at).  Null: never
+    /// interrupted.
+    const std::atomic<bool>* interrupt = nullptr;
+};
+
 /// Runs the full pipeline; `log` (may be null) receives human-readable
 /// progress lines.  Writes output graphs and the report file as configured,
 /// and always returns the in-memory report.  A non-null `observer` streams
@@ -67,5 +89,14 @@ namespace gesmc {
 /// from pool threads (see RunObserver).
 RunReport run_pipeline(const PipelineConfig& config, std::ostream* log = nullptr,
                        RunObserver* observer = nullptr);
+
+/// As above, with an injected execution context (see PipelineExec).
+RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
+                       RunObserver* observer, const PipelineExec& exec);
+
+/// True iff `report` records any replicate stopped by PipelineExec::
+/// interrupt (error mentions the interruption marker).  Distinguishes "the
+/// run was drained/cancelled" from "a replicate genuinely failed".
+[[nodiscard]] bool was_interrupted(const RunReport& report);
 
 } // namespace gesmc

@@ -103,36 +103,38 @@ JsonWriter& JsonWriter::value(bool v) {
     return *this;
 }
 
-void JsonWriter::write_escaped(const std::string& s) {
-    os_ << '"';
+void JsonWriter::write_escaped(const std::string& s) { write_json_escaped(os_, s); }
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+    os << '"';
     for (const char c : s) {
         switch (c) {
         case '"':
-            os_ << "\\\"";
+            os << "\\\"";
             break;
         case '\\':
-            os_ << "\\\\";
+            os << "\\\\";
             break;
         case '\n':
-            os_ << "\\n";
+            os << "\\n";
             break;
         case '\t':
-            os_ << "\\t";
+            os << "\\t";
             break;
         case '\r':
-            os_ << "\\r";
+            os << "\\r";
             break;
         default:
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
                 std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                os_ << buf;
+                os << buf;
             } else {
-                os_ << c;
+                os << c;
             }
         }
     }
-    os_ << '"';
+    os << '"';
 }
 
 // -------------------------------------------------------------- RunReport
@@ -163,6 +165,28 @@ void write_stats(JsonWriter& w, const ChainStats& stats) {
 }
 
 } // namespace
+
+void write_replicate_json(JsonWriter& w, const ReplicateReport& r) {
+    w.begin_object();
+    w.kv("index", r.index);
+    w.kv("seed", r.seed);
+    w.kv("seconds", r.seconds);
+    if (r.resumed_supersteps > 0) w.kv("resumed_supersteps", r.resumed_supersteps);
+    if (!r.output_path.empty()) w.kv("output", r.output_path);
+    if (!r.error.empty()) w.kv("error", r.error);
+    w.key("stats");
+    write_stats(w, r.stats);
+    if (r.has_metrics) {
+        w.key("metrics");
+        w.begin_object();
+        w.kv("triangles", r.triangles);
+        w.kv("global_clustering", r.global_clustering);
+        w.kv("assortativity", r.assortativity);
+        w.kv("components", r.components);
+        w.end_object();
+    }
+    w.end_object();
+}
 
 void write_json_report(std::ostream& os, const RunReport& report) {
     JsonWriter w(os);
@@ -207,6 +231,7 @@ void write_json_report(std::ostream& os, const RunReport& report) {
     w.kv("output_format", to_string(report.config.output_format));
     w.kv("checkpoint_every", report.config.checkpoint_every);
     if (!report.config.resume_from.empty()) w.kv("resume_from", report.config.resume_from);
+    if (report.config.keep_checkpoints) w.kv("keep_checkpoints", true);
     w.kv("metrics", report.config.metrics);
     w.kv("verify", report.config.verify);
     w.end_object();
@@ -230,25 +255,7 @@ void write_json_report(std::ostream& os, const RunReport& report) {
     w.key("replicates");
     w.begin_array();
     for (const ReplicateReport& r : report.replicates) {
-        w.begin_object();
-        w.kv("index", r.index);
-        w.kv("seed", r.seed);
-        w.kv("seconds", r.seconds);
-        if (r.resumed_supersteps > 0) w.kv("resumed_supersteps", r.resumed_supersteps);
-        if (!r.output_path.empty()) w.kv("output", r.output_path);
-        if (!r.error.empty()) w.kv("error", r.error);
-        w.key("stats");
-        write_stats(w, r.stats);
-        if (r.has_metrics) {
-            w.key("metrics");
-            w.begin_object();
-            w.kv("triangles", r.triangles);
-            w.kv("global_clustering", r.global_clustering);
-            w.kv("assortativity", r.assortativity);
-            w.kv("components", r.components);
-            w.end_object();
-        }
-        w.end_object();
+        write_replicate_json(w, r);
     }
     w.end_array();
 

@@ -20,6 +20,12 @@
 
 namespace gesmc {
 
+/// Writes `s` double-quoted with RFC 8259 escaping to `os` — the one JSON
+/// string-escaping routine in the library (JsonWriter and the service's
+/// compact frame emitters both call it, so the wire never sees two
+/// escaping dialects).
+void write_json_escaped(std::ostream& os, const std::string& s);
+
 /// Minimal streaming JSON emitter: tracks nesting and comma placement,
 /// escapes strings, prints doubles round-trippably.
 class JsonWriter {
@@ -100,5 +106,10 @@ struct RunReport {
 /// Serializes the report as a self-contained JSON document.
 void write_json_report(std::ostream& os, const RunReport& report);
 void write_json_report_file(const std::string& path, const RunReport& report);
+
+/// Emits one replicate as a JSON object through `w` — the fragment the full
+/// report embeds per replicate, and what the sampling service streams over
+/// the wire as each replicate finishes (docs/service_protocol.md).
+void write_replicate_json(JsonWriter& w, const ReplicateReport& r);
 
 } // namespace gesmc

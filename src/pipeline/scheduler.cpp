@@ -41,4 +41,6 @@ void run_replicates(ThreadPool& pool, std::uint64_t replicates, SchedulePolicy p
     GESMC_CHECK(false, "unresolved schedule policy");
 }
 
+unsigned PoolExecutor::threads() const noexcept { return pool_->num_threads(); }
+
 } // namespace gesmc

@@ -57,4 +57,44 @@ struct ReplicateSlot {
 void run_replicates(ThreadPool& pool, std::uint64_t replicates, SchedulePolicy policy,
                     const std::function<void(const ReplicateSlot&)>& fn);
 
+/// Hosts the replicate bodies of a pipeline run.  The default
+/// implementation (PoolExecutor) drives one caller-owned ThreadPool exactly
+/// like run_replicates; the sampling service substitutes a machine-wide
+/// executor (service/job_manager.hpp SharedExecutor) that multiplexes the
+/// replicates of *many concurrent jobs* over one pool while preserving the
+/// per-job SchedulePolicy.  Implementations inherit run_replicates'
+/// contract: bodies must not throw, and each body completes its replicate
+/// end-to-end before returning.
+class ReplicateExecutor {
+public:
+    virtual ~ReplicateExecutor() = default;
+
+    /// Pool width: resolves SchedulePolicy::kAuto and is reported as
+    /// RunReport::threads.
+    [[nodiscard]] virtual unsigned threads() const noexcept = 0;
+
+    /// Runs `fn` once per replicate index in [0, replicates) under the
+    /// resolved policy; blocks until every body returned.
+    virtual void run(std::uint64_t replicates, SchedulePolicy policy,
+                     const std::function<void(const ReplicateSlot&)>& fn) = 0;
+};
+
+/// ReplicateExecutor over one caller-owned ThreadPool — the single-run
+/// (non-service) path; run_pipeline builds one around a private pool when
+/// no executor is injected.
+class PoolExecutor final : public ReplicateExecutor {
+public:
+    explicit PoolExecutor(ThreadPool& pool) noexcept : pool_(&pool) {}
+
+    [[nodiscard]] unsigned threads() const noexcept override;
+
+    void run(std::uint64_t replicates, SchedulePolicy policy,
+             const std::function<void(const ReplicateSlot&)>& fn) override {
+        run_replicates(*pool_, replicates, policy, fn);
+    }
+
+private:
+    ThreadPool* pool_;
+};
+
 } // namespace gesmc

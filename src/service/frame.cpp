@@ -1,0 +1,166 @@
+#include "service/frame.hpp"
+
+#include "pipeline/report.hpp"
+#include "service/json.hpp"
+
+#include <sstream>
+
+namespace gesmc {
+
+namespace {
+
+void append_le(std::string& out, std::uint64_t value, unsigned bytes) {
+    for (unsigned i = 0; i < bytes; ++i) {
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+    }
+}
+
+std::uint64_t read_le(std::string_view data, std::size_t offset, unsigned bytes) {
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data[offset + i]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+} // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+    // Enforced on both ends: encoding an over-limit frame would hand every
+    // conforming decoder something it must reject mid-stream (the server
+    // degrades the failure to an 'error' event instead).
+    GESMC_CHECK(payload.size() <= kMaxFramePayload,
+                "frame: payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the protocol maximum (chunked graph "
+                    "frames are not implemented yet)");
+    std::string out;
+    out.reserve(9 + payload.size());
+    out.push_back(static_cast<char>(type));
+    append_le(out, payload.size(), 8);
+    out.append(payload);
+    return out;
+}
+
+std::optional<Frame> decode_frame(const char* data, std::size_t size,
+                                  std::size_t& consumed) {
+    consumed = 0;
+    if (size == 0) return std::nullopt;
+    const unsigned char type = static_cast<unsigned char>(data[0]);
+    GESMC_CHECK(type == static_cast<unsigned char>(FrameType::kJson) ||
+                    type == static_cast<unsigned char>(FrameType::kGraph),
+                "frame: unknown type byte " + std::to_string(type));
+    if (size < 9) return std::nullopt;
+    const std::uint64_t length = read_le(std::string_view(data, size), 1, 8);
+    GESMC_CHECK(length <= kMaxFramePayload,
+                "frame: payload length " + std::to_string(length) +
+                    " exceeds the protocol maximum");
+    if (size < 9 + length) return std::nullopt;
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(data + 9, length);
+    consumed = 9 + static_cast<std::size_t>(length);
+    return frame;
+}
+
+std::optional<Frame> FrameReader::next() {
+    std::size_t consumed = 0;
+    std::optional<Frame> frame =
+        decode_frame(buffer_.data() + offset_, buffer_.size() - offset_, consumed);
+    if (!frame.has_value()) return std::nullopt;
+    offset_ += consumed;
+    // Compact once the dead prefix dominates, so long sessions stay O(frame).
+    if (offset_ > buffer_.size() / 2) {
+        buffer_.erase(0, offset_);
+        offset_ = 0;
+    }
+    return frame;
+}
+
+std::string encode_graph_payload(const GraphFrame& graph) {
+    GESMC_CHECK(graph.name.size() <= 0xFFFFFFFFull, "graph frame: name too long");
+    std::string out;
+    out.reserve(12 + graph.name.size() + graph.bytes.size());
+    append_le(out, graph.replicate, 8);
+    append_le(out, graph.name.size(), 4);
+    out.append(graph.name);
+    out.append(graph.bytes);
+    return out;
+}
+
+GraphFrame decode_graph_payload(std::string_view payload) {
+    GESMC_CHECK(payload.size() >= 12, "graph frame: truncated header");
+    GraphFrame graph;
+    graph.replicate = read_le(payload, 0, 8);
+    const std::uint64_t name_len = read_le(payload, 8, 4);
+    GESMC_CHECK(12 + name_len <= payload.size(), "graph frame: truncated name");
+    graph.name.assign(payload.substr(12, name_len));
+    GESMC_CHECK(graph.name.find('/') == std::string::npos &&
+                    graph.name.find('\\') == std::string::npos &&
+                    graph.name != "." && graph.name != ".." && !graph.name.empty(),
+                "graph frame: name is not a plain basename");
+    graph.bytes.assign(payload.substr(12 + name_len));
+    return graph;
+}
+
+std::string to_string(RequestKind kind) {
+    switch (kind) {
+    case RequestKind::kSubmit:
+        return "submit";
+    case RequestKind::kStatus:
+        return "status";
+    case RequestKind::kCancel:
+        return "cancel";
+    case RequestKind::kShutdown:
+        return "shutdown";
+    }
+    return "unknown";
+}
+
+std::string json_quote(std::string_view text) {
+    std::ostringstream os;
+    write_json_escaped(os, std::string(text));
+    return os.str();
+}
+
+Request parse_request(const std::string& json_line) {
+    const JsonValue doc = parse_json(json_line);
+    GESMC_CHECK(doc.is_object(), "request: not a JSON object");
+    const std::string& type = doc.string_member("type");
+
+    Request request;
+    if (type == "submit") {
+        request.kind = RequestKind::kSubmit;
+        request.config_text = doc.string_member("config");
+    } else if (type == "status") {
+        request.kind = RequestKind::kStatus;
+        if (doc.find("job") != nullptr) {
+            request.job = doc.uint_member("job");
+            request.has_job = true;
+        }
+    } else if (type == "cancel") {
+        request.kind = RequestKind::kCancel;
+        request.job = doc.uint_member("job");
+        request.has_job = true;
+    } else if (type == "shutdown") {
+        request.kind = RequestKind::kShutdown;
+    } else {
+        throw Error("request: unknown type \"" + type + "\"");
+    }
+    return request;
+}
+
+std::string make_request_line(const Request& request) {
+    std::string out = "{\"type\": " + json_quote(to_string(request.kind));
+    if (request.kind == RequestKind::kSubmit) {
+        out += ", \"config\": " + json_quote(request.config_text);
+    }
+    if (request.has_job) {
+        out += ", \"job\": " + std::to_string(request.job);
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace gesmc

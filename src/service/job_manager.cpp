@@ -1,0 +1,359 @@
+#include "service/job_manager.hpp"
+
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gesmc {
+
+// --------------------------------------------------------- SharedExecutor
+
+SharedExecutor::SharedExecutor(unsigned threads)
+    : pool_(std::make_unique<ThreadPool>(threads)) {
+    const unsigned n = pool_->num_threads();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+SharedExecutor::~SharedExecutor() {
+    {
+        std::lock_guard lock(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+unsigned SharedExecutor::threads() const noexcept { return pool_->num_threads(); }
+
+void SharedExecutor::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            // Drain before exiting: a run() may still be counting down on
+            // queued tasks when the destructor fires.
+            if (tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void SharedExecutor::run(std::uint64_t replicates, SchedulePolicy policy,
+                         const std::function<void(const ReplicateSlot&)>& fn) {
+    GESMC_CHECK(fn != nullptr, "null replicate body");
+    const SchedulePolicy resolved = resolve_policy(policy, replicates, threads());
+    switch (resolved) {
+    case SchedulePolicy::kReplicates: {
+        // Width-1 tasks on the shared worker team: replicates of *all*
+        // running jobs interleave here — the multi-job analogue of
+        // run_replicates' dynamic grain-1 queue.  The completion state is
+        // heap-shared with every task: the final decrement may race with
+        // run() returning, and a worker must never touch a waiter's dead
+        // stack frame (fn itself is safe by reference — run() cannot
+        // return until the last fn call completed).
+        struct Completion {
+            std::mutex mutex;
+            std::condition_variable cv;
+            std::uint64_t remaining;
+        };
+        auto done = std::make_shared<Completion>();
+        done->remaining = replicates;
+        {
+            std::lock_guard lock(queue_mutex_);
+            GESMC_CHECK(!stopping_, "executor is shutting down");
+            for (std::uint64_t r = 0; r < replicates; ++r) {
+                tasks_.emplace_back([this, r, &fn, done] {
+                    {
+                        std::shared_lock gate(pool_gate_);
+                        fn(ReplicateSlot{r, 1, nullptr});
+                    }
+                    bool last = false;
+                    {
+                        std::lock_guard done_lock(done->mutex);
+                        last = --done->remaining == 0;
+                    }
+                    if (last) done->cv.notify_all();
+                });
+            }
+        }
+        queue_cv_.notify_all();
+        std::unique_lock done_lock(done->mutex);
+        done->cv.wait(done_lock, [&done] { return done->remaining == 0; });
+        return;
+    }
+    case SchedulePolicy::kIntraChain:
+        // One replicate at a time on the whole fork-join pool.  The unique
+        // gate serializes pool borrowers across jobs (ChainConfig contract)
+        // and excludes width-1 tasks while a chain saturates the machine;
+        // it drops between replicates so other jobs interleave.
+        for (std::uint64_t r = 0; r < replicates; ++r) {
+            std::unique_lock gate(pool_gate_);
+            fn(ReplicateSlot{r, threads(), pool_.get()});
+        }
+        return;
+    case SchedulePolicy::kAuto:
+        break; // unreachable: resolve_policy never returns kAuto
+    }
+    GESMC_CHECK(false, "unresolved schedule policy");
+}
+
+// --------------------------------------------------------------- statuses
+
+std::string to_string(JobStatus status) {
+    switch (status) {
+    case JobStatus::kQueued:
+        return "queued";
+    case JobStatus::kRunning:
+        return "running";
+    case JobStatus::kSucceeded:
+        return "succeeded";
+    case JobStatus::kFailed:
+        return "failed";
+    case JobStatus::kCancelled:
+        return "cancelled";
+    case JobStatus::kInterrupted:
+        return "interrupted";
+    }
+    return "unknown";
+}
+
+// ------------------------------------------------------------- JobManager
+
+namespace {
+
+/// Forwards a job's pipeline events to its (possibly null) observer while
+/// counting completed replicates for status frames.
+class CountingObserver final : public RunObserver {
+public:
+    CountingObserver(RunObserver* inner, std::atomic<std::uint64_t>& done)
+        : inner_(inner), done_(&done) {}
+
+    void on_superstep(std::uint64_t replicate, const Chain& chain) override {
+        if (inner_ != nullptr) inner_->on_superstep(replicate, chain);
+    }
+    void on_checkpoint(std::uint64_t replicate, const ChainState& state,
+                       const std::string& path) override {
+        if (inner_ != nullptr) inner_->on_checkpoint(replicate, state, path);
+    }
+    void on_replicate_done(const ReplicateReport& report) override {
+        done_->fetch_add(1, std::memory_order_relaxed);
+        if (inner_ != nullptr) inner_->on_replicate_done(report);
+    }
+
+private:
+    RunObserver* inner_;
+    std::atomic<std::uint64_t>* done_;
+};
+
+} // namespace
+
+JobManager::JobManager(unsigned threads, unsigned max_concurrent)
+    : executor_(threads) {
+    const unsigned runners = std::max(1u, max_concurrent);
+    runners_.reserve(runners);
+    for (unsigned i = 0; i < runners; ++i) {
+        runners_.emplace_back([this] { runner_loop(); });
+    }
+}
+
+JobManager::~JobManager() {
+    drain();
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& r : runners_) r.join();
+}
+
+unsigned JobManager::threads() const noexcept { return executor_.threads(); }
+
+std::uint64_t JobManager::submit(const PipelineConfig& config, RunObserver* observer) {
+    return submit(config, [observer](std::uint64_t) { return observer; });
+}
+
+std::uint64_t
+JobManager::submit(const PipelineConfig& config,
+                   const std::function<RunObserver*(std::uint64_t)>& make_observer) {
+    validate(config); // reject before queueing: submit errors belong to the caller
+    std::lock_guard lock(mutex_);
+    GESMC_CHECK(!draining_, "daemon is draining; not accepting jobs");
+    auto job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->config = config;
+    job->observer = make_observer != nullptr ? make_observer(job->id) : nullptr;
+    jobs_.emplace(job->id, job);
+    queue_.push_back(job);
+    prune_terminal_locked();
+    cv_.notify_all();
+    return job->id;
+}
+
+void JobManager::prune_terminal_locked() {
+    std::size_t terminal = 0;
+    for (const auto& [id, job] : jobs_) {
+        if (is_terminal(job->status)) ++terminal;
+    }
+    for (auto it = jobs_.begin(); terminal > kTerminalJobRetention && it != jobs_.end();) {
+        if (is_terminal(it->second->status)) {
+            it = jobs_.erase(it); // oldest first: map iterates ids ascending
+            --terminal;
+        } else {
+            ++it;
+        }
+    }
+}
+
+JobInfo JobManager::info_locked(const Job& job) const {
+    JobInfo info;
+    info.id = job.id;
+    info.status = job.status;
+    info.algorithm = job.config.algorithm;
+    info.replicates = job.config.replicates;
+    info.replicates_done = job.replicates_done.load(std::memory_order_relaxed);
+    info.output_dir = job.config.output_dir;
+    info.error = job.error;
+    return info;
+}
+
+std::optional<JobInfo> JobManager::job(std::uint64_t id) const {
+    std::lock_guard lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    return info_locked(*it->second);
+}
+
+std::vector<JobInfo> JobManager::jobs() const {
+    std::lock_guard lock(mutex_);
+    std::vector<JobInfo> out;
+    out.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) out.push_back(info_locked(*job));
+    return out;
+}
+
+bool JobManager::cancel(std::uint64_t id) {
+    std::lock_guard lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = *it->second;
+    if (is_terminal(job.status)) return false;
+    job.cancel_requested = true;
+    job.interrupt.store(true, std::memory_order_relaxed);
+    if (job.status == JobStatus::kQueued) {
+        // Never started: finalize here; the runner skips it when popped.
+        job.status = JobStatus::kCancelled;
+        job.error = "cancelled before start";
+        cv_.notify_all();
+    }
+    return true;
+}
+
+JobInfo JobManager::wait(std::uint64_t id) {
+    std::unique_lock lock(mutex_);
+    const auto it = jobs_.find(id);
+    GESMC_CHECK(it != jobs_.end(), "unknown job id " + std::to_string(id));
+    // Own shared_ptr: the job stays valid across the wait even if pruning
+    // evicts it from the map meanwhile.
+    const std::shared_ptr<Job> job = it->second;
+    cv_.wait(lock, [&job] { return is_terminal(job->status); });
+    return info_locked(*job);
+}
+
+void JobManager::finish_job(Job& job, JobStatus status, std::string error) {
+    {
+        std::lock_guard lock(mutex_);
+        job.status = status;
+        job.error = std::move(error);
+    }
+    cv_.notify_all();
+}
+
+void JobManager::drain() {
+    std::unique_lock lock(mutex_);
+    draining_ = true;
+    for (const auto& [id, job] : jobs_) {
+        if (job->status == JobStatus::kQueued) {
+            job->status = JobStatus::kCancelled;
+            job->error = "daemon shutting down before the job started";
+        } else if (job->status == JobStatus::kRunning &&
+                   job->config.checkpoint_every > 0) {
+            // Checkpointed jobs stop at their next boundary and resume
+            // after a daemon restart; uncheckpointed ones run to completion
+            // (there is no consistent state to stop them at).
+            job->interrupt.store(true, std::memory_order_relaxed);
+        }
+    }
+    cv_.notify_all();
+    cv_.wait(lock, [this] {
+        return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& entry) {
+            return is_terminal(entry.second->status);
+        });
+    });
+}
+
+void JobManager::runner_loop() {
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return; // stopping_, nothing left to run
+            job = queue_.front();
+            queue_.pop_front();
+            if (job->status != JobStatus::kQueued) continue; // cancelled in queue
+            job->status = JobStatus::kRunning;
+        }
+
+        CountingObserver observer(job->observer, job->replicates_done);
+        PipelineExec exec;
+        exec.executor = &executor_;
+        exec.interrupt = &job->interrupt;
+        try {
+            const RunReport report = run_pipeline(job->config, nullptr, &observer, exec);
+            std::uint64_t failed = 0;
+            std::string first_error;
+            for (const ReplicateReport& r : report.replicates) {
+                if (r.error.empty()) continue;
+                ++failed;
+                if (first_error.empty()) first_error = r.error;
+            }
+            // cancel_requested is written under mutex_ (cancel()); read it
+            // the same way — the run is over, so the value is final.
+            bool cancel_requested = false;
+            {
+                std::lock_guard lock(mutex_);
+                cancel_requested = job->cancel_requested;
+            }
+            if (failed == 0) {
+                finish_job(*job, JobStatus::kSucceeded, "");
+            } else if (cancel_requested) {
+                finish_job(*job, JobStatus::kCancelled,
+                           "cancelled; " + std::to_string(failed) + " of " +
+                               std::to_string(report.replicates.size()) +
+                               " replicate(s) stopped");
+            } else if (job->interrupt.load(std::memory_order_relaxed)) {
+                finish_job(*job, JobStatus::kInterrupted,
+                           "drained; resubmit with resume-from = \"" +
+                               job->config.output_dir + "\" to continue");
+            } else {
+                finish_job(*job, JobStatus::kFailed,
+                           std::to_string(failed) + " of " +
+                               std::to_string(report.replicates.size()) +
+                               " replicate(s) failed; first: " +
+                               first_error.substr(0, 512));
+            }
+        } catch (const std::exception& e) {
+            finish_job(*job, JobStatus::kFailed, e.what());
+        }
+    }
+}
+
+} // namespace gesmc

@@ -1,0 +1,190 @@
+/// \file job_manager.hpp
+/// \brief Multi-job execution over one shared pool for the sampling daemon.
+///
+/// The daemon's compute core, deliberately socket-free (tests drive it
+/// directly).  Two pieces:
+///
+///   * SharedExecutor — a machine-wide ReplicateExecutor.  One fork-join
+///     ThreadPool plus one team of T task workers serve *every* job:
+///     replicate-parallel jobs enqueue their replicates as width-1 tasks
+///     that interleave freely across jobs; an intra-chain job's replicate
+///     borrows the whole fork-join pool for its parallel supersteps.  A
+///     shared_mutex gate keeps the ChainConfig::shared_pool contract (at
+///     most one chain on the pool at a time) and caps concurrently *active*
+///     threads near T: task workers hold the gate shared, a pool-borrowing
+///     chain holds it unique, so the two modes never compute at once.
+///
+///   * JobManager — admission, queueing and lifecycle.  submit() validates
+///     a PipelineConfig and queues it; max_concurrent runner threads feed
+///     jobs into run_pipeline with the SharedExecutor injected, the job's
+///     RunObserver forwarded (the daemon passes a socket-backed one), and a
+///     per-job interrupt flag wired into PipelineExec.  cancel() trips that
+///     flag (queued jobs never start); drain() — the SIGTERM path —
+///     cancels the queue, interrupts running *checkpointed* jobs at their
+///     next boundary and lets uncheckpointed ones finish, then waits: jobs
+///     either complete or leave resumable checkpoints, never half-written
+///     outputs.  Checkpoint/resume config keys work unchanged, so a daemon
+///     restart resumes in-flight jobs from their output directories.
+#pragma once
+
+#include "pipeline/config.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/scheduler.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gesmc {
+
+class ThreadPool;
+
+/// Machine-wide replicate executor shared by all concurrently running jobs.
+class SharedExecutor final : public ReplicateExecutor {
+public:
+    /// `threads` = 0 resolves to hardware concurrency.
+    explicit SharedExecutor(unsigned threads);
+    ~SharedExecutor() override;
+
+    SharedExecutor(const SharedExecutor&) = delete;
+    SharedExecutor& operator=(const SharedExecutor&) = delete;
+
+    [[nodiscard]] unsigned threads() const noexcept override;
+
+    void run(std::uint64_t replicates, SchedulePolicy policy,
+             const std::function<void(const ReplicateSlot&)>& fn) override;
+
+private:
+    void worker_loop();
+
+    std::unique_ptr<ThreadPool> pool_;  ///< fork-join pool for intra-chain chains
+
+    /// shared: a width-1 replicate task is computing on a task worker;
+    /// unique: a chain is borrowing pool_ for its parallel supersteps.
+    std::shared_mutex pool_gate_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Lifecycle of one submitted job.
+enum class JobStatus {
+    kQueued,       ///< admitted, waiting for a runner slot
+    kRunning,      ///< run_pipeline in flight
+    kSucceeded,    ///< every replicate finished without error
+    kFailed,       ///< run threw, or >= 1 replicate recorded a real error
+    kCancelled,    ///< stopped by an explicit cancel request
+    kInterrupted,  ///< stopped by a daemon drain; checkpoints support resume
+};
+
+[[nodiscard]] std::string to_string(JobStatus status);
+[[nodiscard]] inline bool is_terminal(JobStatus status) noexcept {
+    return status != JobStatus::kQueued && status != JobStatus::kRunning;
+}
+
+/// Snapshot of one job for status frames and callers.
+struct JobInfo {
+    std::uint64_t id = 0;
+    JobStatus status = JobStatus::kQueued;
+    std::string algorithm;
+    std::uint64_t replicates = 0;
+    std::uint64_t replicates_done = 0;  ///< on_replicate_done count (any outcome)
+    std::string output_dir;
+    std::string error;  ///< run-level error (admission errors throw at submit)
+};
+
+class JobManager {
+public:
+    /// `threads`: shared executor width (0 = hardware); `max_concurrent`:
+    /// jobs running at once — admission beyond it queues (>= 1).
+    JobManager(unsigned threads, unsigned max_concurrent);
+    ~JobManager();
+
+    JobManager(const JobManager&) = delete;
+    JobManager& operator=(const JobManager&) = delete;
+
+    /// Validates and queues `config`; returns the job id.  `observer` (may
+    /// be null) receives the job's pipeline events from runner/pool threads
+    /// and must outlive the job (wait for a terminal status before
+    /// destroying it).  Throws Error on an invalid config or when the
+    /// manager is draining.
+    std::uint64_t submit(const PipelineConfig& config, RunObserver* observer);
+
+    /// As above, but the observer is built *knowing its job id*: the
+    /// factory runs under the manager lock before the job can start, so the
+    /// first event a client sees already carries the right id (the server's
+    /// SocketObserver needs this).  The factory may return null.
+    std::uint64_t
+    submit(const PipelineConfig& config,
+           const std::function<RunObserver*(std::uint64_t id)>& make_observer);
+
+    /// Requests a stop: a queued job is finalized kCancelled immediately; a
+    /// running one is interrupted (checkpoint boundary / next replicate).
+    /// Returns false for unknown or already-terminal jobs.
+    bool cancel(std::uint64_t id);
+
+    [[nodiscard]] std::optional<JobInfo> job(std::uint64_t id) const;
+    [[nodiscard]] std::vector<JobInfo> jobs() const;
+
+    /// Blocks until `id` reaches a terminal status; throws on unknown id.
+    JobInfo wait(std::uint64_t id);
+
+    /// Graceful shutdown: refuse new submissions, cancel queued jobs,
+    /// interrupt running checkpointed jobs (uncheckpointed ones finish),
+    /// block until everything is terminal.  Idempotent.
+    void drain();
+
+    [[nodiscard]] unsigned threads() const noexcept;
+
+private:
+    struct Job {
+        std::uint64_t id = 0;
+        PipelineConfig config;
+        RunObserver* observer = nullptr;
+        JobStatus status = JobStatus::kQueued;
+        std::string error;
+        std::atomic<bool> interrupt{false};
+        bool cancel_requested = false;      ///< distinguishes cancel from drain
+        std::atomic<std::uint64_t> replicates_done{0};
+    };
+
+    JobInfo info_locked(const Job& job) const;
+    void runner_loop();
+    void finish_job(Job& job, JobStatus status, std::string error);
+
+    /// Evicts the oldest terminal jobs beyond kTerminalJobRetention so a
+    /// long-lived daemon's memory (and its status frames) stay bounded.
+    /// Queued/running jobs are never evicted; a blocked wait() survives an
+    /// eviction because it holds its own shared_ptr.
+    void prune_terminal_locked();
+
+    /// Terminal jobs kept findable for status/wait after they settle.
+    static constexpr std::size_t kTerminalJobRetention = 64;
+
+    SharedExecutor executor_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;  ///< queue arrivals + status transitions
+    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  ///< by id (ascending)
+    std::uint64_t next_job_id_ = 1;
+    std::deque<std::shared_ptr<Job>> queue_;
+    bool draining_ = false;
+    bool stopping_ = false;
+    std::vector<std::thread> runners_;
+};
+
+} // namespace gesmc

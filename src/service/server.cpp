@@ -1,0 +1,331 @@
+#include "service/server.hpp"
+
+#include "pipeline/config.hpp"
+#include "util/check.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace gesmc {
+
+namespace {
+
+std::string json_event_frame(const std::string& body) {
+    return encode_frame(FrameType::kJson, body);
+}
+
+void append_job_info_json(std::string& out, const JobInfo& info) {
+    out += "{\"job\": " + std::to_string(info.id);
+    out += ", \"status\": " + json_quote(to_string(info.status));
+    out += ", \"algorithm\": " + json_quote(info.algorithm);
+    out += ", \"replicates\": " + std::to_string(info.replicates);
+    out += ", \"replicates_done\": " + std::to_string(info.replicates_done);
+    if (!info.output_dir.empty()) {
+        out += ", \"output_dir\": " + json_quote(info.output_dir);
+    }
+    if (!info.error.empty()) out += ", \"error\": " + json_quote(info.error);
+    out += "}";
+}
+
+} // namespace
+
+// --------------------------------------------------------- SocketObserver
+
+SocketObserver::SocketObserver(int fd, std::uint64_t job_id,
+                               std::function<void()> on_broken)
+    : fd_(fd), job_id_(job_id), on_broken_(std::move(on_broken)) {}
+
+void SocketObserver::send_frame(const std::string& encoded) {
+    if (broken()) return;
+    bool just_broke = false;
+    {
+        std::lock_guard lock(mutex_);
+        if (broken()) return;
+        try {
+            write_all(fd_, encoded);
+        } catch (const std::exception&) {
+            // Client gone: stop streaming for good.  Never rethrow — these
+            // sends run inside pipeline pool threads.
+            broken_.store(true, std::memory_order_relaxed);
+            just_broke = true;
+        }
+    }
+    if (just_broke && on_broken_ != nullptr) on_broken_();
+}
+
+void SocketObserver::on_superstep(std::uint64_t replicate, const Chain& chain) {
+    send_frame(json_event_frame(
+        "{\"event\": \"superstep\", \"job\": " + std::to_string(job_id_) +
+        ", \"replicate\": " + std::to_string(replicate) +
+        ", \"superstep\": " + std::to_string(chain.stats().supersteps) + "}"));
+}
+
+void SocketObserver::on_checkpoint(std::uint64_t replicate, const ChainState& state,
+                                   const std::string& path) {
+    send_frame(json_event_frame(
+        "{\"event\": \"checkpoint\", \"job\": " + std::to_string(job_id_) +
+        ", \"replicate\": " + std::to_string(replicate) +
+        ", \"superstep\": " + std::to_string(state.stats.supersteps) +
+        ", \"path\": " + json_quote(path) + "}"));
+}
+
+void SocketObserver::on_replicate_done(const ReplicateReport& report) {
+    // Report fragment first, then the graph bytes: a client that stops
+    // after the fragment still knows the replicate's outcome.
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("event", "replicate");
+    w.kv("job", job_id_);
+    w.key("report");
+    write_replicate_json(w, report);
+    w.end_object();
+    send_frame(json_event_frame(os.str()));
+
+    if (report.error.empty() && !report.output_path.empty()) {
+        try {
+            GraphFrame graph;
+            graph.replicate = report.index;
+            graph.name =
+                std::filesystem::path(report.output_path).filename().string();
+            graph.bytes = read_file_bytes(report.output_path);
+            send_frame(encode_frame(FrameType::kGraph, encode_graph_payload(graph)));
+        } catch (const std::exception& e) {
+            send_frame(json_event_frame(
+                "{\"event\": \"error\", \"message\": " +
+                json_quote(std::string("graph stream failed: ") + e.what()) + "}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------- ServiceServer
+
+ServiceServer::ServiceServer(const ServerConfig& config)
+    : config_(config), manager_(config.threads, std::max(1u, config.max_jobs)) {
+    GESMC_CHECK(!config_.socket_path.empty(), "service: socket path is required");
+    listen_fd_ = listen_unix(config_.socket_path);
+    int pipe_fds[2];
+    GESMC_CHECK(::pipe(pipe_fds) == 0,
+                std::string("pipe: ") + std::strerror(errno));
+    wake_read_ = FdHandle(pipe_fds[0]);
+    wake_write_ = FdHandle(pipe_fds[1]);
+}
+
+ServiceServer::~ServiceServer() {
+    request_stop();
+    unblock_active_connections();
+    reap_connections(/*join_all=*/true);
+    std::error_code ec;
+    std::filesystem::remove(config_.socket_path, ec);
+}
+
+void ServiceServer::reap_connections(bool join_all) {
+    std::vector<std::thread> joinable;
+    {
+        std::lock_guard lock(connections_mutex_);
+        if (join_all) {
+            for (auto& [id, thread] : connection_threads_) {
+                joinable.push_back(std::move(thread));
+            }
+            connection_threads_.clear();
+            finished_connections_.clear();
+        } else {
+            // A thread can announce completion before serve() stored its
+            // handle; leave such ids queued for the next sweep.
+            std::vector<std::uint64_t> unresolved;
+            for (const std::uint64_t id : finished_connections_) {
+                auto it = connection_threads_.find(id);
+                if (it == connection_threads_.end()) {
+                    unresolved.push_back(id);
+                    continue;
+                }
+                joinable.push_back(std::move(it->second));
+                connection_threads_.erase(it);
+            }
+            finished_connections_ = std::move(unresolved);
+        }
+    }
+    for (std::thread& thread : joinable) {
+        if (thread.joinable()) thread.join();
+    }
+}
+
+void ServiceServer::unblock_active_connections() {
+    std::lock_guard lock(connections_mutex_);
+    for (const auto& [id, fd] : active_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+void ServiceServer::request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+    // Only async-signal-safe calls here: this runs from SIGTERM handlers.
+    if (wake_write_.valid()) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), &byte, 1);
+    }
+}
+
+void ServiceServer::serve(std::ostream* log) {
+    if (log != nullptr) {
+        *log << "gesmc_serve: listening on " << config_.socket_path << " ("
+             << manager_.threads() << " threads, " << std::max(1u, config_.max_jobs)
+             << " concurrent jobs)\n";
+    }
+    while (!stop_.load(std::memory_order_relaxed)) {
+        reap_connections(/*join_all=*/false); // finished threads join instantly
+        pollfd fds[2] = {{listen_fd_.get(), POLLIN, 0}, {wake_read_.get(), POLLIN, 0}};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            throw Error(std::string("poll: ") + std::strerror(errno));
+        }
+        if ((fds[1].revents & POLLIN) != 0) break; // request_stop woke us
+        if ((fds[0].revents & POLLIN) == 0) continue;
+        const int client = ::accept(listen_fd_.get(), nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            throw Error(std::string("accept: ") + std::strerror(errno));
+        }
+        // Send timeout: a client that stops *reading* while keeping the
+        // socket open would otherwise block an observer's send inside a
+        // pool thread forever — wedging its job, and with it drain().
+        // After 10s of a full send buffer the write fails, the observer
+        // marks the stream broken and the job is cancelled instead.
+        const timeval send_timeout{10, 0};
+        ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                     sizeof(send_timeout));
+        std::uint64_t id = 0;
+        {
+            std::lock_guard lock(connections_mutex_);
+            id = next_connection_++;
+            active_fds_.emplace(id, client);
+        }
+        std::thread worker([this, id, fd = FdHandle(client), log]() mutable {
+            try {
+                handle_connection(fd.get(), log);
+            } catch (const std::exception& e) {
+                if (log != nullptr) {
+                    *log << "gesmc_serve: connection error: " << e.what() << "\n";
+                }
+            }
+            // Deregister before the handle closes (the fd stays open until
+            // this lambda's captures die), so a shutdown sweep can never
+            // touch a recycled descriptor; then announce completion.
+            std::lock_guard lock(connections_mutex_);
+            active_fds_.erase(id);
+            finished_connections_.push_back(id);
+        });
+        {
+            std::lock_guard lock(connections_mutex_);
+            connection_threads_.emplace(id, std::move(worker));
+        }
+    }
+
+    if (log != nullptr) {
+        *log << "gesmc_serve: draining (running jobs finish or checkpoint)\n";
+    }
+    // Order matters: drain settles jobs (submit connections wake from
+    // wait() and flush their done frames), then the read-side shutdown
+    // frees threads parked on idle control connections, then join.
+    manager_.drain();
+    unblock_active_connections();
+    reap_connections(/*join_all=*/true);
+    std::error_code ec;
+    std::filesystem::remove(config_.socket_path, ec);
+    if (log != nullptr) *log << "gesmc_serve: drained, exiting\n";
+}
+
+void ServiceServer::handle_connection(int fd, std::ostream* log) {
+    std::string buffer;
+    std::string line;
+    if (!read_line(fd, buffer, line)) return; // client connected and left
+
+    Request request;
+    try {
+        request = parse_request(line);
+    } catch (const std::exception& e) {
+        write_all(fd,
+                  json_event_frame("{\"event\": \"error\", \"message\": " +
+                                   json_quote(e.what()) + "}"));
+        return;
+    }
+
+    switch (request.kind) {
+    case RequestKind::kStatus: {
+        std::string body = "{\"event\": \"status\", \"jobs\": [";
+        bool first = true;
+        for (const JobInfo& info : manager_.jobs()) {
+            if (request.has_job && info.id != request.job) continue;
+            if (!first) body += ", ";
+            first = false;
+            append_job_info_json(body, info);
+        }
+        body += "]}";
+        write_all(fd, json_event_frame(body));
+        return;
+    }
+    case RequestKind::kCancel: {
+        const bool ok = manager_.cancel(request.job);
+        write_all(fd, json_event_frame(
+                                "{\"event\": \"cancelled\", \"job\": " +
+                                std::to_string(request.job) +
+                                ", \"ok\": " + (ok ? "true" : "false") + "}"));
+        return;
+    }
+    case RequestKind::kShutdown:
+        write_all(fd, json_event_frame("{\"event\": \"shutting-down\"}"));
+        request_stop();
+        return;
+    case RequestKind::kSubmit:
+        break; // handled below
+    }
+
+    // Submit: admit the job with a socket-backed observer, then hold the
+    // connection open until the job settles — the observer does the
+    // streaming from pipeline threads in the meantime.
+    std::optional<SocketObserver> observer;
+    std::uint64_t id = 0;
+    try {
+        const PipelineConfig config = read_pipeline_config_string(request.config_text);
+        id = manager_.submit(config, [&](std::uint64_t job_id) -> RunObserver* {
+            observer.emplace(fd, job_id,
+                             [this, job_id] { manager_.cancel(job_id); });
+            // Inside the factory the job cannot have started yet, so
+            // "accepted" is guaranteed to be the stream's first frame.
+            observer->send_frame(json_event_frame(
+                "{\"event\": \"accepted\", \"job\": " + std::to_string(job_id) + "}"));
+            return &*observer;
+        });
+    } catch (const std::exception& e) {
+        write_all(fd,
+                  json_event_frame("{\"event\": \"error\", \"message\": " +
+                                   json_quote(e.what()) + "}"));
+        return;
+    }
+    if (log != nullptr) {
+        *log << "gesmc_serve: job " << id << " accepted\n";
+    }
+
+    const JobInfo info = manager_.wait(id);
+    std::string body = "{\"event\": \"done\", \"job\": " + std::to_string(id) +
+                       ", \"status\": " + json_quote(to_string(info.status)) +
+                       ", \"replicates\": " + std::to_string(info.replicates) +
+                       ", \"replicates_done\": " + std::to_string(info.replicates_done);
+    if (!info.error.empty()) body += ", \"error\": " + json_quote(info.error);
+    body += "}";
+    observer->send_frame(json_event_frame(body));
+    if (log != nullptr) {
+        *log << "gesmc_serve: job " << id << " " << to_string(info.status) << "\n";
+    }
+}
+
+} // namespace gesmc

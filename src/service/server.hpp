@@ -1,0 +1,124 @@
+/// \file server.hpp
+/// \brief Unix-domain socket front-end of the sampling service.
+///
+/// ServiceServer binds the protocol (frame.hpp) to the compute core
+/// (job_manager.hpp): an accept loop hands each connection to its own
+/// thread, which reads one NDJSON control line and answers with
+/// length-prefixed frames.  A submit connection stays open for the job's
+/// lifetime — a SocketObserver forwards the pipeline's on_superstep /
+/// on_checkpoint / on_replicate_done callbacks over the socket as 'J'
+/// event frames and streams each finished replicate's output file as a
+/// 'G' graph frame, so clients see results exactly as they land on the
+/// daemon's disk.  status / cancel / shutdown connections answer one 'J'
+/// frame and close.
+///
+/// Shutdown (client "shutdown" frame or SIGTERM via request_stop) stops
+/// accepting, drains the JobManager — running checkpointed jobs stop at
+/// their next checkpoint boundary, uncheckpointed ones finish — and joins
+/// every connection thread before serve() returns.
+#pragma once
+
+#include "service/job_manager.hpp"
+#include "service/socket.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gesmc {
+
+struct ServerConfig {
+    std::string socket_path;   ///< Unix-domain socket to listen on
+    unsigned threads = 0;      ///< shared executor width (0 = hardware)
+    unsigned max_jobs = 2;     ///< jobs running concurrently; others queue
+};
+
+/// RunObserver streaming one job's pipeline events over one connection.
+/// Callbacks fire concurrently from pool threads (RunObserver contract), so
+/// every send is serialized by a mutex.  A failed send (client vanished)
+/// flips broken() permanently, drops all further output, and invokes the
+/// on_broken callback once — the server wires that to JobManager::cancel so
+/// an orphaned job stops wasting the machine.  Never throws: observer
+/// callbacks unwind through the pipeline's pool threads.
+class SocketObserver final : public RunObserver {
+public:
+    SocketObserver(int fd, std::uint64_t job_id, std::function<void()> on_broken);
+
+    void on_superstep(std::uint64_t replicate, const Chain& chain) override;
+    void on_checkpoint(std::uint64_t replicate, const ChainState& state,
+                       const std::string& path) override;
+    void on_replicate_done(const ReplicateReport& report) override;
+
+    [[nodiscard]] bool broken() const noexcept {
+        return broken_.load(std::memory_order_relaxed);
+    }
+
+    /// Sends an already-encoded frame (used by the server for job-level
+    /// events on the same stream); drops it silently once broken.
+    void send_frame(const std::string& encoded);
+
+private:
+    std::mutex mutex_;
+    int fd_;
+    std::uint64_t job_id_;
+    std::function<void()> on_broken_;
+    std::atomic<bool> broken_{false};
+};
+
+class ServiceServer {
+public:
+    /// Binds the socket (throws Error on failure, e.g. a live daemon
+    /// already listening) and starts the job manager; serve() must follow.
+    explicit ServiceServer(const ServerConfig& config);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer&) = delete;
+    ServiceServer& operator=(const ServiceServer&) = delete;
+
+    /// Accept loop: blocks until request_stop() (or a client shutdown
+    /// frame), then drains jobs and joins connection threads.  `log` (may
+    /// be null) receives human-readable progress lines.
+    void serve(std::ostream* log);
+
+    /// Triggers shutdown from another thread or a signal handler — only
+    /// writes one byte to an internal pipe (async-signal-safe).
+    void request_stop() noexcept;
+
+    [[nodiscard]] const std::string& socket_path() const noexcept {
+        return config_.socket_path;
+    }
+
+private:
+    /// Serves one connection; `fd` stays owned (and open) by the caller.
+    void handle_connection(int fd, std::ostream* log);
+
+    /// Joins connection threads that announced completion (each accept
+    /// iteration, so a long-lived daemon never accumulates dead threads);
+    /// `join_all` additionally blocks on the still-running ones (shutdown).
+    void reap_connections(bool join_all);
+
+    /// shutdown(SHUT_RD) on every live connection so threads blocked
+    /// reading a control line from an idle client wake with EOF instead of
+    /// hanging the daemon's exit; pending writes (done frames) still flush.
+    void unblock_active_connections();
+
+    ServerConfig config_;
+    JobManager manager_;
+    FdHandle listen_fd_;
+    FdHandle wake_read_;
+    FdHandle wake_write_;
+    std::atomic<bool> stop_{false};
+
+    std::mutex connections_mutex_;
+    std::uint64_t next_connection_ = 0;
+    std::map<std::uint64_t, std::thread> connection_threads_;
+    std::map<std::uint64_t, int> active_fds_;  ///< live connections, by id
+    std::vector<std::uint64_t> finished_connections_;  ///< awaiting join
+};
+
+} // namespace gesmc

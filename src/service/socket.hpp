@@ -1,0 +1,83 @@
+/// \file socket.hpp
+/// \brief POSIX Unix-domain socket plumbing for the sampling service.
+///
+/// Thin RAII + error-checked wrappers shared by the daemon (gesmc_serve),
+/// the client (gesmc_submit) and the in-process protocol tests.  All
+/// transfer helpers loop over partial reads/writes and retry EINTR; writes
+/// use MSG_NOSIGNAL so a vanished peer surfaces as an Error (EPIPE), never
+/// as a process-killing SIGPIPE — the daemon must survive any client.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "service/frame.hpp"
+
+namespace gesmc {
+
+/// RAII file descriptor (socket, pipe end, ...).
+class FdHandle {
+public:
+    FdHandle() = default;
+    explicit FdHandle(int fd) noexcept : fd_(fd) {}
+    ~FdHandle() { reset(); }
+
+    FdHandle(const FdHandle&) = delete;
+    FdHandle& operator=(const FdHandle&) = delete;
+    FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    FdHandle& operator=(FdHandle&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    void reset() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Creates, binds and listens on a Unix-domain stream socket at `path`.
+/// A stale socket file with no listener behind it (daemon killed hard) is
+/// unlinked and rebound; a *live* listener raises Error instead of being
+/// hijacked.  Throws Error on any failure (path too long, permissions...).
+[[nodiscard]] FdHandle listen_unix(const std::string& path, int backlog = 16);
+
+/// Connects to the daemon socket at `path`; throws Error on failure.
+[[nodiscard]] FdHandle connect_unix(const std::string& path);
+
+/// Writes the whole buffer (retrying partial writes / EINTR); throws Error
+/// on failure — EPIPE means the peer is gone.
+void write_all(int fd, const char* data, std::size_t size);
+inline void write_all(int fd, const std::string& data) {
+    write_all(fd, data.data(), data.size());
+}
+
+/// Appends up to one read's worth of bytes to `buffer`.  Returns false on
+/// orderly EOF, true otherwise; throws Error on a read error.
+[[nodiscard]] bool read_some(int fd, std::string& buffer);
+
+/// Blocking convenience: feeds `reader` from `fd` until it yields a frame.
+/// Returns nullopt on EOF before a complete frame; throws Error on read
+/// errors or malformed frames.
+[[nodiscard]] std::optional<Frame> read_frame(int fd, FrameReader& reader);
+
+/// Blocking convenience: reads one '\n'-terminated line into `line` (the
+/// newline is stripped), buffering extra bytes in `buffer` across calls.
+/// Returns false on EOF before any newline; throws Error on read errors or
+/// on a line longer than `max_line`.
+[[nodiscard]] bool read_line(int fd, std::string& buffer, std::string& line,
+                             std::size_t max_line = 1 << 26);
+
+/// Whole local file as bytes — what both ends of the protocol ship over
+/// frames (the daemon streams replicate outputs, the client a config
+/// document).  Throws Error when the file cannot be opened.
+[[nodiscard]] std::string read_file_bytes(const std::string& path);
+
+} // namespace gesmc

@@ -280,6 +280,9 @@ PipelineConfig resume_test_config(const fs::path& out_dir, const std::string& al
     c.metrics = false;
     c.output_dir = out_dir.string();
     c.checkpoint_every = 2;
+    // These tests resume from *successful* runs, so the finished markers
+    // must survive the run (the default deletes them; see CheckpointCleanup).
+    c.keep_checkpoints = true;
     return c;
 }
 
@@ -396,6 +399,122 @@ TEST(PipelineResume, RejectsCheckpointsFromADifferentRun) {
     wrong_algo.resume_from = dir.string();
     const RunReport report2 = run_pipeline(wrong_algo);
     EXPECT_FALSE(all_succeeded(report2));
+}
+
+// --------------------------------------------------- checkpoint cleanup
+
+TEST(CheckpointCleanup, SuccessfulRunDeletesItsCheckpointsByDefault) {
+    const fs::path dir = scratch_dir("cleanup_default");
+    PipelineConfig c = resume_test_config(dir, "par-global-es");
+    c.keep_checkpoints = false; // the default a fresh PipelineConfig carries
+    ASSERT_TRUE(all_succeeded(run_pipeline(c)));
+    // Outputs stay, the checkpoint files and their directory are gone.
+    for (std::uint64_t r = 0; r < c.replicates; ++r) {
+        EXPECT_TRUE(fs::exists(dir / ("replicate_" + std::to_string(r) + ".txt")));
+    }
+    EXPECT_FALSE(fs::exists(dir / "checkpoints"));
+}
+
+TEST(CheckpointCleanup, KeepCheckpointsRetainsThem) {
+    const fs::path dir = scratch_dir("cleanup_keep");
+    PipelineConfig c = resume_test_config(dir, "par-global-es");
+    ASSERT_TRUE(c.keep_checkpoints);
+    ASSERT_TRUE(all_succeeded(run_pipeline(c)));
+    for (std::uint64_t r = 0; r < c.replicates; ++r) {
+        EXPECT_TRUE(fs::exists(dir / "checkpoints" /
+                               ("replicate_" + std::to_string(r) + ".gesc")));
+    }
+}
+
+TEST(CheckpointCleanup, ResumeToleratesACompletedRunWhoseCheckpointsWereCleaned) {
+    // A drained job can win its race and finish; its checkpoints are then
+    // cleaned.  The documented recovery — resubmit with resume-from — must
+    // still work: replicates recompute to byte-identical outputs instead
+    // of failing on the missing checkpoints.
+    const fs::path dir = scratch_dir("cleanup_resume");
+    PipelineConfig c = resume_test_config(dir, "par-global-es");
+    c.keep_checkpoints = false;
+    const RunReport first = run_pipeline(c);
+    ASSERT_TRUE(all_succeeded(first));
+    ASSERT_FALSE(fs::exists(dir / "checkpoints"));
+
+    const fs::path dir2 = scratch_dir("cleanup_resume_again");
+    PipelineConfig resume = resume_test_config(dir2, "par-global-es");
+    resume.keep_checkpoints = false;
+    resume.resume_from = dir.string();
+    const RunReport again = run_pipeline(resume);
+    ASSERT_TRUE(all_succeeded(again));
+    for (std::uint64_t r = 0; r < first.replicates.size(); ++r) {
+        EXPECT_EQ(slurp(first.replicates[r].output_path),
+                  slurp(again.replicates[r].output_path));
+    }
+
+    // A genuinely wrong directory still fails fast.
+    PipelineConfig wrong = resume_test_config(dir, "par-global-es");
+    wrong.resume_from = (dir / "nonexistent").string();
+    EXPECT_THROW(run_pipeline(wrong), Error);
+}
+
+// ------------------------------------------------------- interrupt / drain
+
+TEST(PipelineInterrupt, InterruptKeepsCheckpointsAndResumesByteIdentically) {
+    // The drain path end-to-end in-process: an observer flips the interrupt
+    // flag at the first checkpoint, every replicate stops at a boundary
+    // with its state persisted, and a resume finishes the run to outputs
+    // byte-identical to an uninterrupted reference.
+    const fs::path dir_ref = scratch_dir("interrupt_ref");
+    const fs::path dir_int = scratch_dir("interrupt_int");
+
+    const RunReport ref = run_pipeline(resume_test_config(dir_ref, "par-global-es"));
+    ASSERT_TRUE(all_succeeded(ref));
+
+    class InterruptAtFirstCheckpoint final : public RunObserver {
+    public:
+        explicit InterruptAtFirstCheckpoint(std::atomic<bool>& flag) : flag_(&flag) {}
+        void on_checkpoint(std::uint64_t, const ChainState&,
+                           const std::string&) override {
+            flag_->store(true, std::memory_order_relaxed);
+        }
+
+    private:
+        std::atomic<bool>* flag_;
+    };
+
+    std::atomic<bool> interrupt{false};
+    InterruptAtFirstCheckpoint observer(interrupt);
+    PipelineExec exec;
+    exec.interrupt = &interrupt;
+    PipelineConfig c = resume_test_config(dir_int, "par-global-es");
+    c.keep_checkpoints = false; // interrupted runs must keep them regardless
+    const RunReport stopped = run_pipeline(c, nullptr, &observer, exec);
+    EXPECT_FALSE(all_succeeded(stopped));
+    EXPECT_TRUE(was_interrupted(stopped));
+    EXPECT_TRUE(fs::exists(dir_int / "checkpoints"));
+
+    PipelineConfig resume = resume_test_config(dir_int, "par-global-es");
+    resume.resume_from = dir_int.string();
+    const RunReport resumed = run_pipeline(resume);
+    ASSERT_TRUE(all_succeeded(resumed));
+    EXPECT_FALSE(was_interrupted(resumed));
+    for (std::uint64_t r = 0; r < ref.replicates.size(); ++r) {
+        EXPECT_EQ(slurp(ref.replicates[r].output_path),
+                  slurp(resumed.replicates[r].output_path))
+            << "replicate " << r;
+    }
+}
+
+TEST(PipelineInterrupt, PreSetFlagStopsEveryReplicateBeforeItStarts) {
+    const fs::path dir = scratch_dir("interrupt_preset");
+    std::atomic<bool> interrupt{true};
+    PipelineExec exec;
+    exec.interrupt = &interrupt;
+    const RunReport report =
+        run_pipeline(resume_test_config(dir, "seq-es"), nullptr, nullptr, exec);
+    EXPECT_TRUE(was_interrupted(report));
+    for (const ReplicateReport& r : report.replicates) {
+        EXPECT_FALSE(r.error.empty());
+        EXPECT_EQ(r.stats.supersteps, 0u);
+    }
 }
 
 TEST(PipelineResume, ValidateRequiresOutputDirForCheckpoints) {

@@ -20,8 +20,11 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 
 namespace gesmc {
 namespace {
@@ -421,6 +424,91 @@ TEST(Pipeline, RejectsInputsTooSmallToSwitch) {
     c.input_path = path;
     c.replicates = 2;
     EXPECT_THROW(run_pipeline(c), Error); // rejected up front, before replicates
+}
+
+// ------------------------------------------- concurrent observer delivery
+
+TEST(RunObserverConcurrency, ReplicateParallelDeliveryIsOrderedPerReplicate) {
+    // Stress the RunObserver contract under the replicate-parallel policy:
+    // callbacks fire concurrently from pool threads, but *per replicate*
+    // the stream must still read like a single chain's life — superstep
+    // counters strictly increasing, checkpoints at their boundaries, and
+    // exactly one on_replicate_done as the final event.  Run under ASan in
+    // CI, this also shakes out data races in the delivery path.
+    struct Event {
+        enum Kind { kSuperstep, kCheckpoint, kDone } kind;
+        std::uint64_t superstep;
+    };
+
+    class Recorder final : public RunObserver {
+    public:
+        void on_superstep(std::uint64_t replicate, const Chain& chain) override {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            events_[replicate].push_back({Event::kSuperstep, chain.stats().supersteps});
+            threads_.insert(std::this_thread::get_id());
+        }
+        void on_checkpoint(std::uint64_t replicate, const ChainState& state,
+                           const std::string&) override {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            events_[replicate].push_back({Event::kCheckpoint, state.stats.supersteps});
+        }
+        void on_replicate_done(const ReplicateReport& r) override {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            events_[r.index].push_back({Event::kDone, 0});
+        }
+
+        std::mutex mutex_;
+        std::map<std::uint64_t, std::vector<Event>> events_;
+        std::set<std::thread::id> threads_;
+    };
+
+    const fs::path dir = scratch_dir("observer_stress");
+    PipelineConfig c = small_run_config("par-global-es", dir);
+    c.replicates = 16;
+    c.supersteps = 6;
+    c.threads = 4;
+    c.policy = SchedulePolicy::kReplicates;
+    c.checkpoint_every = 2;
+
+    Recorder recorder;
+    const RunReport report = run_pipeline(c, nullptr, &recorder);
+    ASSERT_TRUE(all_succeeded(report));
+
+    ASSERT_EQ(recorder.events_.size(), c.replicates);
+    for (const auto& [replicate, events] : recorder.events_) {
+        // 6 supersteps + 3 checkpoints (the last the finished marker) + done.
+        ASSERT_EQ(events.size(), c.supersteps + 3 + 1) << "replicate " << replicate;
+
+        std::uint64_t last_superstep = 0;
+        std::uint64_t supersteps = 0, checkpoints = 0, done = 0;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const Event& e = events[i];
+            switch (e.kind) {
+            case Event::kSuperstep:
+                ++supersteps;
+                EXPECT_EQ(e.superstep, last_superstep + 1)
+                    << "superstep monotonicity, replicate " << replicate;
+                last_superstep = e.superstep;
+                break;
+            case Event::kCheckpoint:
+                ++checkpoints;
+                // A checkpoint snapshots the state *at* the last superstep.
+                EXPECT_EQ(e.superstep, last_superstep)
+                    << "checkpoint boundary, replicate " << replicate;
+                EXPECT_EQ(e.superstep % c.checkpoint_every, 0u);
+                break;
+            case Event::kDone:
+                ++done;
+                EXPECT_EQ(i, events.size() - 1)
+                    << "on_replicate_done must be last, replicate " << replicate;
+                break;
+            }
+        }
+        EXPECT_EQ(supersteps, c.supersteps);
+        EXPECT_EQ(checkpoints, 3u);
+        EXPECT_EQ(done, 1u);
+        EXPECT_EQ(last_superstep, c.supersteps);
+    }
 }
 
 } // namespace

@@ -1,0 +1,544 @@
+// Tests for the sampling service: JSON/control-frame parsing, stream-frame
+// encode/decode round-trips and malformed-frame rejection, multi-job
+// admission of the JobManager over one shared executor (byte-identical to
+// direct pipeline runs), cancel semantics for queued and running jobs,
+// drain/resume, and an end-to-end Unix-socket session against a live
+// ServiceServer.
+#include "pipeline/config.hpp"
+#include "pipeline/pipeline.hpp"
+#include "service/frame.hpp"
+#include "service/job_manager.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace gesmc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+fs::path scratch_dir(const std::string& name) {
+    const fs::path dir = fs::path(testing::TempDir()) / ("gesmc_svc_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/// A small generator-input job config writing binary graphs into `out`.
+PipelineConfig job_config(const fs::path& out, std::uint64_t seed) {
+    PipelineConfig c;
+    c.input_kind = InputKind::kGenerator;
+    c.generator = "powerlaw";
+    c.gen_n = 300;
+    c.gen_gamma = 2.2;
+    c.algorithm = "par-global-es";
+    c.supersteps = 4;
+    c.replicates = 3;
+    c.seed = seed;
+    c.metrics = false;
+    c.output_dir = out.string();
+    c.output_format = OutputFormat::kBinary;
+    return c;
+}
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(ServiceJson, ParsesScalarsObjectsAndArrays) {
+    const JsonValue doc = parse_json(
+        R"({"type": "submit", "job": 42, "ok": true, "none": null,)"
+        R"( "pi": 3.25, "neg": -7, "exp": 1e3, "list": [1, "two", false]})");
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.string_member("type"), "submit");
+    EXPECT_EQ(doc.uint_member("job"), 42u);
+    EXPECT_TRUE(doc.find("ok")->bool_value);
+    EXPECT_TRUE(doc.find("none")->is_null());
+    EXPECT_DOUBLE_EQ(doc.find("pi")->number_value, 3.25);
+    EXPECT_DOUBLE_EQ(doc.find("neg")->number_value, -7.0);
+    EXPECT_DOUBLE_EQ(doc.find("exp")->number_value, 1000.0);
+    const JsonValue* list = doc.find("list");
+    ASSERT_TRUE(list != nullptr && list->is_array());
+    ASSERT_EQ(list->array_items.size(), 3u);
+    EXPECT_EQ(list->array_items[1].string_value, "two");
+}
+
+TEST(ServiceJson, DecodesStringEscapes) {
+    const JsonValue doc =
+        parse_json(R"({"s": "a\nb\t\"q\"\\ A é 😀"})");
+    // A = 'A', é = e-acute (2 UTF-8 bytes), the surrogate pair a
+    // 4-byte emoji.
+    EXPECT_EQ(doc.string_member("s"), "a\nb\t\"q\"\\ A \xC3\xA9 \xF0\x9F\x98\x80");
+}
+
+TEST(ServiceJson, RejectsMalformedDocuments) {
+    EXPECT_THROW(parse_json(""), Error);
+    EXPECT_THROW(parse_json("{"), Error);
+    EXPECT_THROW(parse_json("{\"a\": }"), Error);
+    EXPECT_THROW(parse_json("{\"a\": 1,}"), Error);
+    EXPECT_THROW(parse_json("{\"a\": 01}"), Error);
+    EXPECT_THROW(parse_json("[1, 2"), Error);
+    EXPECT_THROW(parse_json("tru"), Error);
+    EXPECT_THROW(parse_json("\"unterminated"), Error);
+    EXPECT_THROW(parse_json("\"bad \\x escape\""), Error);
+    EXPECT_THROW(parse_json("\"lone \\ud800 surrogate\""), Error);
+    EXPECT_THROW(parse_json("{} trailing"), Error);
+    EXPECT_THROW(parse_json("{\"a\": 1} {\"b\": 2}"), Error);
+    // Unescaped control characters are not valid JSON strings.
+    EXPECT_THROW(parse_json("\"a\nb\""), Error);
+    // Nesting bomb: rejected by depth, not by stack overflow.
+    EXPECT_THROW(parse_json(std::string(1000, '[') + std::string(1000, ']')), Error);
+}
+
+// ---------------------------------------------------------- stream frames
+
+TEST(ServiceFrames, EncodeDecodeRoundTrip) {
+    const std::string payload = "{\"event\": \"accepted\", \"job\": 1}";
+    const std::string encoded = encode_frame(FrameType::kJson, payload);
+    ASSERT_EQ(encoded.size(), 9 + payload.size());
+
+    std::size_t consumed = 0;
+    const auto frame = decode_frame(encoded.data(), encoded.size(), consumed);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(consumed, encoded.size());
+    EXPECT_EQ(frame->type, FrameType::kJson);
+    EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(ServiceFrames, BinaryPayloadsSurviveUnchanged) {
+    std::string binary;
+    for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+    const std::string encoded = encode_frame(FrameType::kGraph, binary);
+    std::size_t consumed = 0;
+    const auto frame = decode_frame(encoded.data(), encoded.size(), consumed);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, FrameType::kGraph);
+    EXPECT_EQ(frame->payload, binary);
+}
+
+TEST(ServiceFrames, ReaderReassemblesByteWiseDelivery) {
+    // A TCP-like stream can fragment arbitrarily: feed one byte at a time
+    // and require exactly the original frame sequence back.
+    const std::string stream = encode_frame(FrameType::kJson, "first") +
+                               encode_frame(FrameType::kGraph, std::string("\0\x01", 2)) +
+                               encode_frame(FrameType::kJson, "");
+    FrameReader reader;
+    std::vector<Frame> frames;
+    for (const char byte : stream) {
+        reader.feed(&byte, 1);
+        while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].payload, "first");
+    EXPECT_EQ(frames[1].payload, std::string("\0\x01", 2));
+    EXPECT_EQ(frames[2].payload, "");
+}
+
+TEST(ServiceFrames, RejectsMalformedFrames) {
+    std::size_t consumed = 0;
+    // Unknown type byte: rejected immediately, even before the length.
+    const char bad_type[] = {'X', 0, 0, 0, 0, 0, 0, 0, 0};
+    EXPECT_THROW((void)decode_frame(bad_type, sizeof(bad_type), consumed), Error);
+
+    // Length prefix beyond the protocol maximum.
+    std::string huge;
+    huge.push_back('J');
+    for (int i = 0; i < 8; ++i) huge.push_back(static_cast<char>(0xFF));
+    EXPECT_THROW((void)decode_frame(huge.data(), huge.size(), consumed), Error);
+
+    // Truncation is not an error — it means "wait for more bytes".
+    const std::string ok = encode_frame(FrameType::kJson, "payload");
+    for (std::size_t cut = 0; cut < ok.size(); ++cut) {
+        const auto frame = decode_frame(ok.data(), cut, consumed);
+        EXPECT_FALSE(frame.has_value()) << "cut at " << cut;
+        EXPECT_EQ(consumed, 0u);
+    }
+}
+
+TEST(ServiceFrames, GraphPayloadRoundTripsAndRejectsGarbage) {
+    GraphFrame graph;
+    graph.replicate = 7;
+    graph.name = "replicate_07.gesb";
+    graph.bytes = std::string("GESB\x01 raw bytes \x00\xFF", 18);
+    const std::string payload = encode_graph_payload(graph);
+    const GraphFrame back = decode_graph_payload(payload);
+    EXPECT_EQ(back.replicate, 7u);
+    EXPECT_EQ(back.name, graph.name);
+    EXPECT_EQ(back.bytes, graph.bytes);
+
+    EXPECT_THROW((void)decode_graph_payload("short"), Error);
+    EXPECT_THROW((void)decode_graph_payload(payload.substr(0, 14)), Error);
+    // Path-traversal names must never reach the client's filesystem.
+    GraphFrame evil = graph;
+    evil.name = "../../etc/passwd";
+    const std::string evil_payload = encode_graph_payload(evil);
+    EXPECT_THROW((void)decode_graph_payload(evil_payload), Error);
+}
+
+// --------------------------------------------------------- control frames
+
+TEST(ServiceRequests, RoundTripThroughTheWireFormat) {
+    Request submit;
+    submit.kind = RequestKind::kSubmit;
+    submit.config_text = "replicates = 4\nseed = 9\n# comment with \"quotes\"\n";
+    const std::string line = make_request_line(submit);
+    EXPECT_EQ(line.back(), '\n');
+    const Request back = parse_request(line.substr(0, line.size() - 1));
+    EXPECT_EQ(back.kind, RequestKind::kSubmit);
+    EXPECT_EQ(back.config_text, submit.config_text);
+
+    Request cancel;
+    cancel.kind = RequestKind::kCancel;
+    cancel.job = 12;
+    cancel.has_job = true;
+    const Request cancel_back =
+        parse_request(make_request_line(cancel).substr(0, make_request_line(cancel).size() - 1));
+    EXPECT_EQ(cancel_back.kind, RequestKind::kCancel);
+    EXPECT_EQ(cancel_back.job, 12u);
+}
+
+TEST(ServiceRequests, RejectsUnknownAndIncompleteRequests) {
+    EXPECT_THROW((void)parse_request("not json at all"), Error);
+    EXPECT_THROW((void)parse_request("[1, 2, 3]"), Error);
+    EXPECT_THROW((void)parse_request("{\"type\": \"frobnicate\"}"), Error);
+    EXPECT_THROW((void)parse_request("{\"type\": \"submit\"}"), Error);   // no config
+    EXPECT_THROW((void)parse_request("{\"type\": \"cancel\"}"), Error);   // no job
+    EXPECT_THROW((void)parse_request("{\"type\": \"cancel\", \"job\": -1}"), Error);
+    EXPECT_THROW((void)parse_request("{\"type\": 42}"), Error);
+}
+
+// ------------------------------------------------------------- JobManager
+
+TEST(JobManager, RunsConcurrentJobsOverOnePoolByteIdentically) {
+    // Two jobs admitted together against one shared executor must produce
+    // exactly what two direct run_pipeline calls produce: scheduling across
+    // jobs must never leak into results (counter-based randomness).
+    const fs::path direct_a = scratch_dir("jm_direct_a");
+    const fs::path direct_b = scratch_dir("jm_direct_b");
+    const RunReport ref_a = run_pipeline(job_config(direct_a, 101));
+    const RunReport ref_b = run_pipeline(job_config(direct_b, 202));
+    ASSERT_TRUE(all_succeeded(ref_a));
+    ASSERT_TRUE(all_succeeded(ref_b));
+
+    const fs::path svc_a = scratch_dir("jm_svc_a");
+    const fs::path svc_b = scratch_dir("jm_svc_b");
+    JobManager manager(2, 2);
+    const std::uint64_t id_a = manager.submit(job_config(svc_a, 101), nullptr);
+    const std::uint64_t id_b = manager.submit(job_config(svc_b, 202), nullptr);
+    EXPECT_NE(id_a, id_b);
+    const JobInfo done_a = manager.wait(id_a);
+    const JobInfo done_b = manager.wait(id_b);
+    EXPECT_EQ(done_a.status, JobStatus::kSucceeded) << done_a.error;
+    EXPECT_EQ(done_b.status, JobStatus::kSucceeded) << done_b.error;
+    EXPECT_EQ(done_a.replicates_done, 3u);
+
+    for (std::uint64_t r = 0; r < ref_a.replicates.size(); ++r) {
+        EXPECT_EQ(slurp(ref_a.replicates[r].output_path),
+                  slurp((svc_a / fs::path(ref_a.replicates[r].output_path).filename())
+                            .string()));
+        EXPECT_EQ(slurp(ref_b.replicates[r].output_path),
+                  slurp((svc_b / fs::path(ref_b.replicates[r].output_path).filename())
+                            .string()));
+    }
+}
+
+TEST(JobManager, RespectsPerJobSchedulePolicies) {
+    // An intra-chain job (borrows the whole fork-join pool per chain) and a
+    // replicate-parallel job run concurrently against the same executor.
+    const fs::path dir_intra = scratch_dir("jm_intra");
+    const fs::path dir_repl = scratch_dir("jm_repl");
+    PipelineConfig intra = job_config(dir_intra, 7);
+    intra.policy = SchedulePolicy::kIntraChain;
+    PipelineConfig repl = job_config(dir_repl, 8);
+    repl.policy = SchedulePolicy::kReplicates;
+
+    const fs::path ref_dir = scratch_dir("jm_policy_ref");
+    PipelineConfig ref_config = job_config(ref_dir, 7);
+    const RunReport ref = run_pipeline(ref_config);
+    ASSERT_TRUE(all_succeeded(ref));
+
+    JobManager manager(2, 2);
+    const std::uint64_t id_intra = manager.submit(intra, nullptr);
+    const std::uint64_t id_repl = manager.submit(repl, nullptr);
+    EXPECT_EQ(manager.wait(id_intra).status, JobStatus::kSucceeded);
+    EXPECT_EQ(manager.wait(id_repl).status, JobStatus::kSucceeded);
+
+    // Policy never changes bytes (exact chains): the intra-chain job
+    // matches the default-policy reference run with the same seed.
+    for (std::uint64_t r = 0; r < ref.replicates.size(); ++r) {
+        EXPECT_EQ(slurp(ref.replicates[r].output_path),
+                  slurp((dir_intra / fs::path(ref.replicates[r].output_path).filename())
+                            .string()));
+    }
+}
+
+TEST(JobManager, RejectsInvalidConfigsAtSubmit) {
+    JobManager manager(1, 1);
+    PipelineConfig bad; // no input at all
+    EXPECT_THROW((void)manager.submit(bad, nullptr), Error);
+    EXPECT_TRUE(manager.jobs().empty());
+}
+
+TEST(JobManager, CancelsQueuedJobsBeforeTheyStart) {
+    // One runner slot: job B sits queued behind a long-running A and must
+    // be cancellable without ever starting.
+    const fs::path dir_a = scratch_dir("jm_cancel_a");
+    const fs::path dir_b = scratch_dir("jm_cancel_b");
+    PipelineConfig long_a = job_config(dir_a, 1);
+    long_a.gen_n = 2000;
+    long_a.supersteps = 50;
+    long_a.replicates = 4;
+
+    JobManager manager(1, 1);
+    const std::uint64_t id_a = manager.submit(long_a, nullptr);
+    const std::uint64_t id_b = manager.submit(job_config(dir_b, 2), nullptr);
+
+    EXPECT_TRUE(manager.cancel(id_b));
+    const JobInfo info_b = manager.wait(id_b);
+    EXPECT_EQ(info_b.status, JobStatus::kCancelled);
+    EXPECT_EQ(info_b.replicates_done, 0u);
+    EXPECT_FALSE(fs::exists(dir_b / "replicate_0.gesb")); // never ran
+
+    EXPECT_TRUE(manager.cancel(id_a));
+    const JobInfo info_a = manager.wait(id_a);
+    EXPECT_EQ(info_a.status, JobStatus::kCancelled);
+    // Terminal jobs cannot be re-cancelled; unknown ids are refused.
+    EXPECT_FALSE(manager.cancel(id_a));
+    EXPECT_FALSE(manager.cancel(9999));
+}
+
+TEST(JobManager, CancelInterruptsARunningCheckpointedJob) {
+    const fs::path dir = scratch_dir("jm_cancel_running");
+    PipelineConfig config = job_config(dir, 5);
+    config.gen_n = 1500;
+    config.supersteps = 200; // long enough to still be running when cancelled
+    config.replicates = 2;
+    config.checkpoint_every = 1;
+
+    class FirstCheckpoint final : public RunObserver {
+    public:
+        void on_checkpoint(std::uint64_t, const ChainState&,
+                           const std::string&) override {
+            seen.store(true, std::memory_order_relaxed);
+        }
+        std::atomic<bool> seen{false};
+    };
+
+    JobManager manager(2, 1);
+    FirstCheckpoint observer;
+    const std::uint64_t id = manager.submit(config, &observer);
+    while (!observer.seen.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+    }
+    EXPECT_TRUE(manager.cancel(id));
+    const JobInfo info = manager.wait(id);
+    EXPECT_EQ(info.status, JobStatus::kCancelled);
+    // The interrupted replicates checkpointed: the job is resumable.
+    EXPECT_TRUE(fs::exists(dir / "checkpoints"));
+}
+
+TEST(JobManager, DrainInterruptsCheckpointedJobsAndResumeFinishesThem) {
+    // The SIGTERM path minus the signal: drain() stops a running
+    // checkpointed job at a boundary; a resume run (as after a daemon
+    // restart) finishes it byte-identically to an uninterrupted reference.
+    const fs::path ref_dir = scratch_dir("jm_drain_ref");
+    PipelineConfig ref_config = job_config(ref_dir, 33);
+    ref_config.supersteps = 30;
+    const RunReport ref = run_pipeline(ref_config);
+    ASSERT_TRUE(all_succeeded(ref));
+
+    const fs::path dir = scratch_dir("jm_drain");
+    PipelineConfig config = job_config(dir, 33);
+    config.supersteps = 30;
+    config.checkpoint_every = 1;
+
+    class FirstCheckpoint final : public RunObserver {
+    public:
+        void on_checkpoint(std::uint64_t, const ChainState&,
+                           const std::string&) override {
+            seen.store(true, std::memory_order_relaxed);
+        }
+        std::atomic<bool> seen{false};
+    };
+
+    FirstCheckpoint observer;
+    JobStatus drained_status;
+    {
+        JobManager manager(2, 1);
+        const std::uint64_t id = manager.submit(config, &observer);
+        while (!observer.seen.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+        }
+        manager.drain();
+        drained_status = manager.wait(id).status;
+    } // destructor: a second drain must be a no-op
+
+    // The job either finished before drain noticed (tiny graphs move fast)
+    // or was interrupted; both must leave a resumable/complete directory.
+    ASSERT_TRUE(drained_status == JobStatus::kInterrupted ||
+                drained_status == JobStatus::kSucceeded);
+
+    PipelineConfig resume = job_config(dir, 33);
+    resume.supersteps = 30;
+    resume.checkpoint_every = 1;
+    resume.resume_from = dir.string();
+    const RunReport resumed = run_pipeline(resume);
+    ASSERT_TRUE(all_succeeded(resumed));
+    for (std::uint64_t r = 0; r < ref.replicates.size(); ++r) {
+        EXPECT_EQ(slurp(ref.replicates[r].output_path),
+                  slurp(resumed.replicates[r].output_path))
+            << "replicate " << r;
+    }
+}
+
+TEST(JobManager, RefusesSubmissionsWhileDraining) {
+    JobManager manager(1, 1);
+    manager.drain();
+    EXPECT_THROW((void)manager.submit(job_config(scratch_dir("jm_refuse"), 1), nullptr),
+                 Error);
+}
+
+// ------------------------------------------------- end-to-end over socket
+
+TEST(ServiceServer, SubmitStreamsFramesByteIdenticalToADirectRun) {
+    const fs::path dir = scratch_dir("e2e");
+    const std::string socket_path = (dir / "sock").string();
+
+    ServerConfig server_config;
+    server_config.socket_path = socket_path;
+    server_config.threads = 2;
+    server_config.max_jobs = 2;
+    ServiceServer server(server_config);
+    std::thread server_thread([&server] { server.serve(nullptr); });
+    // An assertion failure must not leave server_thread joinable (that
+    // would terminate() and eat the failure message).
+    struct StopGuard {
+        ServiceServer* server;
+        std::thread* thread;
+        ~StopGuard() {
+            server->request_stop();
+            if (thread->joinable()) thread->join();
+        }
+    } guard{&server, &server_thread};
+
+    const fs::path job_dir = dir / "job";
+    std::ostringstream config_text;
+    config_text << "input-kind = generator\ngenerator = powerlaw\ngen-n = 300\n"
+                << "algorithm = par-global-es\nsupersteps = 4\nreplicates = 3\n"
+                << "seed = 77\nmetrics = false\noutput-format = binary\n"
+                << "output-dir = " << job_dir.string() << "\n";
+
+    // Submit and collect the full frame stream.
+    std::vector<Frame> frames;
+    {
+        const FdHandle fd = connect_unix(socket_path);
+        Request request;
+        request.kind = RequestKind::kSubmit;
+        request.config_text = config_text.str();
+        write_all(fd.get(), make_request_line(request));
+        FrameReader reader;
+        for (;;) {
+            auto frame = read_frame(fd.get(), reader);
+            ASSERT_TRUE(frame.has_value()) << "connection closed before done";
+            const bool is_done =
+                frame->type == FrameType::kJson &&
+                parse_json(frame->payload).string_member("event") == "done";
+            frames.push_back(std::move(*frame));
+            if (is_done) break;
+        }
+    }
+
+    // First frame: accepted.  Last: done/succeeded.
+    ASSERT_GE(frames.size(), 3u);
+    EXPECT_EQ(parse_json(frames.front().payload).string_member("event"), "accepted");
+    const JsonValue done = parse_json(frames.back().payload);
+    EXPECT_EQ(done.string_member("status"), "succeeded");
+    EXPECT_EQ(done.uint_member("replicates_done"), 3u);
+
+    // The streamed graph bytes equal a direct pipeline run's outputs.
+    const fs::path direct_dir = scratch_dir("e2e_direct");
+    const RunReport ref = run_pipeline(job_config(direct_dir, 77));
+    ASSERT_TRUE(all_succeeded(ref));
+    std::uint64_t graphs = 0;
+    for (const Frame& frame : frames) {
+        if (frame.type != FrameType::kGraph) continue;
+        const GraphFrame graph = decode_graph_payload(frame.payload);
+        EXPECT_EQ(graph.bytes,
+                  slurp((direct_dir / graph.name).string()))
+            << graph.name;
+        ++graphs;
+    }
+    EXPECT_EQ(graphs, 3u);
+
+    // Status over a second connection sees the finished job.
+    {
+        const FdHandle fd = connect_unix(socket_path);
+        Request request;
+        request.kind = RequestKind::kStatus;
+        write_all(fd.get(), make_request_line(request));
+        FrameReader reader;
+        const auto frame = read_frame(fd.get(), reader);
+        ASSERT_TRUE(frame.has_value());
+        const JsonValue status = parse_json(frame->payload);
+        ASSERT_EQ(status.find("jobs")->array_items.size(), 1u);
+        EXPECT_EQ(status.find("jobs")->array_items[0].string_member("status"),
+                  "succeeded");
+    }
+
+    // Malformed control data answers with an error frame, not a hangup.
+    {
+        const FdHandle fd = connect_unix(socket_path);
+        write_all(fd.get(), std::string("this is not json\n"));
+        FrameReader reader;
+        const auto frame = read_frame(fd.get(), reader);
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(parse_json(frame->payload).string_member("event"), "error");
+    }
+
+    // An idle client that connects and never sends a line must not be able
+    // to hang the daemon's shutdown (its read is cut by SHUT_RD).
+    const FdHandle idle = connect_unix(socket_path);
+
+    // Shutdown via the protocol; serve() drains and returns.
+    {
+        const FdHandle fd = connect_unix(socket_path);
+        Request request;
+        request.kind = RequestKind::kShutdown;
+        write_all(fd.get(), make_request_line(request));
+        FrameReader reader;
+        const auto frame = read_frame(fd.get(), reader);
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(parse_json(frame->payload).string_member("event"), "shutting-down");
+    }
+    server_thread.join(); // the shutdown frame alone must stop serve()
+    EXPECT_FALSE(fs::exists(socket_path)); // socket file cleaned up
+}
+
+TEST(ServiceServer, RefusesASecondDaemonOnALiveSocket) {
+    const fs::path dir = scratch_dir("e2e_live");
+    ServerConfig config;
+    config.socket_path = (dir / "sock").string();
+    config.threads = 1;
+    config.max_jobs = 1;
+    ServiceServer server(config);
+    EXPECT_THROW(ServiceServer second(config), Error);
+    // No serve() ever ran; destruction must still be clean.
+}
+
+} // namespace
+} // namespace gesmc

@@ -18,6 +18,8 @@
 #include "util/timer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -195,6 +197,28 @@ std::optional<Options> parse(int argc, char** argv) {
     return opt;
 }
 
+std::atomic<bool> g_interrupt{false};
+
+void handle_signal(int) { g_interrupt.store(true, std::memory_order_relaxed); }
+
+/// Thrown from the checkpoint boundary when SIGINT/SIGTERM arrived: the
+/// snapshot just written is the resume point, so the run stops cleanly
+/// instead of dying mid-write.
+struct Interrupted {
+    std::uint64_t superstep;
+};
+
+/// Installed only when periodic checkpointing is on (see gesmc_sample for
+/// the rationale); SA_RESETHAND keeps a second Ctrl-C as the instant kill.
+void install_interrupt_handlers() {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = handle_signal;
+    action.sa_flags = SA_RESETHAND | SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
 EdgeList build_graph(const Options& opt) {
     if (!opt.input.empty()) return read_any_edge_list_file(opt.input);
     if (opt.gen == "powerlaw") {
@@ -275,14 +299,32 @@ int main(int argc, char** argv) {
 
         SuperstepPrinter printer(opt->supersteps);
         RunObserver* observer = opt->progress ? &printer : nullptr;
+        if (!opt->checkpoint.empty() && opt->checkpoint_every > 0) {
+            install_interrupt_handlers();
+        }
         Timer timer;
-        run_checkpointed(*chain, opt->supersteps, opt->checkpoint_every, observer, 0,
-                         [&] {
-            if (opt->checkpoint.empty()) return;
-            write_chain_state_file_atomic(opt->checkpoint, chain->snapshot());
-            std::cerr << "checkpoint: superstep " << chain->stats().supersteps
-                      << " -> " << opt->checkpoint << "\n";
-        });
+        try {
+            run_checkpointed(*chain, opt->supersteps, opt->checkpoint_every, observer, 0,
+                             [&] {
+                if (opt->checkpoint.empty()) return;
+                write_chain_state_file_atomic(opt->checkpoint, chain->snapshot());
+                std::cerr << "checkpoint: superstep " << chain->stats().supersteps
+                          << " -> " << opt->checkpoint << "\n";
+                // SIGINT/SIGTERM: the snapshot just written is the resume
+                // point — stop here instead of dying mid-run (the
+                // completion boundary finishes the run instead).
+                if (g_interrupt.load(std::memory_order_relaxed) &&
+                    chain->stats().supersteps < opt->supersteps) {
+                    throw Interrupted{chain->stats().supersteps};
+                }
+            });
+        } catch (const Interrupted& stop) {
+            std::cerr << "interrupted at superstep " << stop.superstep
+                      << ": state saved to " << opt->checkpoint
+                      << "; continue with --resume " << opt->checkpoint
+                      << " --supersteps " << opt->supersteps << "\n";
+            return 130;
+        }
         const double secs = timer.elapsed_s();
 
         const auto& st = chain->stats();

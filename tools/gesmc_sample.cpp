@@ -22,6 +22,9 @@
 #include "util/format.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstring>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -92,6 +95,25 @@ struct CliEntry {
     std::string key;
     std::string value;
 };
+
+std::atomic<bool> g_interrupt{false};
+
+void handle_signal(int) { g_interrupt.store(true, std::memory_order_relaxed); }
+
+/// SIGINT/SIGTERM stop the run at checkpoint boundaries instead of killing
+/// it mid-write: replicates persist their state and the process exits
+/// cleanly with a resume hint.  Only installed when checkpointing is on —
+/// without checkpoints there is no consistent state to stop at, so the
+/// default die-now behavior is the honest one.  SA_RESETHAND keeps a
+/// second Ctrl-C as the immediate kill.
+void install_interrupt_handlers() {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = handle_signal;
+    action.sa_flags = SA_RESETHAND | SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
 
 } // namespace
 
@@ -198,8 +220,24 @@ int main(int argc, char** argv) {
         }
         std::optional<ProgressPrinter> printer;
         if (progress) printer.emplace(config.replicates);
+        PipelineExec exec;
+        if (config.checkpoint_every > 0) {
+            install_interrupt_handlers();
+            exec.interrupt = &g_interrupt;
+        }
         const RunReport report = run_pipeline(config, quiet ? nullptr : &std::cerr,
-                                              progress ? &*printer : nullptr);
+                                              progress ? &*printer : nullptr, exec);
+        // was_interrupted, not the raw flag: a signal landing after the
+        // final checkpoint check leaves a fully successful run (whose
+        // checkpoints were just cleaned up) — that run must exit 0, not
+        // point a resume hint at deleted files.
+        if (was_interrupted(report)) {
+            std::cerr << "interrupted: per-replicate state checkpointed under "
+                      << config.output_dir << "/checkpoints; continue with --resume "
+                      << config.output_dir << "\n";
+            if (config.report_path.empty()) write_json_report(std::cout, report);
+            return 130;
+        }
         if (config.report_path.empty()) {
             // No report file requested: put the JSON on stdout so the run is
             // still machine-consumable (--quiet only silences progress).

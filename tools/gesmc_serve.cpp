@@ -1,0 +1,112 @@
+/// \file gesmc_serve.cpp
+/// \brief Sampling-service daemon: a long-lived process owning the shared
+/// thread pool, accepting sampling jobs over a Unix-domain socket.
+///
+/// Null-model pipelines submit config documents (the same "key = value"
+/// vocabulary gesmc_sample reads) and get replicate graphs + report
+/// fragments streamed back as they finish — no fork/exec per run, one
+/// machine-wide pool across all jobs.  Protocol: docs/service_protocol.md;
+/// client: gesmc_submit.
+///
+///   gesmc_serve --socket /tmp/gesmc.sock
+///   gesmc_serve --socket /tmp/gesmc.sock --threads 16 --max-jobs 4
+///
+/// SIGTERM/SIGINT drain gracefully: running checkpointed jobs stop at
+/// their next checkpoint boundary (resumable after a restart via
+/// resume-from), uncheckpointed jobs finish, queued jobs are cancelled,
+/// then the daemon exits 0.
+#include "service/server.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace gesmc;
+
+namespace {
+
+constexpr const char* kUsage = R"(gesmc_serve — sampling service daemon
+
+Options:
+  --socket PATH   Unix-domain socket to listen on (required)
+  --threads P     shared pool width, 0 = hardware concurrency  [0]
+  --max-jobs N    jobs running concurrently; others queue      [2]
+  --quiet         suppress progress logging
+  --help          this text
+
+Submit jobs with gesmc_submit; frame layout in docs/service_protocol.md.
+SIGTERM drains: running jobs finish or checkpoint, then the daemon exits.
+)";
+
+ServiceServer* g_server = nullptr;
+
+void handle_signal(int) {
+    // Async-signal-safe: request_stop only stores a flag + writes a pipe.
+    if (g_server != nullptr) g_server->request_stop();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    ServerConfig config;
+    bool quiet = false;
+
+    auto need_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* v = nullptr;
+        if (arg == "--help") {
+            std::cout << kUsage;
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--socket") {
+            if (!(v = need_value(i))) return 2;
+            config.socket_path = v;
+        } else if (arg == "--threads") {
+            if (!(v = need_value(i))) return 2;
+            config.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--max-jobs") {
+            if (!(v = need_value(i))) return 2;
+            config.max_jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            if (config.max_jobs == 0) {
+                std::cerr << "--max-jobs must be >= 1\n";
+                return 2;
+            }
+        } else {
+            std::cerr << "unknown option: " << arg << "\n" << kUsage;
+            return 2;
+        }
+    }
+    if (config.socket_path.empty()) {
+        std::cerr << "--socket PATH is required\n" << kUsage;
+        return 2;
+    }
+
+    try {
+        ServiceServer server(config);
+        g_server = &server;
+
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_handler = handle_signal;
+        sigaction(SIGTERM, &action, nullptr);
+        sigaction(SIGINT, &action, nullptr);
+
+        server.serve(quiet ? nullptr : &std::cerr);
+        g_server = nullptr;
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

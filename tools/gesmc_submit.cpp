@@ -1,0 +1,286 @@
+/// \file gesmc_submit.cpp
+/// \brief Sampling-service client: submits a job to a running gesmc_serve
+/// daemon and streams the results to disk as they arrive.
+///
+///   gesmc_submit --socket /tmp/gesmc.sock --config run.cfg --stream-dir out/
+///   gesmc_submit --socket /tmp/gesmc.sock --config run.cfg --set seed=7
+///   gesmc_submit --socket /tmp/gesmc.sock --status
+///   gesmc_submit --socket /tmp/gesmc.sock --cancel 3
+///   gesmc_submit --socket /tmp/gesmc.sock --shutdown
+///
+/// A submitted config document travels verbatim (same "key = value" keys as
+/// gesmc_sample); --set overrides append lines, later entries win.  The
+/// daemon streams 'J' event frames (progress, checkpoints, per-replicate
+/// report fragments) and one 'G' frame per finished replicate carrying the
+/// output graph byte-identical to the daemon-side file; with --stream-dir
+/// the graphs land under their original basenames plus an events.log of
+/// every JSON payload.  Exit code mirrors the job: 0 succeeded, 1
+/// otherwise (failed / cancelled / interrupted / connection lost).
+#include "service/frame.hpp"
+#include "service/json.hpp"
+#include "service/socket.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gesmc;
+
+namespace {
+
+constexpr const char* kUsage = R"(gesmc_submit — sampling service client
+
+Connection:
+  --socket PATH     gesmc_serve Unix-domain socket (required)
+
+Submit (default action):
+  --config FILE     pipeline config to submit ("key = value" lines)
+  --set KEY=VALUE   append a config override (repeatable, later wins)
+  --stream-dir DIR  save streamed replicate graphs + events.log into DIR
+  --quiet           suppress per-replicate progress lines
+
+Control actions:
+  --status          print all jobs' status JSON to stdout
+  --job N           restrict --status to one job
+  --cancel N        cancel job N
+  --shutdown        drain and stop the daemon
+
+Exit code: the job's outcome (0 = succeeded), 2 = usage error.
+)";
+
+/// One-shot control round-trip: send `request`, print the single 'J'
+/// response payload to stdout.  Returns the process exit code.
+int control_action(const std::string& socket_path, const Request& request) {
+    const FdHandle fd = connect_unix(socket_path);
+    write_all(fd.get(), make_request_line(request));
+    FrameReader reader;
+    const std::optional<Frame> frame = read_frame(fd.get(), reader);
+    if (!frame.has_value()) {
+        std::cerr << "error: daemon closed the connection without answering\n";
+        return 1;
+    }
+    std::cout << frame->payload << "\n";
+    const JsonValue doc = parse_json(frame->payload);
+    const JsonValue* event = doc.find("event");
+    if (event != nullptr && event->is_string() && event->string_value == "error") {
+        return 1;
+    }
+    // A refused action (e.g. cancelling an unknown or already-terminal
+    // job) answers ok:false — scripts must see that in the exit code.
+    const JsonValue* ok = doc.find("ok");
+    if (ok != nullptr && ok->is_bool() && !ok->bool_value) return 1;
+    return 0;
+}
+
+struct SubmitOptions {
+    std::string socket_path;
+    std::string config_path;
+    std::vector<std::string> overrides; ///< "key=value" entries, in order
+    std::string stream_dir;
+    bool quiet = false;
+};
+
+int submit_action(const SubmitOptions& options) {
+    // Config text travels verbatim; overrides append lines (later wins,
+    // matching gesmc_sample's CLI-over-file precedence).
+    std::string config_text;
+    if (!options.config_path.empty()) config_text = read_file_bytes(options.config_path);
+    for (const std::string& entry : options.overrides) {
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos) {
+            std::cerr << "--set expects KEY=VALUE, got: " << entry << "\n";
+            return 2;
+        }
+        if (!config_text.empty() && config_text.back() != '\n') config_text += '\n';
+        config_text += entry.substr(0, eq) + " = " + entry.substr(eq + 1) + "\n";
+    }
+    if (config_text.empty()) {
+        std::cerr << "nothing to submit: give --config and/or --set\n";
+        return 2;
+    }
+
+    std::optional<std::ofstream> events_log;
+    if (!options.stream_dir.empty()) {
+        std::filesystem::create_directories(options.stream_dir);
+        events_log.emplace(
+            (std::filesystem::path(options.stream_dir) / "events.log").string(),
+            std::ios::binary);
+        if (!events_log->good()) {
+            std::cerr << "error: cannot write events.log under " << options.stream_dir
+                      << "\n";
+            return 1;
+        }
+    }
+
+    const FdHandle fd = connect_unix(options.socket_path);
+    Request request;
+    request.kind = RequestKind::kSubmit;
+    request.config_text = config_text;
+    write_all(fd.get(), make_request_line(request));
+
+    FrameReader reader;
+    std::string final_status;
+    std::uint64_t graphs_saved = 0;
+    for (;;) {
+        const std::optional<Frame> frame = read_frame(fd.get(), reader);
+        if (!frame.has_value()) {
+            std::cerr << "error: connection closed before the job finished\n";
+            return 1;
+        }
+        if (frame->type == FrameType::kGraph) {
+            const GraphFrame graph = decode_graph_payload(frame->payload);
+            if (!options.stream_dir.empty()) {
+                const std::string path =
+                    (std::filesystem::path(options.stream_dir) / graph.name).string();
+                std::ofstream os(path, std::ios::binary);
+                if (!os.good()) throw Error("cannot write " + path);
+                os.write(graph.bytes.data(),
+                         static_cast<std::streamsize>(graph.bytes.size()));
+                ++graphs_saved;
+                if (!options.quiet) {
+                    std::cerr << "streamed replicate " << graph.replicate << " -> "
+                              << path << " (" << graph.bytes.size() << " bytes)\n";
+                }
+            }
+            continue;
+        }
+        if (events_log.has_value()) *events_log << frame->payload << "\n";
+        const JsonValue doc = parse_json(frame->payload);
+        const std::string& event = doc.string_member("event");
+        if (event == "accepted") {
+            if (!options.quiet) {
+                std::cerr << "job " << doc.uint_member("job") << " accepted\n";
+            }
+        } else if (event == "replicate") {
+            if (!options.quiet) {
+                const JsonValue* report = doc.find("report");
+                std::cerr << "replicate";
+                if (report != nullptr && report->find("index") != nullptr) {
+                    std::cerr << " " << report->uint_member("index");
+                }
+                if (report != nullptr && report->find("error") != nullptr) {
+                    std::cerr << " FAILED: " << report->string_member("error");
+                } else {
+                    std::cerr << " done";
+                }
+                std::cerr << "\n";
+            }
+        } else if (event == "error") {
+            std::cerr << "error: " << doc.string_member("message") << "\n";
+            return 1;
+        } else if (event == "done") {
+            final_status = doc.string_member("status");
+            if (!options.quiet) {
+                std::cerr << "job " << doc.uint_member("job") << " " << final_status;
+                if (doc.find("error") != nullptr) {
+                    std::cerr << " (" << doc.string_member("error") << ")";
+                }
+                std::cerr << "\n";
+            }
+            break;
+        }
+        // superstep / checkpoint events: logged to events.log only.
+    }
+    if (!options.stream_dir.empty() && !options.quiet) {
+        std::cerr << graphs_saved << " replicate graph(s) saved under "
+                  << options.stream_dir << "\n";
+    }
+    return final_status == "succeeded" ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path;
+    SubmitOptions submit;
+    enum class Action { kSubmit, kStatus, kCancel, kShutdown };
+    Action action = Action::kSubmit;
+    std::uint64_t job = 0;
+    bool has_job = false;
+
+    auto need_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* v = nullptr;
+        if (arg == "--help") {
+            std::cout << kUsage;
+            return 0;
+        } else if (arg == "--quiet") {
+            submit.quiet = true;
+        } else if (arg == "--socket") {
+            if (!(v = need_value(i))) return 2;
+            socket_path = v;
+        } else if (arg == "--config") {
+            if (!(v = need_value(i))) return 2;
+            submit.config_path = v;
+        } else if (arg == "--set") {
+            if (!(v = need_value(i))) return 2;
+            submit.overrides.emplace_back(v);
+        } else if (arg == "--stream-dir") {
+            if (!(v = need_value(i))) return 2;
+            submit.stream_dir = v;
+        } else if (arg == "--status") {
+            action = Action::kStatus;
+        } else if (arg == "--job") {
+            if (!(v = need_value(i))) return 2;
+            job = std::strtoull(v, nullptr, 10);
+            has_job = true;
+        } else if (arg == "--cancel") {
+            if (!(v = need_value(i))) return 2;
+            action = Action::kCancel;
+            job = std::strtoull(v, nullptr, 10);
+            has_job = true;
+        } else if (arg == "--shutdown") {
+            action = Action::kShutdown;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n" << kUsage;
+            return 2;
+        }
+    }
+    if (socket_path.empty()) {
+        std::cerr << "--socket PATH is required\n" << kUsage;
+        return 2;
+    }
+
+    try {
+        switch (action) {
+        case Action::kSubmit:
+            submit.socket_path = socket_path;
+            return submit_action(submit);
+        case Action::kStatus: {
+            Request request;
+            request.kind = RequestKind::kStatus;
+            request.job = job;
+            request.has_job = has_job;
+            return control_action(socket_path, request);
+        }
+        case Action::kCancel: {
+            Request request;
+            request.kind = RequestKind::kCancel;
+            request.job = job;
+            request.has_job = true;
+            return control_action(socket_path, request);
+        }
+        case Action::kShutdown: {
+            Request request;
+            request.kind = RequestKind::kShutdown;
+            return control_action(socket_path, request);
+        }
+        }
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
