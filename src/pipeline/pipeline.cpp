@@ -116,9 +116,13 @@ bool all_succeeded(const RunReport& report) {
     return true;
 }
 
+bool is_interrupt_error(const std::string& error) {
+    return error.rfind(kInterruptPrefix, 0) == 0;
+}
+
 bool was_interrupted(const RunReport& report) {
     for (const ReplicateReport& r : report.replicates) {
-        if (r.error.rfind(kInterruptPrefix, 0) == 0) return true;
+        if (is_interrupt_error(r.error)) return true;
     }
     return false;
 }

@@ -94,6 +94,10 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log = nullptr
 RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                        RunObserver* observer, const PipelineExec& exec);
 
+/// True iff `error` is the interruption marker a replicate records when
+/// stopped by PipelineExec::interrupt, as opposed to a genuine failure.
+[[nodiscard]] bool is_interrupt_error(const std::string& error);
+
 /// True iff `report` records any replicate stopped by PipelineExec::
 /// interrupt (error mentions the interruption marker).  Distinguishes "the
 /// run was drained/cancelled" from "a replicate genuinely failed".

@@ -184,15 +184,47 @@ std::uint64_t
 JobManager::submit(const PipelineConfig& config,
                    const std::function<RunObserver*(std::uint64_t)>& make_observer) {
     validate(config); // reject before queueing: submit errors belong to the caller
-    std::lock_guard lock(mutex_);
-    GESMC_CHECK(!draining_, "daemon is draining; not accepting jobs");
     auto job = std::make_shared<Job>();
-    job->id = next_job_id_++;
     job->config = config;
-    job->observer = make_observer != nullptr ? make_observer(job->id) : nullptr;
-    jobs_.emplace(job->id, job);
-    queue_.push_back(job);
-    prune_terminal_locked();
+    {
+        std::lock_guard lock(mutex_);
+        GESMC_CHECK(!draining_, "daemon is draining; not accepting jobs");
+        job->id = next_job_id_++;
+        jobs_.emplace(job->id, job);
+        prune_terminal_locked();
+    }
+
+    // The factory runs *outside* the manager lock: the server's factory does
+    // blocking socket I/O (the "accepted" frame), and its failure path calls
+    // cancel(), which re-locks this mutex — under the lock that is a
+    // self-deadlock and a slow client would stall every other request.  The
+    // job is already registered, so such a cancel lands; it is not yet
+    // queued, so no runner can start it — the factory's first frame still
+    // precedes every pipeline event.
+    RunObserver* observer = nullptr;
+    if (make_observer != nullptr) {
+        try {
+            observer = make_observer(job->id);
+        } catch (...) {
+            {
+                std::lock_guard lock(mutex_);
+                if (!is_terminal(job->status)) {
+                    job->status = JobStatus::kFailed;
+                    job->error = "observer construction failed";
+                }
+            }
+            cv_.notify_all();
+            throw;
+        }
+    }
+
+    {
+        std::lock_guard lock(mutex_);
+        job->observer = observer;
+        // Cancelled (or drained) while the factory ran: already terminal —
+        // queueing it would only make a runner skip it.
+        if (job->status == JobStatus::kQueued) queue_.push_back(job);
+    }
     cv_.notify_all();
     return job->id;
 }
@@ -318,10 +350,20 @@ void JobManager::runner_loop() {
         exec.interrupt = &job->interrupt;
         try {
             const RunReport report = run_pipeline(job->config, nullptr, &observer, exec);
+            // A replicate error is either the interrupt marker (the chain
+            // stopped at a cancel/drain boundary — resumable) or a genuine
+            // failure.  Only genuine failures may fail the job; only marker
+            // errors may classify it interrupted/cancelled — an interrupt
+            // flag alone must not mask real failures behind a resume hint.
             std::uint64_t failed = 0;
+            std::uint64_t stopped = 0;
             std::string first_error;
             for (const ReplicateReport& r : report.replicates) {
                 if (r.error.empty()) continue;
+                if (is_interrupt_error(r.error)) {
+                    ++stopped;
+                    continue;
+                }
                 ++failed;
                 if (first_error.empty()) first_error = r.error;
             }
@@ -332,23 +374,27 @@ void JobManager::runner_loop() {
                 std::lock_guard lock(mutex_);
                 cancel_requested = job->cancel_requested;
             }
-            if (failed == 0) {
+            if (failed > 0) {
+                std::string error = std::to_string(failed) + " of " +
+                                    std::to_string(report.replicates.size()) +
+                                    " replicate(s) failed; first: " +
+                                    first_error.substr(0, 512);
+                if (stopped > 0) {
+                    error += " (" + std::to_string(stopped) +
+                             " stopped at an interrupt boundary)";
+                }
+                finish_job(*job, JobStatus::kFailed, std::move(error));
+            } else if (stopped == 0) {
                 finish_job(*job, JobStatus::kSucceeded, "");
             } else if (cancel_requested) {
                 finish_job(*job, JobStatus::kCancelled,
-                           "cancelled; " + std::to_string(failed) + " of " +
+                           "cancelled; " + std::to_string(stopped) + " of " +
                                std::to_string(report.replicates.size()) +
                                " replicate(s) stopped");
-            } else if (job->interrupt.load(std::memory_order_relaxed)) {
+            } else {
                 finish_job(*job, JobStatus::kInterrupted,
                            "drained; resubmit with resume-from = \"" +
                                job->config.output_dir + "\" to continue");
-            } else {
-                finish_job(*job, JobStatus::kFailed,
-                           std::to_string(failed) + " of " +
-                               std::to_string(report.replicates.size()) +
-                               " replicate(s) failed; first: " +
-                               first_error.substr(0, 512));
             }
         } catch (const std::exception& e) {
             finish_job(*job, JobStatus::kFailed, e.what());

@@ -125,9 +125,13 @@ public:
     std::uint64_t submit(const PipelineConfig& config, RunObserver* observer);
 
     /// As above, but the observer is built *knowing its job id*: the
-    /// factory runs under the manager lock before the job can start, so the
-    /// first event a client sees already carries the right id (the server's
-    /// SocketObserver needs this).  The factory may return null.
+    /// factory runs after the job is registered but before it is queued, so
+    /// the first event a client sees already carries the right id (the
+    /// server's SocketObserver needs this).  It runs *outside* the manager
+    /// lock — it may block on I/O and may call cancel() on its own job
+    /// (e.g. from a broken-stream callback); such a cancel finalizes the
+    /// job before it ever starts.  The factory may return null; if it
+    /// throws, the job is finalized kFailed and the exception propagates.
     std::uint64_t
     submit(const PipelineConfig& config,
            const std::function<RunObserver*(std::uint64_t id)>& make_observer);

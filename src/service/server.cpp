@@ -6,11 +6,11 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -119,6 +119,14 @@ ServiceServer::ServiceServer(const ServerConfig& config)
                 std::string("pipe: ") + std::strerror(errno));
     wake_read_ = FdHandle(pipe_fds[0]);
     wake_write_ = FdHandle(pipe_fds[1]);
+    // Non-blocking on both ends: serve() drains the pipe without stalling,
+    // and a wake() against a full pipe may simply drop its byte — a full
+    // pipe already guarantees a pending wakeup.
+    for (const int fd : pipe_fds) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        GESMC_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                    std::string("fcntl(wake pipe): ") + std::strerror(errno));
+    }
 }
 
 ServiceServer::~ServiceServer() {
@@ -167,9 +175,13 @@ void ServiceServer::unblock_active_connections() {
 
 void ServiceServer::request_stop() noexcept {
     stop_.store(true, std::memory_order_relaxed);
+    wake();
+}
+
+void ServiceServer::wake() noexcept {
     // Only async-signal-safe calls here: this runs from SIGTERM handlers.
     if (wake_write_.valid()) {
-        const char byte = 's';
+        const char byte = 'w';
         [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), &byte, 1);
     }
 }
@@ -181,14 +193,22 @@ void ServiceServer::serve(std::ostream* log) {
              << " concurrent jobs)\n";
     }
     while (!stop_.load(std::memory_order_relaxed)) {
-        reap_connections(/*join_all=*/false); // finished threads join instantly
+        reap_connections(/*join_all=*/false); // exited threads join promptly
         pollfd fds[2] = {{listen_fd_.get(), POLLIN, 0}, {wake_read_.get(), POLLIN, 0}};
         const int ready = ::poll(fds, 2, -1);
         if (ready < 0) {
             if (errno == EINTR) continue;
             throw Error(std::string("poll: ") + std::strerror(errno));
         }
-        if ((fds[1].revents & POLLIN) != 0) break; // request_stop woke us
+        if ((fds[1].revents & POLLIN) != 0) {
+            // Drain every pending wake byte (non-blocking read), then act:
+            // request_stop means exit; a connection-thread wake just loops
+            // so reap_connections joins the thread that announced itself.
+            char drained[64];
+            while (::read(wake_read_.get(), drained, sizeof(drained)) > 0) {}
+            if (stop_.load(std::memory_order_relaxed)) break;
+            continue;
+        }
         if ((fds[0].revents & POLLIN) == 0) continue;
         const int client = ::accept(listen_fd_.get(), nullptr, nullptr);
         if (client < 0) {
@@ -219,10 +239,15 @@ void ServiceServer::serve(std::ostream* log) {
             }
             // Deregister before the handle closes (the fd stays open until
             // this lambda's captures die), so a shutdown sweep can never
-            // touch a recycled descriptor; then announce completion.
-            std::lock_guard lock(connections_mutex_);
-            active_fds_.erase(id);
-            finished_connections_.push_back(id);
+            // touch a recycled descriptor; then announce completion and
+            // poke the accept loop so the join happens even on an
+            // otherwise idle daemon.
+            {
+                std::lock_guard lock(connections_mutex_);
+                active_fds_.erase(id);
+                finished_connections_.push_back(id);
+            }
+            wake();
         });
         {
             std::lock_guard lock(connections_mutex_);
@@ -300,7 +325,11 @@ void ServiceServer::handle_connection(int fd, std::ostream* log) {
             observer.emplace(fd, job_id,
                              [this, job_id] { manager_.cancel(job_id); });
             // Inside the factory the job cannot have started yet, so
-            // "accepted" is guaranteed to be the stream's first frame.
+            // "accepted" is guaranteed to be the stream's first frame.  The
+            // factory runs outside the manager lock with the job already
+            // registered (see JobManager::submit), so this blocking send
+            // stalls no other request, and if it breaks the stream the
+            // on_broken cancel above lands before the job is queued.
             observer->send_frame(json_event_frame(
                 "{\"event\": \"accepted\", \"job\": " + std::to_string(job_id) + "}"));
             return &*observer;

@@ -97,10 +97,14 @@ private:
     /// Serves one connection; `fd` stays owned (and open) by the caller.
     void handle_connection(int fd, std::ostream* log);
 
-    /// Joins connection threads that announced completion (each accept
-    /// iteration, so a long-lived daemon never accumulates dead threads);
-    /// `join_all` additionally blocks on the still-running ones (shutdown).
+    /// Joins connection threads that announced completion (each accept-loop
+    /// wakeup — exiting threads poke the wake pipe, so an idle daemon never
+    /// retains dead-but-unjoined threads); `join_all` additionally blocks
+    /// on the still-running ones (shutdown).
     void reap_connections(bool join_all);
+
+    /// Wakes the accept loop's poll via the self-pipe (async-signal-safe).
+    void wake() noexcept;
 
     /// shutdown(SHUT_RD) on every live connection so threads blocked
     /// reading a control line from an idle client wake with EOF instead of

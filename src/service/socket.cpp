@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -49,8 +50,13 @@ FdHandle listen_unix(const std::string& path, int backlog) {
     FdHandle fd = make_stream_socket();
     if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
         GESMC_CHECK(errno == EADDRINUSE, errno_text("bind(" + path + ")"));
-        // A socket file exists.  Live daemon -> refuse; stale corpse (a
-        // previous daemon died without unlinking) -> reclaim the path.
+        // A file exists at the path.  Reclaim it only if it really is a
+        // stale daemon socket (a previous daemon died without unlinking):
+        // a live daemon -> refuse, and a non-socket file -> refuse too —
+        // a typo'd --socket must never delete user data.
+        struct stat st;
+        GESMC_CHECK(::lstat(path.c_str(), &st) == 0 && S_ISSOCK(st.st_mode),
+                    path + " exists and is not a socket; refusing to replace it");
         {
             FdHandle probe = make_stream_socket();
             const int connected = ::connect(

@@ -1,0 +1,27 @@
+#include "util/signal_interrupt.hpp"
+
+#include <csignal>
+#include <cstring>
+
+namespace gesmc {
+
+namespace {
+
+std::atomic<bool> g_interrupt{false};
+
+void handle_signal(int) { g_interrupt.store(true, std::memory_order_relaxed); }
+
+} // namespace
+
+std::atomic<bool>& interrupt_flag() noexcept { return g_interrupt; }
+
+void install_interrupt_handlers() {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = handle_signal;
+    action.sa_flags = SA_RESETHAND | SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+} // namespace gesmc

@@ -513,8 +513,13 @@ TEST(PipelineInterrupt, PreSetFlagStopsEveryReplicateBeforeItStarts) {
     EXPECT_TRUE(was_interrupted(report));
     for (const ReplicateReport& r : report.replicates) {
         EXPECT_FALSE(r.error.empty());
+        // Interrupt marker, not a genuine failure: the service keys job
+        // status (interrupted-with-resume-hint vs failed) on this split.
+        EXPECT_TRUE(is_interrupt_error(r.error)) << r.error;
         EXPECT_EQ(r.stats.supersteps, 0u);
     }
+    EXPECT_FALSE(is_interrupt_error(""));
+    EXPECT_FALSE(is_interrupt_error("read failed: no such file"));
 }
 
 TEST(PipelineResume, ValidateRequiresOutputDirForCheckpoints) {

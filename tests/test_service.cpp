@@ -322,6 +322,25 @@ TEST(JobManager, CancelsQueuedJobsBeforeTheyStart) {
     EXPECT_FALSE(manager.cancel(9999));
 }
 
+TEST(JobManager, CancelFromTheObserverFactoryLandsBeforeTheJobStarts) {
+    // The server's factory sends the "accepted" frame; when that write
+    // breaks, its on_broken callback cancels the job from *inside* the
+    // factory.  This must neither deadlock (the factory runs outside the
+    // manager lock) nor be dropped (the job is registered before the
+    // factory runs): the job finalizes cancelled without ever running.
+    const fs::path dir = scratch_dir("jm_factory_cancel");
+    JobManager manager(1, 1);
+    const std::uint64_t id =
+        manager.submit(job_config(dir, 7), [&](std::uint64_t job_id) -> RunObserver* {
+            EXPECT_TRUE(manager.cancel(job_id));
+            return nullptr;
+        });
+    const JobInfo info = manager.wait(id);
+    EXPECT_EQ(info.status, JobStatus::kCancelled);
+    EXPECT_EQ(info.replicates_done, 0u);
+    EXPECT_FALSE(fs::exists(dir / "replicate_0.gesb")); // never ran
+}
+
 TEST(JobManager, CancelInterruptsARunningCheckpointedJob) {
     const fs::path dir = scratch_dir("jm_cancel_running");
     PipelineConfig config = job_config(dir, 5);

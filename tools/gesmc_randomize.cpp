@@ -15,12 +15,10 @@
 #include "gen/gnp.hpp"
 #include "graph/io.hpp"
 #include "util/format.hpp"
+#include "util/signal_interrupt.hpp"
 #include "util/timer.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <csignal>
-#include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -197,27 +195,12 @@ std::optional<Options> parse(int argc, char** argv) {
     return opt;
 }
 
-std::atomic<bool> g_interrupt{false};
-
-void handle_signal(int) { g_interrupt.store(true, std::memory_order_relaxed); }
-
 /// Thrown from the checkpoint boundary when SIGINT/SIGTERM arrived: the
 /// snapshot just written is the resume point, so the run stops cleanly
 /// instead of dying mid-write.
 struct Interrupted {
     std::uint64_t superstep;
 };
-
-/// Installed only when periodic checkpointing is on (see gesmc_sample for
-/// the rationale); SA_RESETHAND keeps a second Ctrl-C as the instant kill.
-void install_interrupt_handlers() {
-    struct sigaction action;
-    std::memset(&action, 0, sizeof(action));
-    action.sa_handler = handle_signal;
-    action.sa_flags = SA_RESETHAND | SA_RESTART;
-    sigaction(SIGINT, &action, nullptr);
-    sigaction(SIGTERM, &action, nullptr);
-}
 
 EdgeList build_graph(const Options& opt) {
     if (!opt.input.empty()) return read_any_edge_list_file(opt.input);
@@ -313,7 +296,7 @@ int main(int argc, char** argv) {
                 // SIGINT/SIGTERM: the snapshot just written is the resume
                 // point — stop here instead of dying mid-run (the
                 // completion boundary finishes the run instead).
-                if (g_interrupt.load(std::memory_order_relaxed) &&
+                if (interrupt_flag().load(std::memory_order_relaxed) &&
                     chain->stats().supersteps < opt->supersteps) {
                     throw Interrupted{chain->stats().supersteps};
                 }

@@ -20,11 +20,9 @@
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
 #include "util/format.hpp"
+#include "util/signal_interrupt.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <csignal>
-#include <cstring>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -95,25 +93,6 @@ struct CliEntry {
     std::string key;
     std::string value;
 };
-
-std::atomic<bool> g_interrupt{false};
-
-void handle_signal(int) { g_interrupt.store(true, std::memory_order_relaxed); }
-
-/// SIGINT/SIGTERM stop the run at checkpoint boundaries instead of killing
-/// it mid-write: replicates persist their state and the process exits
-/// cleanly with a resume hint.  Only installed when checkpointing is on —
-/// without checkpoints there is no consistent state to stop at, so the
-/// default die-now behavior is the honest one.  SA_RESETHAND keeps a
-/// second Ctrl-C as the immediate kill.
-void install_interrupt_handlers() {
-    struct sigaction action;
-    std::memset(&action, 0, sizeof(action));
-    action.sa_handler = handle_signal;
-    action.sa_flags = SA_RESETHAND | SA_RESTART;
-    sigaction(SIGINT, &action, nullptr);
-    sigaction(SIGTERM, &action, nullptr);
-}
 
 } // namespace
 
@@ -223,7 +202,7 @@ int main(int argc, char** argv) {
         PipelineExec exec;
         if (config.checkpoint_every > 0) {
             install_interrupt_handlers();
-            exec.interrupt = &g_interrupt;
+            exec.interrupt = &interrupt_flag();
         }
         const RunReport report = run_pipeline(config, quiet ? nullptr : &std::cerr,
                                               progress ? &*printer : nullptr, exec);

@@ -41,12 +41,20 @@ Submit jobs with gesmc_submit; frame layout in docs/service_protocol.md.
 SIGTERM drains: running jobs finish or checkpoint, then the daemon exits.
 )";
 
-ServiceServer* g_server = nullptr;
+std::atomic<ServiceServer*> g_server{nullptr};
 
 void handle_signal(int) {
     // Async-signal-safe: request_stop only stores a flag + writes a pipe.
-    if (g_server != nullptr) g_server->request_stop();
+    ServiceServer* const server = g_server.load(std::memory_order_relaxed);
+    if (server != nullptr) server->request_stop();
 }
+
+/// Clears g_server on *every* exit path — also when serve() throws and the
+/// server unwinds — so a late SIGTERM never dereferences a destroyed server.
+/// Declared after the server so it runs first during unwinding.
+struct ClearServerOnExit {
+    ~ClearServerOnExit() { g_server.store(nullptr, std::memory_order_relaxed); }
+};
 
 } // namespace
 
@@ -94,7 +102,8 @@ int main(int argc, char** argv) {
 
     try {
         ServiceServer server(config);
-        g_server = &server;
+        g_server.store(&server, std::memory_order_relaxed);
+        ClearServerOnExit clear_on_exit;
 
         struct sigaction action;
         std::memset(&action, 0, sizeof(action));
@@ -103,7 +112,6 @@ int main(int argc, char** argv) {
         sigaction(SIGINT, &action, nullptr);
 
         server.serve(quiet ? nullptr : &std::cerr);
-        g_server = nullptr;
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
