@@ -1,12 +1,17 @@
 /// \file bench_pipeline_policies.cpp
-/// \brief Replicate-parallel vs intra-chain scheduling of a batch run.
+/// \brief Replicate-parallel vs intra-chain vs hybrid scheduling of a batch
+/// run.
 ///
-/// The pipeline's acceptance bar: scheduling R replicates across the shared
-/// pool (policy = replicates) must beat running the same R replicates one
+/// The pipeline's acceptance bar: scheduling R replicates across the thread
+/// budget (policy = replicates) must beat running the same R replicates one
 /// after another (the sequential baseline: intra-chain with a single-thread
-/// pool) once the machine has >= 4 threads.  This bench prints both, plus
-/// the intra-chain policy at full width, for each chain kind — the
-/// Bhuiyan-style tradeoff the policy knob exists for.
+/// budget) once the machine has >= 4 threads.  This bench prints both, the
+/// intra-chain policy at full width, and a hybrid (K, T) grid — K
+/// concurrent replicates x T threads each under one budget of P, the
+/// Bhuiyan-style tradeoff the policy knob exists for.  The paper's scaling
+/// results (Fig. 5/6) predict the sweet spot moves from T = 1 (many small
+/// graphs) toward T = P (few huge ones); the grid makes that visible per
+/// machine.
 ///
 /// Self-speedup ceiling: speedups are judged against
 /// measure_parallel_ceiling(P) — the machine's *attainable* speedup on an
@@ -18,14 +23,15 @@
 ///
 /// Reference numbers (Fix5): the kReference table below records the last
 /// measured run for regression eyeballing.  Re-record on a >= 8-core box
-/// by running the bench there and pasting the CSV rows back in — the
-/// in-repo record currently comes from the 1-hw-thread CI container
-/// (ceiling 1.0x, so replicate- and intra-chain land within noise of the
+/// with scripts/record_policy_reference.sh (one command, prints paste-ready
+/// rows) — the in-repo record currently comes from the 1-hw-thread CI
+/// container (ceiling 1.0x, so all policies land within noise of the
 /// sequential baseline; the interesting >= 8-core spread is still to be
 /// captured on real hardware).
 #include "bench_util/harness.hpp"
 #include "gen/corpus.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/scheduler.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
@@ -38,10 +44,12 @@ using namespace gesmc;
 
 namespace {
 
-double time_run(const PipelineConfig& base, SchedulePolicy policy, unsigned threads) {
+double time_run(const PipelineConfig& base, SchedulePolicy policy, unsigned threads,
+                unsigned chain_threads = 0) {
     PipelineConfig config = base;
     config.policy = policy;
     config.threads = threads;
+    config.chain_threads = chain_threads;
     Timer timer;
     const RunReport report = run_pipeline(config, nullptr);
     if (!all_succeeded(report)) {
@@ -52,7 +60,9 @@ double time_run(const PipelineConfig& base, SchedulePolicy policy, unsigned thre
 }
 
 /// Last recorded run of this bench (see the header comment for the
-/// re-recording protocol).  Seconds, measured with the config below.
+/// re-recording protocol).  Seconds, measured with the config below;
+/// `hybrid_s` is the balanced point T = max(2, P/2) (== 2 on the 1-thread
+/// recording box, where the budget clamps it back to 1).
 struct ReferenceRow {
     const char* algorithm;
     unsigned threads;       ///< P of the recording box
@@ -60,21 +70,31 @@ struct ReferenceRow {
     double sequential_s;
     double replicates_s;
     double intra_chain_s;
+    double hybrid_s;
 };
 
 constexpr ReferenceRow kReference[] = {
-    // Recorded 2026-07: 1-hw-thread CI container, ceiling 1.0x.
-    {"seq-es", 1, 1.0, 0.438, 0.390, 0.392},
-    {"par-es", 1, 1.0, 0.867, 0.897, 1.052},
-    {"seq-global-es", 1, 1.0, 0.458, 0.453, 0.478},
-    {"par-global-es", 1, 1.0, 0.879, 0.863, 0.989},
+    // Recorded 2026-07-30: 1-hw-thread CI container, ceiling 0.98x.
+    {"seq-es", 1, 0.98, 0.364, 0.355, 0.382, 0.366},
+    {"par-es", 1, 0.98, 0.999, 0.894, 0.924, 0.850},
+    {"seq-global-es", 1, 0.98, 0.454, 0.467, 0.437, 0.443},
+    {"par-global-es", 1, 0.98, 0.796, 0.798, 0.780, 0.825},
 };
+
+/// The hybrid widths worth timing on a P-thread box: powers of two from 2
+/// to P (deduped); empty when P == 1 (hybrid degenerates to T = 1 there).
+std::vector<unsigned> hybrid_widths(unsigned threads) {
+    std::vector<unsigned> widths;
+    for (unsigned t = 2; t < threads; t *= 2) widths.push_back(t);
+    if (threads >= 2) widths.push_back(threads);
+    return widths;
+}
 
 } // namespace
 
 int main() {
     print_bench_header("pipeline scheduling policies",
-                       "batch sampling; replicate- vs intra-chain parallelism");
+                       "batch sampling; replicate- vs intra-chain vs hybrid K x T");
     const unsigned threads = bench_max_threads();
     const double ceiling = measure_parallel_ceiling(threads);
     std::cout << "Self-speedup ceiling at P = " << threads << ": "
@@ -92,28 +112,61 @@ int main() {
     base.seed = 1;
     base.metrics = false; // time the sampling, not the analysis
 
+    const unsigned balanced_t = std::max(2u, threads / 2);
     TextTable table({"algorithm", "R", "P", "sequential", "replicates", "intra-chain",
-                     "speedup(repl)", "speedup(intra)", "ceiling-frac(repl)",
-                     "ceiling-frac(intra)"});
+                     "hybrid", "speedup(repl)", "speedup(intra)", "speedup(hyb)",
+                     "ceiling-frac(repl)", "ceiling-frac(intra)", "ceiling-frac(hyb)"});
     std::vector<std::string> reference_rows;
     for (const char* algo : {"seq-es", "par-es", "seq-global-es", "par-global-es"}) {
         base.algorithm = algo;
         const double sequential = time_run(base, SchedulePolicy::kIntraChain, 1);
         const double repl = time_run(base, SchedulePolicy::kReplicates, threads);
         const double intra = time_run(base, SchedulePolicy::kIntraChain, threads);
+        const double hybrid =
+            time_run(base, SchedulePolicy::kHybrid, threads, balanced_t);
         table.add_row({algo, std::to_string(base.replicates), std::to_string(threads),
                        fmt_seconds(sequential), fmt_seconds(repl), fmt_seconds(intra),
-                       fmt_double(sequential / repl, 2) + "x",
+                       fmt_seconds(hybrid), fmt_double(sequential / repl, 2) + "x",
                        fmt_double(sequential / intra, 2) + "x",
+                       fmt_double(sequential / hybrid, 2) + "x",
                        fmt_double(sequential / repl / ceiling, 2),
-                       fmt_double(sequential / intra / ceiling, 2)});
-        char row[160];
-        std::snprintf(row, sizeof(row), "{\"%s\", %u, %.2f, %.3f, %.3f, %.3f},", algo,
-                      threads, ceiling, sequential, repl, intra);
+                       fmt_double(sequential / intra / ceiling, 2),
+                       fmt_double(sequential / hybrid / ceiling, 2)});
+        char row[200];
+        std::snprintf(row, sizeof(row), "{\"%s\", %u, %.2f, %.3f, %.3f, %.3f, %.3f},",
+                      algo, threads, ceiling, sequential, repl, intra, hybrid);
         reference_rows.emplace_back(row);
     }
     table.print(std::cout);
     table.print_csv(std::cout, "pipeline_policies");
+
+    // The (K, T) grid: where between all-replicates (T = 1) and all-intra
+    // (T = P) does this machine peak?  K = ⌊P/T⌋ replicates at a time.
+    const std::vector<unsigned> widths = hybrid_widths(threads);
+    if (!widths.empty()) {
+        std::cout << "\n";
+        TextTable grid({"algorithm", "K", "T", "seconds", "speedup", "ceiling-frac"});
+        for (const char* algo : {"par-es", "par-global-es"}) {
+            base.algorithm = algo;
+            const double sequential = time_run(base, SchedulePolicy::kIntraChain, 1);
+            for (const unsigned t : widths) {
+                // Label the row with the K the scheduler actually executes
+                // (⌊P/T⌋ additionally clamped to R), not the raw quotient.
+                ScheduleRequest request;
+                request.policy = SchedulePolicy::kHybrid;
+                request.chain_threads = t;
+                const ResolvedSchedule resolved =
+                    resolve_schedule(request, base.replicates, threads);
+                const double s = time_run(base, SchedulePolicy::kHybrid, threads, t);
+                grid.add_row({algo, std::to_string(resolved.max_concurrent),
+                              std::to_string(resolved.chain_threads), fmt_seconds(s),
+                              fmt_double(sequential / s, 2) + "x",
+                              fmt_double(sequential / s / ceiling, 2)});
+            }
+        }
+        grid.print(std::cout);
+        grid.print_csv(std::cout, "pipeline_hybrid_grid");
+    }
 
     // Paste-ready kReference rows for the re-recording protocol (see the
     // header comment); scripts/record_policy_reference.sh extracts these.
@@ -125,11 +178,12 @@ int main() {
     std::cout << "\nReference record (P = " << kReference[0].threads
               << ", ceiling " << fmt_double(kReference[0].ceiling, 2)
               << "x — see header for the re-recording protocol):\n";
-    TextTable ref({"algorithm", "sequential", "replicates", "intra-chain",
+    TextTable ref({"algorithm", "sequential", "replicates", "intra-chain", "hybrid",
                    "speedup(repl)"});
     for (const ReferenceRow& row : kReference) {
         ref.add_row({row.algorithm, fmt_seconds(row.sequential_s),
                      fmt_seconds(row.replicates_s), fmt_seconds(row.intra_chain_s),
+                     fmt_seconds(row.hybrid_s),
                      fmt_double(row.sequential_s / row.replicates_s, 2) + "x"});
     }
     ref.print(std::cout);

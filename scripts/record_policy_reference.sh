@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Fix5 re-record protocol, one command: run bench_pipeline_policies and
 # print kReference-ready C++ rows to paste into
-# bench/bench_pipeline_policies.cpp (the recorded reference table).  Run on
-# a >= 8-core box to capture the real replicate- vs intra-chain spread the
-# ROADMAP asks for; run from the repo root with the build dir as $1
-# (default: build).
+# bench/bench_pipeline_policies.cpp (the recorded reference table).  Rows
+# carry {algorithm, P, ceiling, sequential_s, replicates_s, intra_chain_s,
+# hybrid_s} — hybrid is the balanced K x T point at T = max(2, P/2).  Run
+# on a >= 8-core box to capture the real replicate- vs intra-chain vs
+# hybrid spread the ROADMAP asks for; run from the repo root with the
+# build dir as $1 (default: build).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"

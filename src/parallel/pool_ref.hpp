@@ -2,14 +2,15 @@
 /// \brief Owning-or-borrowing handle to a ThreadPool.
 ///
 /// Chains historically constructed a private pool from ChainConfig::threads.
-/// The batch-sampling pipeline runs many chains against one machine-wide
-/// pool, so every parallel chain now holds a PoolRef: it either owns a
-/// freshly spawned pool (the classic standalone behaviour) or borrows an
-/// externally owned one (ChainConfig::shared_pool).  A borrowed pool must
-/// outlive the handle, and — since ThreadPool::run is a single fork-join
-/// job — at most one chain may execute on it at any moment; the pipeline
-/// scheduler enforces this by only sharing the pool in its intra-chain
-/// policy, where replicates run strictly one after another.
+/// The batch-sampling pipeline runs many chains against one machine-level
+/// thread budget, so every parallel chain now holds a PoolRef: it either
+/// owns a freshly spawned pool (the classic standalone behaviour) or
+/// borrows an externally owned one (ChainConfig::shared_pool).  A borrowed
+/// pool must outlive the handle, and — since ThreadPool::run is a single
+/// fork-join job — at most one chain may execute on it at any moment; the
+/// schedulers guarantee this by handing each chain an exclusively *leased*
+/// pool carved out of the budget (parallel/pool_lease.hpp), released only
+/// when the replicate is done.
 #pragma once
 
 #include "parallel/thread_pool.hpp"

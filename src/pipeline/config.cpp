@@ -77,6 +77,8 @@ std::string to_string(SchedulePolicy policy) {
         return "replicates";
     case SchedulePolicy::kIntraChain:
         return "intra-chain";
+    case SchedulePolicy::kHybrid:
+        return "hybrid";
     }
     return "unknown";
 }
@@ -148,8 +150,18 @@ void apply_config_entry(PipelineConfig& config, const std::string& raw_key,
         if (value == "auto") config.policy = SchedulePolicy::kAuto;
         else if (value == "replicates") config.policy = SchedulePolicy::kReplicates;
         else if (value == "intra-chain") config.policy = SchedulePolicy::kIntraChain;
-        else throw Error("config key \"policy\": expected auto|replicates|intra-chain, got \"" +
-                         value + "\"");
+        else if (value == "hybrid") config.policy = SchedulePolicy::kHybrid;
+        else throw Error(
+            "config key \"policy\": expected auto|replicates|intra-chain|hybrid, got \"" +
+            value + "\"");
+    } else if (key == "chain-threads") {
+        const std::uint64_t v = parse_u64(key, value);
+        GESMC_CHECK(v <= 0xFFFFFFFFull, "config key \"chain-threads\": value too large");
+        config.chain_threads = static_cast<unsigned>(v);
+    } else if (key == "max-concurrent") {
+        const std::uint64_t v = parse_u64(key, value);
+        GESMC_CHECK(v <= 0xFFFFFFFFull, "config key \"max-concurrent\": value too large");
+        config.max_concurrent = static_cast<unsigned>(v);
     } else if (key == "checkpoint-every") {
         config.checkpoint_every = parse_u64(key, value);
     } else if (key == "resume-from") {
@@ -221,6 +233,22 @@ void validate(const PipelineConfig& config) {
     }
     GESMC_CHECK(config.checkpoint_every == 0 || !config.output_dir.empty(),
                 "checkpoint-every requires an output-dir to hold the checkpoints");
+    // policy = replicates *means* T = 1; silently dropping a pinned wider
+    // chain-threads would run single-threaded chains behind the user's
+    // back.  (auto and hybrid honor the pin; intra-chain uses it as the
+    // one chain's width.)
+    GESMC_CHECK(config.policy != SchedulePolicy::kReplicates || config.chain_threads <= 1,
+                "policy = replicates runs single-threaded chains; use policy = "
+                "hybrid (or auto) to combine chain-threads = " +
+                    std::to_string(config.chain_threads) +
+                    " with concurrent replicates");
+    // Mirror image: intra-chain *means* K = 1, so a wider max-concurrent
+    // pin would be silently ignored.
+    GESMC_CHECK(config.policy != SchedulePolicy::kIntraChain || config.max_concurrent <= 1,
+                "policy = intra-chain runs one replicate at a time; use policy = "
+                "hybrid (or auto) to combine max-concurrent = " +
+                    std::to_string(config.max_concurrent) +
+                    " with intra-chain parallelism");
 }
 
 } // namespace gesmc

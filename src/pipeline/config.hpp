@@ -41,10 +41,14 @@ enum class InitMethod {
 };
 
 /// How replicates share the machine (the pipeline's parallelism knob).
+/// The run's `threads` value is a machine-level *budget* of P threads;
+/// replicates lease sub-pools of width T out of it, so K = ⌊P/T⌋ chains
+/// compute at once (docs/scheduling.md).
 enum class SchedulePolicy {
-    kAuto,        ///< replicate-parallel when R >= threads, else intra-chain
-    kReplicates,  ///< replicates run concurrently, each chain single-threaded
-    kIntraChain,  ///< replicates run one at a time on the whole shared pool
+    kAuto,        ///< derive (K, T) from R, P and a pinned chain-threads
+    kReplicates,  ///< T = 1: replicates run concurrently, chains single-threaded
+    kIntraChain,  ///< K = 1: replicates run one at a time on the whole budget
+    kHybrid,      ///< K×T: concurrent replicates with intra-chain parallelism
 };
 
 /// Format of the per-replicate output graphs.
@@ -80,8 +84,21 @@ struct PipelineConfig {
     std::uint64_t replicates = 8;                       ///< key: replicates
     std::uint64_t seed = 1;                             ///< key: seed
     unsigned threads = 0;                               ///< key: threads (0 = hw)
+                                                        ///<   — the thread *budget* P
     SchedulePolicy policy = SchedulePolicy::kAuto;      ///< key: policy
-                                                        ///<   (auto|replicates|intra-chain)
+                                                        ///<   (auto|replicates|intra-chain|hybrid)
+
+    /// Threads leased to each replicate's chain (T).  0 derives T from the
+    /// policy: 1 under replicates, the whole budget under intra-chain, and
+    /// ⌊P / min(R, P)⌋ under hybrid.  A pinned value makes `auto` resolve
+    /// budget-aware: K = ⌊P/T⌋ replicates run concurrently.
+    ///                                                 key: chain-threads
+    unsigned chain_threads = 0;
+
+    /// Cap on replicates computing at once (K).  0 = as many as the budget
+    /// admits (⌊P/T⌋).  The budget is never oversubscribed either way.
+    ///                                                 key: max-concurrent
+    unsigned max_concurrent = 0;
 
     // ------------------------------------------------- checkpoint / resume
     /// Persist each replicate's ChainState to

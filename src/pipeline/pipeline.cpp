@@ -9,7 +9,7 @@
 #include "graph/degree_sequence.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/pool_lease.hpp"
 #include "pipeline/scheduler.hpp"
 #include "pipeline/seeds.hpp"
 #include "util/check.hpp"
@@ -152,35 +152,40 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     report.init_seconds = total_timer.elapsed_s();
 
     // Host the replicates: an injected executor (service jobs share one
-    // machine-wide pool) or a private pool owned by this run.
-    std::optional<ThreadPool> own_pool;
+    // machine-wide budget) or a private thread budget owned by this run.
+    std::optional<ThreadBudget> own_budget;
     std::optional<PoolExecutor> own_executor;
     ReplicateExecutor* executor = exec.executor;
     if (executor == nullptr) {
-        own_pool.emplace(config.threads);
-        own_executor.emplace(*own_pool);
+        own_budget.emplace(config.threads);
+        own_executor.emplace(*own_budget);
         executor = &*own_executor;
     }
     const auto interrupted = [&exec]() noexcept {
         return exec.interrupt != nullptr &&
                exec.interrupt->load(std::memory_order_relaxed);
     };
+    const ScheduleRequest request{config.policy, config.chain_threads,
+                                  config.max_concurrent};
+    const ResolvedSchedule schedule = executor->resolve(config.replicates, request);
     report.threads = executor->threads();
-    report.resolved_policy =
-        resolve_policy(config.policy, config.replicates, executor->threads());
+    report.resolved_policy = schedule.policy;
+    report.chain_threads = schedule.chain_threads;
+    report.max_concurrent = schedule.max_concurrent;
 
     if (log != nullptr && algo == ChainAlgorithm::kNaiveParES) {
-        *log << "pipeline: warning: naive-par-es outputs depend on the policy and "
-                "thread count (inexact chain); only exact chains are "
-                "byte-reproducible across schedules\n";
+        *log << "pipeline: warning: naive-par-es outputs depend on the schedule's "
+                "chain-threads (inexact chain, paper §5.1); only exact chains "
+                "are byte-reproducible across (K, T) points\n";
     }
     if (log != nullptr) {
         *log << "pipeline: n = " << initial.num_nodes() << ", m = " << initial.num_edges()
              << ", max degree = " << report.input_max_degree << "\n"
              << "pipeline: " << config.replicates << " x " << config.algorithm << " x "
              << config.supersteps << " supersteps, policy = "
-             << to_string(report.resolved_policy) << ", threads = " << report.threads
-             << "\n";
+             << to_string(report.resolved_policy) << ", budget = " << report.threads
+             << " threads (" << schedule.max_concurrent << " x "
+             << schedule.chain_threads << ")\n";
     }
 
     if (!config.output_dir.empty()) {
@@ -230,7 +235,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     report.replicates.resize(config.replicates);
     const std::vector<std::uint32_t> initial_degrees = initial.degrees();
 
-    executor->run(config.replicates, config.policy,
+    executor->run(config.replicates, request,
                   [&](const ReplicateSlot& slot) {
         ReplicateReport& out = report.replicates[slot.index];
         out.index = slot.index;

@@ -10,9 +10,10 @@
 ///   2. materializes one initial simple graph (degree sequences via
 ///      Havel–Hakimi or the repaired configuration model);
 ///   3. runs R independent replicates of the configured chain, each seeded
-///      by replicate_seed(master, index), scheduled over one shared
-///      ThreadPool under the configured policy (replicate-parallel vs
-///      intra-chain parallel, see scheduler.hpp);
+///      by replicate_seed(master, index), scheduled over one machine-level
+///      thread budget under the configured policy — replicate-parallel,
+///      intra-chain, or hybrid K x T (see scheduler.hpp and
+///      docs/scheduling.md);
 ///   4. writes one output graph per replicate plus a JSON run report with
 ///      timings, ChainStats and structural metrics.
 ///

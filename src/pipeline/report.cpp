@@ -226,6 +226,12 @@ void write_json_report(std::ostream& os, const RunReport& report) {
     w.kv("seed", report.config.seed);
     w.kv("requested_threads", report.config.threads);
     w.kv("policy", to_string(report.config.policy));
+    if (report.config.chain_threads > 0) {
+        w.kv("chain_threads", static_cast<std::uint64_t>(report.config.chain_threads));
+    }
+    if (report.config.max_concurrent > 0) {
+        w.kv("max_concurrent", static_cast<std::uint64_t>(report.config.max_concurrent));
+    }
     w.kv("output_dir", report.config.output_dir);
     w.kv("output_prefix", report.config.output_prefix);
     w.kv("output_format", to_string(report.config.output_format));
@@ -239,6 +245,10 @@ void write_json_report(std::ostream& os, const RunReport& report) {
     w.kv("chain", report.chain_name);
     w.kv("resolved_policy", to_string(report.resolved_policy));
     w.kv("threads", report.threads);
+    // The (K, T) point the schedule resolved to: K = resolved_max_concurrent
+    // replicates at once, T = resolved_chain_threads threads each.
+    w.kv("resolved_chain_threads", static_cast<std::uint64_t>(report.chain_threads));
+    w.kv("resolved_max_concurrent", static_cast<std::uint64_t>(report.max_concurrent));
 
     w.key("input_graph");
     w.begin_object();

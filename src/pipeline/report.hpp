@@ -88,7 +88,9 @@ struct RunReport {
     PipelineConfig config;      ///< effective configuration
     std::string chain_name;     ///< e.g. "ParGlobalES"
     SchedulePolicy resolved_policy = SchedulePolicy::kAuto;
-    unsigned threads = 1;       ///< shared pool width
+    unsigned threads = 1;       ///< thread budget P the run resolved against
+    unsigned chain_threads = 1; ///< resolved T: threads leased per chain
+    unsigned max_concurrent = 1;///< resolved K: replicates computing at once
 
     std::uint64_t input_nodes = 0;
     std::uint64_t input_edges = 0;

@@ -1,46 +1,128 @@
 #include "pipeline/scheduler.hpp"
 
-#include "parallel/thread_pool.hpp"
+#include "parallel/pool_lease.hpp"
 #include "util/check.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
 
 namespace gesmc {
 
+namespace {
+
+/// K = ⌊P/T⌋ bounded by the replicate count and the optional user cap.
+unsigned concurrency_for(unsigned budget, unsigned chain_threads,
+                         std::uint64_t replicates, unsigned cap) noexcept {
+    unsigned k = std::max(1u, budget / std::max(1u, chain_threads));
+    if (cap > 0) k = std::min(k, cap);
+    if (replicates > 0 && replicates < k) k = static_cast<unsigned>(replicates);
+    return k;
+}
+
+} // namespace
+
+ResolvedSchedule resolve_schedule(const ScheduleRequest& request,
+                                  std::uint64_t replicates, unsigned budget) noexcept {
+    const unsigned p = std::max(1u, budget);
+    // A pinned chain-threads never exceeds the budget: leases of width > P
+    // could not be granted.
+    const unsigned pinned = std::min(request.chain_threads, p);
+
+    ResolvedSchedule out;
+    SchedulePolicy policy = request.policy;
+    if (policy == SchedulePolicy::kAuto) {
+        if (pinned > 0) {
+            // Budget-aware auto: the pinned width selects the policy that
+            // realizes it.  (The pre-budget behavior compared R against the
+            // full pool width even when chain-threads was pinned.)
+            policy = pinned == 1 ? SchedulePolicy::kReplicates
+                     : pinned >= p ? SchedulePolicy::kIntraChain
+                                   : SchedulePolicy::kHybrid;
+        } else {
+            policy = replicates >= p ? SchedulePolicy::kReplicates
+                                     : SchedulePolicy::kIntraChain;
+        }
+    }
+
+    switch (policy) {
+    case SchedulePolicy::kReplicates:
+        out.policy = SchedulePolicy::kReplicates;
+        out.chain_threads = 1;
+        out.max_concurrent = concurrency_for(p, 1, replicates, request.max_concurrent);
+        return out;
+    case SchedulePolicy::kIntraChain:
+        out.policy = SchedulePolicy::kIntraChain;
+        out.chain_threads = pinned > 0 ? pinned : p;
+        out.max_concurrent = 1;
+        return out;
+    case SchedulePolicy::kHybrid: {
+        out.policy = SchedulePolicy::kHybrid;
+        unsigned t = pinned;
+        if (t == 0) {
+            // Spread the budget over the replicates: K = min(R, P) teams of
+            // T = ⌊P/K⌋ threads — the widest teams that still run all of R
+            // concurrently when R < P (T = 1 when R >= P).  Floor, not
+            // ceiling: ⌈P/K⌉-wide teams would not all fit in the budget
+            // when K does not divide P, silently serializing part of R.
+            const unsigned k0 = concurrency_for(p, 1, replicates, request.max_concurrent);
+            t = std::max(1u, p / k0);
+        }
+        out.chain_threads = std::min(std::max(1u, t), p);
+        out.max_concurrent =
+            concurrency_for(p, out.chain_threads, replicates, request.max_concurrent);
+        return out;
+    }
+    case SchedulePolicy::kAuto:
+        break; // unreachable: resolved above
+    }
+    return out;
+}
+
 SchedulePolicy resolve_policy(SchedulePolicy policy, std::uint64_t replicates,
                               unsigned pool_threads) noexcept {
-    if (policy != SchedulePolicy::kAuto) return policy;
-    return replicates >= pool_threads ? SchedulePolicy::kReplicates
-                                      : SchedulePolicy::kIntraChain;
+    ScheduleRequest request;
+    request.policy = policy;
+    return resolve_schedule(request, replicates, pool_threads).policy;
 }
 
-void run_replicates(ThreadPool& pool, std::uint64_t replicates, SchedulePolicy policy,
-                    const std::function<void(const ReplicateSlot&)>& fn) {
+unsigned PoolExecutor::threads() const noexcept { return budget_->total(); }
+
+void PoolExecutor::run(std::uint64_t replicates, const ScheduleRequest& request,
+                       const std::function<void(const ReplicateSlot&)>& fn) {
     GESMC_CHECK(fn != nullptr, "null replicate body");
-    const SchedulePolicy resolved = resolve_policy(policy, replicates, pool.num_threads());
-    switch (resolved) {
-    case SchedulePolicy::kReplicates:
-        // Dynamic grain-1 queue: replicate runtimes vary (rejections, IO),
-        // so static chunking would leave threads idle at the tail.
-        pool.for_chunks_dynamic(0, replicates, 1,
-                                [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
-                                    for (std::uint64_t r = lo; r < hi; ++r) {
-                                        fn(ReplicateSlot{r, 1, nullptr});
-                                    }
-                                });
-        return;
-    case SchedulePolicy::kIntraChain:
-        // One replicate at a time; the chain saturates the pool itself.
-        // Running on the calling thread keeps ThreadPool::run un-nested
-        // (a pool job must never submit to its own pool).
+    const ResolvedSchedule schedule = resolve_schedule(request, replicates, threads());
+    const unsigned t = schedule.chain_threads;
+
+    if (schedule.max_concurrent <= 1) {
+        // One replicate at a time on the calling thread: keeps the leased
+        // pool's fork-join un-nested (a pool job must never submit to its
+        // own pool) and the kIntraChain ordering strict.
         for (std::uint64_t r = 0; r < replicates; ++r) {
-            fn(ReplicateSlot{r, pool.num_threads(), &pool});
+            PoolLease lease = budget_->acquire(t);
+            fn(ReplicateSlot{r, lease.width(), lease.pool()});
         }
         return;
-    case SchedulePolicy::kAuto:
-        break; // unreachable: resolve_policy never returns kAuto
     }
-    GESMC_CHECK(false, "unresolved schedule policy");
-}
 
-unsigned PoolExecutor::threads() const noexcept { return pool_->num_threads(); }
+    // K workers — the caller participates — each holding one width-T lease
+    // for the duration and pulling replicate indices from a shared grain-1
+    // queue.  K·T <= P, so the K acquires are granted without waiting.
+    std::atomic<std::uint64_t> next{0};
+    const auto worker = [&] {
+        PoolLease lease = budget_->acquire(t);
+        for (;;) {
+            const std::uint64_t r = next.fetch_add(1, std::memory_order_relaxed);
+            if (r >= replicates) break;
+            fn(ReplicateSlot{r, lease.width(), lease.pool()});
+        }
+    };
+    std::vector<std::thread> extra;
+    extra.reserve(schedule.max_concurrent - 1);
+    for (unsigned k = 1; k < schedule.max_concurrent; ++k) extra.emplace_back(worker);
+    worker();
+    for (std::thread& thread : extra) thread.join();
+}
 
 } // namespace gesmc

@@ -1,27 +1,34 @@
 /// \file scheduler.hpp
-/// \brief Replicate scheduling over a shared ThreadPool.
+/// \brief Replicate scheduling over a machine-level thread budget.
 ///
 /// The pipeline's central scheduling decision (cf. Bhuiyan et al.: replicate-
 /// and intra-chain parallelism must be traded off together) is *where* the
-/// machine's P threads go:
+/// machine's budget of P threads goes.  Every run resolves to a (K, T) point
+/// — K replicates computing concurrently, each chain on a leased sub-pool of
+/// width T, with K·T ≤ P (parallel/pool_lease.hpp):
 ///
-///   * kReplicates — the R replicates are the parallel work items.  Each
-///     chain runs single-threaded; the shared pool's threads pull replicates
-///     from a dynamic queue.  Best when R >= P (throughput regime: many
-///     short chains, zero synchronization inside a superstep).
-///   * kIntraChain — replicates run strictly one after another, and each
-///     chain *borrows the shared pool* (ChainConfig::shared_pool) for its
-///     parallel supersteps.  Best when R < P or the graph is huge (latency
+///   * kReplicates — T = 1, K = min(P, R).  The R replicates are the
+///     parallel work items; each chain runs single-threaded.  Best when
+///     R >= P (throughput regime: many short chains, zero synchronization
+///     inside a superstep).
+///   * kIntraChain — K = 1, T = P.  Replicates run strictly one after
+///     another, each chain borrowing a whole-budget pool for its parallel
+///     supersteps.  Best when R is tiny or the graph is huge (latency
 ///     regime: few long chains that each saturate the machine).
-///   * kAuto — picks kReplicates iff R >= the pool's thread count.
+///   * kHybrid — the middle of the tradeoff: K = ⌊P/T⌋ replicates at once
+///     with T threads each.  T comes from `chain-threads` (or is derived as
+///     ⌊P / min(R, P)⌋), K is optionally capped by `max-concurrent`.
+///   * kAuto — budget-aware: a pinned `chain-threads` selects the policy
+///     that realizes it (T = 1 → kReplicates, T >= P → kIntraChain, else
+///     kHybrid with K = ⌊P/T⌋); unpinned, it picks kReplicates iff R >= P.
 ///
-/// Replicate outputs are identical under every policy for the *exact*
+/// Replicate outputs are identical under every (K, T) point for the *exact*
 /// chains (SeqES, ParES, SeqGlobalES, ParGlobalES, AdjListES): they draw
 /// all randomness from counter-based streams keyed by their (derived) seed,
 /// so results depend neither on the thread count nor on execution order.
 /// The one exception is NaiveParES, whose partition onto threads is part of
 /// the process (paper §5.1) — its outputs change with the chain's thread
-/// count, and hence with the policy.  run_pipeline logs a warning for it.
+/// count T, and hence with the policy.  run_pipeline logs a warning for it.
 #pragma once
 
 #include "pipeline/config.hpp"
@@ -31,70 +38,97 @@
 
 namespace gesmc {
 
+class ThreadBudget;
 class ThreadPool;
 
-/// Execution context handed to each replicate body.
-struct ReplicateSlot {
-    std::uint64_t index;      ///< replicate index in [0, R)
-    unsigned chain_threads;   ///< threads the chain may use
-    ThreadPool* shared_pool;  ///< pool to borrow (null: chain owns its pool)
+/// What a run asks the executor for — the raw config knobs, resolved
+/// against the executor's budget width at run time.
+struct ScheduleRequest {
+    SchedulePolicy policy = SchedulePolicy::kAuto;
+    unsigned chain_threads = 0;   ///< T; 0 = derive from the policy
+    unsigned max_concurrent = 0;  ///< K cap; 0 = whatever the budget admits
 };
 
-/// Resolves kAuto against the actual replicate count and pool width.
+/// The (K, T) point a request resolves to on a budget of P threads.
+struct ResolvedSchedule {
+    SchedulePolicy policy = SchedulePolicy::kReplicates; ///< never kAuto
+    unsigned chain_threads = 1;   ///< T: threads leased per chain
+    unsigned max_concurrent = 1;  ///< K: replicates computing at once
+};
+
+/// Resolves `request` against `replicates` and a budget of `budget`
+/// threads.  Guarantees 1 <= T <= max(1, budget) and
+/// K * T <= max(1, budget); K is additionally clamped to `replicates`.
+[[nodiscard]] ResolvedSchedule resolve_schedule(const ScheduleRequest& request,
+                                                std::uint64_t replicates,
+                                                unsigned budget) noexcept;
+
+/// Policy-only shorthand (no pinned chain-threads): what kAuto resolves to
+/// for R replicates on a budget of `pool_threads`.
 [[nodiscard]] SchedulePolicy resolve_policy(SchedulePolicy policy, std::uint64_t replicates,
                                             unsigned pool_threads) noexcept;
 
-/// Runs `fn` once per replicate index under the resolved policy.  Under
-/// kReplicates, `fn` is invoked concurrently from pool threads and must be
-/// thread-safe across distinct indices; under kIntraChain it runs on the
-/// calling thread.  `fn` must not throw — exceptions cannot cross the pool
-/// boundary; catch and record failures per replicate instead.
-///
-/// Streaming contract: each body completes its replicate end-to-end
-/// (run/resume, checkpoints, output graph, RunObserver::on_replicate_done)
-/// before returning — so replicate results reach disk and observers as
-/// they finish, never buffered behind the slowest replicate of the run.
-void run_replicates(ThreadPool& pool, std::uint64_t replicates, SchedulePolicy policy,
-                    const std::function<void(const ReplicateSlot&)>& fn);
+/// Execution context handed to each replicate body.  `shared_pool` is the
+/// replicate's *leased* pool: a disjoint worker team of `chain_threads`
+/// threads carved out of the run's budget (null when chain_threads == 1 —
+/// a single-threaded chain needs no pool).
+struct ReplicateSlot {
+    std::uint64_t index;      ///< replicate index in [0, R)
+    unsigned chain_threads;   ///< T: threads the chain may use
+    ThreadPool* shared_pool;  ///< leased pool to borrow (null: single-threaded)
+};
 
 /// Hosts the replicate bodies of a pipeline run.  The default
-/// implementation (PoolExecutor) drives one caller-owned ThreadPool exactly
-/// like run_replicates; the sampling service substitutes a machine-wide
-/// executor (service/job_manager.hpp SharedExecutor) that multiplexes the
-/// replicates of *many concurrent jobs* over one pool while preserving the
-/// per-job SchedulePolicy.  Implementations inherit run_replicates'
-/// contract: bodies must not throw, and each body completes its replicate
-/// end-to-end before returning.
+/// implementation (PoolExecutor) leases sub-pools out of one caller-owned
+/// ThreadBudget; the sampling service substitutes a machine-wide executor
+/// (service/job_manager.hpp SharedExecutor) that multiplexes the replicates
+/// of *many concurrent jobs* over one budget while preserving each job's
+/// resolved (K, T).  Contract: bodies must not throw — exceptions cannot
+/// cross thread boundaries; catch and record failures per replicate — and
+/// each body completes its replicate end-to-end (run/resume, checkpoints,
+/// output graph, RunObserver::on_replicate_done) before returning, so
+/// replicate results reach disk and observers as they finish, never
+/// buffered behind the slowest replicate of the run.
 class ReplicateExecutor {
 public:
     virtual ~ReplicateExecutor() = default;
 
-    /// Pool width: resolves SchedulePolicy::kAuto and is reported as
+    /// Budget width P: what schedules resolve against, reported as
     /// RunReport::threads.
     [[nodiscard]] virtual unsigned threads() const noexcept = 0;
 
     /// Runs `fn` once per replicate index in [0, replicates) under the
-    /// resolved policy; blocks until every body returned.
-    virtual void run(std::uint64_t replicates, SchedulePolicy policy,
+    /// resolved schedule; blocks until every body returned.  Bodies of
+    /// concurrent replicates are invoked from different threads and must be
+    /// thread-safe across distinct indices; under K = 1 they run on the
+    /// calling thread.
+    virtual void run(std::uint64_t replicates, const ScheduleRequest& request,
                      const std::function<void(const ReplicateSlot&)>& fn) = 0;
+
+    /// The (K, T) point `run` would execute — resolved against threads().
+    [[nodiscard]] ResolvedSchedule resolve(std::uint64_t replicates,
+                                           const ScheduleRequest& request) const noexcept {
+        return resolve_schedule(request, replicates, threads());
+    }
 };
 
-/// ReplicateExecutor over one caller-owned ThreadPool — the single-run
-/// (non-service) path; run_pipeline builds one around a private pool when
-/// no executor is injected.
+/// ReplicateExecutor over one caller-owned ThreadBudget — the single-run
+/// (non-service) path; run_pipeline builds one around a private budget when
+/// no executor is injected.  K worker threads (the caller participates)
+/// each hold a width-T lease and pull replicate indices from a shared
+/// dynamic queue: replicate runtimes vary (rejections, IO), so static
+/// assignment would leave leases idle at the tail.
 class PoolExecutor final : public ReplicateExecutor {
 public:
-    explicit PoolExecutor(ThreadPool& pool) noexcept : pool_(&pool) {}
+    explicit PoolExecutor(ThreadBudget& budget) noexcept : budget_(&budget) {}
 
     [[nodiscard]] unsigned threads() const noexcept override;
 
-    void run(std::uint64_t replicates, SchedulePolicy policy,
-             const std::function<void(const ReplicateSlot&)>& fn) override {
-        run_replicates(*pool_, replicates, policy, fn);
-    }
+    void run(std::uint64_t replicates, const ScheduleRequest& request,
+             const std::function<void(const ReplicateSlot&)>& fn) override;
 
 private:
-    ThreadPool* pool_;
+    ThreadBudget* budget_;
 };
 
 } // namespace gesmc

@@ -29,12 +29,12 @@ std::uint64_t read_le(std::string_view data, std::size_t offset, unsigned bytes)
 
 std::string encode_frame(FrameType type, std::string_view payload) {
     // Enforced on both ends: encoding an over-limit frame would hand every
-    // conforming decoder something it must reject mid-stream (the server
-    // degrades the failure to an 'error' event instead).
+    // conforming decoder something it must reject mid-stream.  Bulk data
+    // (replicate graphs) never comes near this — it travels in
+    // kGraphChunkBytes-bounded 'D' chunks.
     GESMC_CHECK(payload.size() <= kMaxFramePayload,
                 "frame: payload of " + std::to_string(payload.size()) +
-                    " bytes exceeds the protocol maximum (chunked graph "
-                    "frames are not implemented yet)");
+                    " bytes exceeds the protocol maximum");
     std::string out;
     out.reserve(9 + payload.size());
     out.push_back(static_cast<char>(type));
@@ -49,13 +49,23 @@ std::optional<Frame> decode_frame(const char* data, std::size_t size,
     if (size == 0) return std::nullopt;
     const unsigned char type = static_cast<unsigned char>(data[0]);
     GESMC_CHECK(type == static_cast<unsigned char>(FrameType::kJson) ||
-                    type == static_cast<unsigned char>(FrameType::kGraph),
+                    type == static_cast<unsigned char>(FrameType::kGraph) ||
+                    type == static_cast<unsigned char>(FrameType::kGraphData),
                 "frame: unknown type byte " + std::to_string(type));
     if (size < 9) return std::nullopt;
     const std::uint64_t length = read_le(std::string_view(data, size), 1, 8);
     GESMC_CHECK(length <= kMaxFramePayload,
                 "frame: payload length " + std::to_string(length) +
                     " exceeds the protocol maximum");
+    // Per-type cap, enforced from the 9-byte header alone: a 'D' chunk is
+    // bounded by the protocol chunk size, so a hostile length prefix can
+    // never make a receiver buffer gigabytes before GraphTransferState
+    // gets a chance to reject it — the O(chunk) memory bound holds even
+    // against a corrupt peer.
+    GESMC_CHECK(type != static_cast<unsigned char>(FrameType::kGraphData) ||
+                    length <= kGraphChunkBytes,
+                "frame: data chunk of " + std::to_string(length) +
+                    " bytes exceeds the protocol chunk bound");
     if (size < 9 + length) return std::nullopt;
     Frame frame;
     frame.type = static_cast<FrameType>(type);
@@ -81,27 +91,54 @@ std::optional<Frame> FrameReader::next() {
 std::string encode_graph_payload(const GraphFrame& graph) {
     GESMC_CHECK(graph.name.size() <= 0xFFFFFFFFull, "graph frame: name too long");
     std::string out;
-    out.reserve(12 + graph.name.size() + graph.bytes.size());
+    out.reserve(20 + graph.name.size());
     append_le(out, graph.replicate, 8);
     append_le(out, graph.name.size(), 4);
     out.append(graph.name);
-    out.append(graph.bytes);
+    append_le(out, graph.total_bytes, 8);
     return out;
 }
 
 GraphFrame decode_graph_payload(std::string_view payload) {
-    GESMC_CHECK(payload.size() >= 12, "graph frame: truncated header");
+    GESMC_CHECK(payload.size() >= 20, "graph frame: truncated header");
     GraphFrame graph;
     graph.replicate = read_le(payload, 0, 8);
     const std::uint64_t name_len = read_le(payload, 8, 4);
-    GESMC_CHECK(12 + name_len <= payload.size(), "graph frame: truncated name");
+    GESMC_CHECK(12 + name_len + 8 == payload.size(),
+                "graph frame: inconsistent header length");
     graph.name.assign(payload.substr(12, name_len));
     GESMC_CHECK(graph.name.find('/') == std::string::npos &&
                     graph.name.find('\\') == std::string::npos &&
                     graph.name != "." && graph.name != ".." && !graph.name.empty(),
                 "graph frame: name is not a plain basename");
-    graph.bytes.assign(payload.substr(12 + name_len));
+    graph.total_bytes = read_le(payload, 12 + name_len, 8);
     return graph;
+}
+
+bool GraphTransferState::begin(const GraphFrame& header) {
+    GESMC_CHECK(!open_, "graph transfer: header for \"" + header.name +
+                            "\" while \"" + header_.name + "\" is still open");
+    header_ = header;
+    received_ = 0;
+    open_ = header.total_bytes > 0;
+    return !open_; // a zero-byte transfer is complete at the header
+}
+
+bool GraphTransferState::consume(std::uint64_t chunk_bytes) {
+    GESMC_CHECK(open_, "graph transfer: data chunk with no open transfer");
+    GESMC_CHECK(chunk_bytes > 0, "graph transfer: empty data chunk");
+    GESMC_CHECK(chunk_bytes <= kGraphChunkBytes,
+                "graph transfer: chunk of " + std::to_string(chunk_bytes) +
+                    " bytes exceeds the protocol chunk bound");
+    GESMC_CHECK(chunk_bytes <= remaining(),
+                "graph transfer: \"" + header_.name + "\" overflows its announced " +
+                    std::to_string(header_.total_bytes) + " bytes");
+    received_ += chunk_bytes;
+    if (received_ == header_.total_bytes) {
+        open_ = false;
+        return true;
+    }
+    return false;
 }
 
 std::string to_string(RequestKind kind) {

@@ -10,9 +10,12 @@
 ///     inside the submit frame ("key = value" lines, pipeline/config.hpp).
 ///   * daemon -> client: *length-prefixed frames* — one type byte, a 64-bit
 ///     little-endian payload length, then the payload.  Type 'J' carries a
-///     JSON event/response document; type 'G' carries a replicate graph
-///     (header + the raw bytes of the replicate's output file, so the
-///     streamed graph is byte-identical to what a local run writes).
+///     JSON event/response document; a replicate graph travels as one 'G'
+///     *header* frame (replicate index, basename, total byte count)
+///     followed by bounded 'D' *data chunk* frames whose payloads
+///     concatenate to the replicate's output file — byte-identical to what
+///     a local run writes, streamed in O(chunk) memory on both ends with
+///     no ceiling on the file size.
 ///
 /// Everything here is pure encode/decode over in-memory buffers —
 /// deliberately free of sockets so tests can round-trip and fuzz frames
@@ -32,8 +35,9 @@ namespace gesmc {
 
 /// Frame type byte on the daemon->client stream.
 enum class FrameType : unsigned char {
-    kJson = 'J',   ///< UTF-8 JSON event / response document
-    kGraph = 'G',  ///< replicate graph (see GraphFrame)
+    kJson = 'J',       ///< UTF-8 JSON event / response document
+    kGraph = 'G',      ///< graph transfer header (see GraphFrame)
+    kGraphData = 'D',  ///< raw data chunk of the current graph transfer
 };
 
 struct Frame {
@@ -41,10 +45,16 @@ struct Frame {
     std::string payload;
 };
 
-/// Upper bound a decoder accepts for one payload: a graph frame holds one
-/// replicate output file, so this bounds memory against a corrupt or
-/// hostile length prefix, not legitimate traffic.
+/// Upper bound a decoder accepts for one payload — bounds memory against a
+/// corrupt or hostile length prefix, not legitimate traffic (graph bytes
+/// travel in kGraphChunkBytes-bounded 'D' chunks).
 inline constexpr std::uint64_t kMaxFramePayload = 1ull << 32;
+
+/// Protocol bound on one 'D' chunk's payload: the sender splits a replicate
+/// file into chunks of at most this size, so both ends stream a transfer of
+/// any length in O(chunk) memory.  Receivers must reject larger chunks
+/// (GraphTransferState enforces it).
+inline constexpr std::uint64_t kGraphChunkBytes = 1ull << 20;
 
 /// Encodes type byte + LE64 length + payload.
 [[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload);
@@ -72,18 +82,47 @@ private:
     std::size_t offset_ = 0; ///< consumed prefix, compacted lazily
 };
 
-/// Payload of a kGraph frame: LE64 replicate index, LE32 basename length,
-/// the basename (e.g. "replicate_03.gesb"), then the file bytes verbatim.
+/// Payload of a kGraph *header* frame: LE64 replicate index, LE32 basename
+/// length, the basename (e.g. "replicate_03.gesb"), then LE64 total byte
+/// count of the file.  The bytes themselves follow in kGraphData chunks.
 struct GraphFrame {
     std::uint64_t replicate = 0;
-    std::string name;   ///< output basename the client should save under
-    std::string bytes;  ///< the replicate output file, byte-identical
+    std::string name;               ///< output basename the client saves under
+    std::uint64_t total_bytes = 0;  ///< exact size of the transfer that follows
 };
 
 [[nodiscard]] std::string encode_graph_payload(const GraphFrame& graph);
 
 /// Throws Error on a truncated or inconsistent payload.
 [[nodiscard]] GraphFrame decode_graph_payload(std::string_view payload);
+
+/// Receive-side state machine of one chunked graph transfer: validates the
+/// header/chunk sequencing and the per-chunk and total-size caps while the
+/// caller sinks the actual bytes (to disk — the point of chunking is that
+/// neither end buffers the file).  Usage: begin() on each 'G' frame (true =
+/// zero-byte transfer, already complete), consume(chunk size) on each 'D'
+/// frame (true = transfer complete).  Throws Error on protocol violations:
+/// a chunk with no open transfer, a header while one is open, a chunk over
+/// kGraphChunkBytes, or more bytes than the header announced.
+class GraphTransferState {
+public:
+    [[nodiscard]] bool open() const noexcept { return open_; }
+
+    /// Header frame of the GraphFrame the transfer delivers; open() only.
+    [[nodiscard]] const GraphFrame& header() const { return header_; }
+
+    [[nodiscard]] std::uint64_t remaining() const noexcept {
+        return header_.total_bytes - received_;
+    }
+
+    bool begin(const GraphFrame& header);
+    bool consume(std::uint64_t chunk_bytes);
+
+private:
+    GraphFrame header_;
+    std::uint64_t received_ = 0;
+    bool open_ = false;
+};
 
 // ------------------------------------------------- client -> daemon frames
 

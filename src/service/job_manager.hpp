@@ -1,18 +1,23 @@
 /// \file job_manager.hpp
-/// \brief Multi-job execution over one shared pool for the sampling daemon.
+/// \brief Multi-job execution over one thread budget for the sampling daemon.
 ///
 /// The daemon's compute core, deliberately socket-free (tests drive it
 /// directly).  Two pieces:
 ///
-///   * SharedExecutor — a machine-wide ReplicateExecutor.  One fork-join
-///     ThreadPool plus one team of T task workers serve *every* job:
-///     replicate-parallel jobs enqueue their replicates as width-1 tasks
-///     that interleave freely across jobs; an intra-chain job's replicate
-///     borrows the whole fork-join pool for its parallel supersteps.  A
-///     shared_mutex gate keeps the ChainConfig::shared_pool contract (at
-///     most one chain on the pool at a time) and caps concurrently *active*
-///     threads near T: task workers hold the gate shared, a pool-borrowing
-///     chain holds it unique, so the two modes never compute at once.
+///   * SharedExecutor — a machine-wide ReplicateExecutor over one
+///     ThreadBudget of P threads.  Every job's replicates become tasks of
+///     the job's resolved chain width T; one team of P task workers pops
+///     tasks *round-robin across jobs* (one replicate from each active job
+///     in turn, so a small job is never FIFO-starved behind a thousand-
+///     replicate one) and leases a width-T sub-pool out of the budget
+///     before computing.  The width-counting budget is the admission gate:
+///     a T=4 chain of one job and four T=1 replicates of other jobs
+///     compute simultaneously, and the total leased width never exceeds P
+///     (the old binary shared/unique gate allowed only all-narrow or
+///     one-wide).  A K = 1 job (intra-chain) runs its replicates on its
+///     own runner thread, leasing per replicate so other jobs interleave
+///     between chains; the ChainConfig::shared_pool contract holds because
+///     every lease is an exclusive, disjoint worker team.
 ///
 ///   * JobManager — admission, queueing and lifecycle.  submit() validates
 ///     a PipelineConfig and queues it; max_concurrent runner threads feed
@@ -27,6 +32,7 @@
 ///     restart resumes in-flight jobs from their output directories.
 #pragma once
 
+#include "parallel/pool_lease.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
@@ -37,18 +43,16 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace gesmc {
-
-class ThreadPool;
 
 /// Machine-wide replicate executor shared by all concurrently running jobs.
 class SharedExecutor final : public ReplicateExecutor {
@@ -60,23 +64,39 @@ public:
     SharedExecutor(const SharedExecutor&) = delete;
     SharedExecutor& operator=(const SharedExecutor&) = delete;
 
+    /// Budget width P.
     [[nodiscard]] unsigned threads() const noexcept override;
 
-    void run(std::uint64_t replicates, SchedulePolicy policy,
+    void run(std::uint64_t replicates, const ScheduleRequest& request,
              const std::function<void(const ReplicateSlot&)>& fn) override;
 
 private:
+    /// One concurrent run() call's replicates: the unit the task workers
+    /// round-robin over.  Lives in active_ while it still has pending
+    /// indices; `inflight` enforces the run's own K cap on top of the
+    /// budget's machine-wide one.
+    struct RunQueue {
+        std::deque<std::uint64_t> pending;  ///< replicate indices not yet started
+        unsigned width = 1;                 ///< T: lease width per replicate
+        unsigned max_inflight = 1;          ///< K: the run's concurrency cap
+        unsigned inflight = 0;              ///< replicates currently computing
+        std::uint64_t remaining = 0;        ///< not yet *completed* replicates
+        const std::function<void(const ReplicateSlot&)>* fn = nullptr;
+        std::condition_variable done_cv;    ///< signalled at remaining == 0
+    };
+
     void worker_loop();
+    /// Pops the next round-robin task whose run is under its K cap;
+    /// null when nothing is currently runnable.  Requires mutex_.
+    std::shared_ptr<RunQueue> pick_task_locked(std::uint64_t& replicate);
 
-    std::unique_ptr<ThreadPool> pool_;  ///< fork-join pool for intra-chain chains
+    ThreadBudget budget_;  ///< the width-counting admission gate
 
-    /// shared: a width-1 replicate task is computing on a task worker;
-    /// unique: a chain is borrowing pool_ for its parallel supersteps.
-    std::shared_mutex pool_gate_;
-
-    std::mutex queue_mutex_;
-    std::condition_variable queue_cv_;
-    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    /// Round-robin ring of runs with pending replicates: workers pop from
+    /// the front and rotate the run to the back.
+    std::list<std::shared_ptr<RunQueue>> active_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 };

@@ -5,7 +5,9 @@
 
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -42,8 +44,24 @@ void append_job_info_json(std::string& out, const JobInfo& info) {
 // --------------------------------------------------------- SocketObserver
 
 SocketObserver::SocketObserver(int fd, std::uint64_t job_id,
-                               std::function<void()> on_broken)
-    : fd_(fd), job_id_(job_id), on_broken_(std::move(on_broken)) {}
+                               std::function<void()> on_broken,
+                               std::uint64_t chunk_bytes)
+    : fd_(fd), job_id_(job_id), on_broken_(std::move(on_broken)),
+      chunk_bytes_(std::min<std::uint64_t>(std::max<std::uint64_t>(chunk_bytes, 1),
+                                           kGraphChunkBytes)) {}
+
+bool SocketObserver::send_frame_locked(FrameType type, std::string_view payload) {
+    if (broken()) return false;
+    try {
+        write_all(fd_, encode_frame(type, payload));
+        return true;
+    } catch (const std::exception&) {
+        // Client gone: stop streaming for good.  Never rethrow — these
+        // sends run inside pipeline pool threads.
+        broken_.store(true, std::memory_order_relaxed);
+        return false;
+    }
+}
 
 void SocketObserver::send_frame(const std::string& encoded) {
     if (broken()) return;
@@ -54,13 +72,69 @@ void SocketObserver::send_frame(const std::string& encoded) {
         try {
             write_all(fd_, encoded);
         } catch (const std::exception&) {
-            // Client gone: stop streaming for good.  Never rethrow — these
-            // sends run inside pipeline pool threads.
             broken_.store(true, std::memory_order_relaxed);
             just_broke = true;
         }
     }
     if (just_broke && on_broken_ != nullptr) on_broken_();
+}
+
+void SocketObserver::send_graph(std::uint64_t replicate, const std::string& path) {
+    if (broken()) return;
+    GraphFrame header;
+    header.replicate = replicate;
+    header.name = std::filesystem::path(path).filename().string();
+    // Copy-loop streaming: never more than one chunk of the file in memory,
+    // whatever the replicate's size.  The file is ours (the replicate wrote
+    // and closed it before on_replicate_done fired), so its size is stable;
+    // a short read mid-transfer is still treated as file trouble.
+    std::ifstream is(path, std::ios::binary);
+    GESMC_CHECK(is.good(), "cannot open replicate output: " + path);
+    header.total_bytes = std::filesystem::file_size(path);
+
+    bool just_broke = false;
+    std::exception_ptr file_error;
+    {
+        std::lock_guard lock(mutex_);
+        if (broken()) return;
+        // One mutex hold for the whole transfer: a concurrently finishing
+        // replicate must not interleave its frames into this one's chunks.
+        if (!send_frame_locked(FrameType::kGraph, encode_graph_payload(header))) {
+            just_broke = true;
+        } else {
+            try {
+                std::string chunk(static_cast<std::size_t>(chunk_bytes_), '\0');
+                std::uint64_t left = header.total_bytes;
+                while (left > 0) {
+                    const std::uint64_t want =
+                        std::min<std::uint64_t>(left, chunk_bytes_);
+                    is.read(chunk.data(), static_cast<std::streamsize>(want));
+                    GESMC_CHECK(static_cast<std::uint64_t>(is.gcount()) == want,
+                                "replicate output truncated mid-stream: " + path);
+                    if (!send_frame_locked(
+                            FrameType::kGraphData,
+                            std::string_view(chunk.data(),
+                                             static_cast<std::size_t>(want)))) {
+                        just_broke = true;
+                        break;
+                    }
+                    left -= want;
+                }
+            } catch (...) {
+                // File trouble *after* the header went out: the wire now
+                // announces more bytes than were sent, so the stream is
+                // unrecoverable — any later frame would be read as part of
+                // this transfer.  Break it for good (the client sees EOF,
+                // on_broken cancels the job) and let the file error
+                // propagate to the caller's reporting path.
+                broken_.store(true, std::memory_order_relaxed);
+                just_broke = true;
+                file_error = std::current_exception();
+            }
+        }
+    }
+    if (just_broke && on_broken_ != nullptr) on_broken_();
+    if (file_error != nullptr) std::rethrow_exception(file_error);
 }
 
 void SocketObserver::on_superstep(std::uint64_t replicate, const Chain& chain) {
@@ -94,12 +168,7 @@ void SocketObserver::on_replicate_done(const ReplicateReport& report) {
 
     if (report.error.empty() && !report.output_path.empty()) {
         try {
-            GraphFrame graph;
-            graph.replicate = report.index;
-            graph.name =
-                std::filesystem::path(report.output_path).filename().string();
-            graph.bytes = read_file_bytes(report.output_path);
-            send_frame(encode_frame(FrameType::kGraph, encode_graph_payload(graph)));
+            send_graph(report.index, report.output_path);
         } catch (const std::exception& e) {
             send_frame(json_event_frame(
                 "{\"event\": \"error\", \"message\": " +

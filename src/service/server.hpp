@@ -40,14 +40,20 @@ struct ServerConfig {
 
 /// RunObserver streaming one job's pipeline events over one connection.
 /// Callbacks fire concurrently from pool threads (RunObserver contract), so
-/// every send is serialized by a mutex.  A failed send (client vanished)
-/// flips broken() permanently, drops all further output, and invokes the
-/// on_broken callback once — the server wires that to JobManager::cancel so
-/// an orphaned job stops wasting the machine.  Never throws: observer
-/// callbacks unwind through the pipeline's pool threads.
+/// every send is serialized by a mutex; a replicate graph's whole chunked
+/// transfer ('G' header + 'D' chunks, copied from the output file in
+/// O(chunk) memory) holds the mutex once, keeping its frames contiguous on
+/// the wire.  A failed send (client vanished) flips broken() permanently,
+/// drops all further output, and invokes the on_broken callback once — the
+/// server wires that to JobManager::cancel so an orphaned job stops
+/// wasting the machine.  Never throws: observer callbacks unwind through
+/// the pipeline's pool threads.
 class SocketObserver final : public RunObserver {
 public:
-    SocketObserver(int fd, std::uint64_t job_id, std::function<void()> on_broken);
+    /// `chunk_bytes` bounds each 'D' frame (and the daemon-side buffer);
+    /// tests shrink it to exercise multi-chunk transfers on small files.
+    SocketObserver(int fd, std::uint64_t job_id, std::function<void()> on_broken,
+                   std::uint64_t chunk_bytes = kGraphChunkBytes);
 
     void on_superstep(std::uint64_t replicate, const Chain& chain) override;
     void on_checkpoint(std::uint64_t replicate, const ChainState& state,
@@ -62,11 +68,22 @@ public:
     /// events on the same stream); drops it silently once broken.
     void send_frame(const std::string& encoded);
 
+    /// Streams `path` as one chunked graph transfer for `replicate`:
+    /// 'G' header, then ≤ chunk_bytes 'D' frames read-and-sent in a copy
+    /// loop.  Throws Error on file trouble (caller reports it as an event);
+    /// a *socket* failure flips broken() like any other send.
+    void send_graph(std::uint64_t replicate, const std::string& path);
+
 private:
+    /// Encodes and writes under an already-held mutex_; returns false once
+    /// the stream broke (sets broken_, defers on_broken_ to the caller).
+    bool send_frame_locked(FrameType type, std::string_view payload);
+
     std::mutex mutex_;
     int fd_;
     std::uint64_t job_id_;
     std::function<void()> on_broken_;
+    std::uint64_t chunk_bytes_;
     std::atomic<bool> broken_{false};
 };
 

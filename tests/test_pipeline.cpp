@@ -7,6 +7,7 @@
 #include "gen/corpus.hpp"
 #include "graph/degree_sequence.hpp"
 #include "graph/io.hpp"
+#include "parallel/pool_lease.hpp"
 #include "parallel/thread_pool.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/pipeline.hpp"
@@ -217,6 +218,21 @@ TEST(PipelineConfig, ValidateCatchesContradictions) {
     EXPECT_THROW(validate(c), Error); // generator kind without generator name
     c.generator = "powerlaw";
     EXPECT_NO_THROW(validate(c));
+    // replicates means T = 1; a wider chain-threads pin is a contradiction
+    // (hybrid/auto are the spellings that honor it).
+    c.policy = SchedulePolicy::kReplicates;
+    c.chain_threads = 4;
+    EXPECT_THROW(validate(c), Error);
+    c.policy = SchedulePolicy::kHybrid;
+    EXPECT_NO_THROW(validate(c));
+    // ... and intra-chain means K = 1: a wider max-concurrent contradicts.
+    c.chain_threads = 0;
+    c.policy = SchedulePolicy::kIntraChain;
+    c.max_concurrent = 4;
+    EXPECT_THROW(validate(c), Error);
+    c.policy = SchedulePolicy::kHybrid;
+    EXPECT_NO_THROW(validate(c));
+    c.max_concurrent = 0;
     c.replicates = 0;
     EXPECT_THROW(validate(c), Error);
 }
@@ -245,23 +261,105 @@ TEST(Scheduler, ResolvesAutoByReplicateCount) {
               SchedulePolicy::kIntraChain);
 }
 
-TEST(Scheduler, RunsEveryReplicateExactlyOnceUnderBothPolicies) {
-    for (const SchedulePolicy policy :
-         {SchedulePolicy::kReplicates, SchedulePolicy::kIntraChain}) {
-        ThreadPool pool(4);
+TEST(Scheduler, ResolvesHybridPoints) {
+    // Explicit hybrid with a pinned T: K = ⌊P/T⌋.
+    ScheduleRequest request;
+    request.policy = SchedulePolicy::kHybrid;
+    request.chain_threads = 2;
+    ResolvedSchedule s = resolve_schedule(request, 16, 8);
+    EXPECT_EQ(s.policy, SchedulePolicy::kHybrid);
+    EXPECT_EQ(s.chain_threads, 2u);
+    EXPECT_EQ(s.max_concurrent, 4u);
+
+    // max-concurrent caps K below ⌊P/T⌋.
+    request.max_concurrent = 3;
+    s = resolve_schedule(request, 16, 8);
+    EXPECT_EQ(s.max_concurrent, 3u);
+
+    // K never exceeds the replicate count.
+    request.max_concurrent = 0;
+    s = resolve_schedule(request, 2, 8);
+    EXPECT_EQ(s.max_concurrent, 2u);
+
+    // Unpinned hybrid spreads the budget: R = 2 on P = 8 → 2 x 4.
+    request.chain_threads = 0;
+    s = resolve_schedule(request, 2, 8);
+    EXPECT_EQ(s.chain_threads, 4u);
+    EXPECT_EQ(s.max_concurrent, 2u);
+
+    // Non-dividing case: R = 3 on P = 8 must run all three concurrently
+    // (3 x 2, two threads idle), not serialize one behind a wider pair.
+    s = resolve_schedule(request, 3, 8);
+    EXPECT_EQ(s.chain_threads, 2u);
+    EXPECT_EQ(s.max_concurrent, 3u);
+
+    // T is clamped to the budget.
+    request.chain_threads = 99;
+    s = resolve_schedule(request, 4, 8);
+    EXPECT_EQ(s.chain_threads, 8u);
+    EXPECT_EQ(s.max_concurrent, 1u);
+}
+
+TEST(Scheduler, AutoIsBudgetAwareWhenChainThreadsIsPinned) {
+    // The pre-budget bug: kAuto compared R against the full pool width even
+    // when chain-threads was pinned.  Now the pin selects the realizing
+    // policy: T = 2 on P = 8 must give hybrid with K = 4 even for R >= P.
+    ScheduleRequest request;
+    request.policy = SchedulePolicy::kAuto;
+    request.chain_threads = 2;
+    ResolvedSchedule s = resolve_schedule(request, 16, 8);
+    EXPECT_EQ(s.policy, SchedulePolicy::kHybrid);
+    EXPECT_EQ(s.chain_threads, 2u);
+    EXPECT_EQ(s.max_concurrent, 4u);
+
+    request.chain_threads = 1;
+    EXPECT_EQ(resolve_schedule(request, 2, 8).policy, SchedulePolicy::kReplicates);
+    request.chain_threads = 8;
+    s = resolve_schedule(request, 16, 8);
+    EXPECT_EQ(s.policy, SchedulePolicy::kIntraChain);
+    EXPECT_EQ(s.max_concurrent, 1u);
+
+    // Unpinned auto keeps the classic binary choice, with K·T <= P.
+    request.chain_threads = 0;
+    s = resolve_schedule(request, 16, 8);
+    EXPECT_EQ(s.policy, SchedulePolicy::kReplicates);
+    EXPECT_EQ(s.chain_threads, 1u);
+    EXPECT_EQ(s.max_concurrent, 8u);
+    s = resolve_schedule(request, 2, 8);
+    EXPECT_EQ(s.policy, SchedulePolicy::kIntraChain);
+    EXPECT_EQ(s.chain_threads, 8u);
+    EXPECT_EQ(s.max_concurrent, 1u);
+}
+
+TEST(Scheduler, PoolExecutorRunsEveryReplicateOnceUnderEveryPolicy) {
+    struct Point {
+        ScheduleRequest request;
+        unsigned expect_threads;
+        bool expect_pool;
+    };
+    const Point points[] = {
+        {{SchedulePolicy::kReplicates, 0, 0}, 1, false},
+        {{SchedulePolicy::kIntraChain, 0, 0}, 4, true},
+        {{SchedulePolicy::kHybrid, 2, 0}, 2, true},
+        {{SchedulePolicy::kHybrid, 2, 1}, 2, true}, // K capped to 1
+    };
+    for (const Point& point : points) {
+        ThreadBudget budget(4);
+        PoolExecutor executor(budget);
         constexpr std::uint64_t kReplicates = 37;
         std::vector<std::atomic<int>> hits(kReplicates);
-        run_replicates(pool, kReplicates, policy, [&](const ReplicateSlot& slot) {
+        executor.run(kReplicates, point.request, [&](const ReplicateSlot& slot) {
             hits[slot.index].fetch_add(1);
-            if (policy == SchedulePolicy::kIntraChain) {
-                EXPECT_EQ(slot.shared_pool, &pool);
-                EXPECT_EQ(slot.chain_threads, pool.num_threads());
+            EXPECT_EQ(slot.chain_threads, point.expect_threads);
+            if (point.expect_pool) {
+                ASSERT_NE(slot.shared_pool, nullptr);
+                EXPECT_EQ(slot.shared_pool->num_threads(), point.expect_threads);
             } else {
                 EXPECT_EQ(slot.shared_pool, nullptr);
-                EXPECT_EQ(slot.chain_threads, 1u);
             }
         });
         for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+        EXPECT_EQ(budget.leased(), 0u); // every lease returned
     }
 }
 
@@ -318,29 +416,50 @@ PipelineConfig small_run_config(const std::string& algo, const fs::path& out_dir
 
 TEST(Pipeline, SameConfigAndSeedGiveByteIdenticalOutputs) {
     // The determinism contract: outputs depend only on (config, seed) — not
-    // on the schedule policy or the thread count.
+    // on the schedule policy, the thread budget, or the (K, T) point the
+    // run resolves to.  Every exact chain is compared across kReplicates,
+    // kIntraChain, and two distinct hybrid (K, T) configurations.
+    struct Variant {
+        const char* tag;
+        SchedulePolicy policy;
+        unsigned threads;
+        unsigned chain_threads;
+        unsigned max_concurrent;
+    };
+    const Variant variants[] = {
+        {"repl", SchedulePolicy::kReplicates, 4, 0, 0},  // 4 x 1
+        {"intra", SchedulePolicy::kIntraChain, 2, 0, 0}, // 1 x 2
+        {"hyb22", SchedulePolicy::kHybrid, 4, 2, 0},     // 2 x 2
+        {"hyb23", SchedulePolicy::kHybrid, 6, 3, 2},     // 2 x 3
+    };
     for (const std::string algo : {"seq-es", "par-es", "seq-global-es", "par-global-es"}) {
-        const fs::path dir_a = scratch_dir("det_a_" + algo);
-        const fs::path dir_b = scratch_dir("det_b_" + algo);
+        std::vector<RunReport> reports;
+        for (const Variant& v : variants) {
+            const fs::path dir = scratch_dir("det_" + std::string(v.tag) + "_" + algo);
+            PipelineConfig c = small_run_config(algo, dir);
+            c.policy = v.policy;
+            c.threads = v.threads;
+            c.chain_threads = v.chain_threads;
+            c.max_concurrent = v.max_concurrent;
+            reports.push_back(run_pipeline(c));
+            ASSERT_TRUE(all_succeeded(reports.back())) << algo << " " << v.tag;
+            ASSERT_EQ(reports.back().replicates.size(), 8u);
+        }
+        // The hybrid variants really resolved to hybrid (K, T) points.
+        EXPECT_EQ(reports[2].resolved_policy, SchedulePolicy::kHybrid);
+        EXPECT_EQ(reports[2].chain_threads, 2u);
+        EXPECT_EQ(reports[2].max_concurrent, 2u);
+        EXPECT_EQ(reports[3].chain_threads, 3u);
+        EXPECT_EQ(reports[3].max_concurrent, 2u);
 
-        PipelineConfig a = small_run_config(algo, dir_a);
-        a.policy = SchedulePolicy::kReplicates;
-        a.threads = 4;
-        PipelineConfig b = small_run_config(algo, dir_b);
-        b.policy = SchedulePolicy::kIntraChain;
-        b.threads = 2;
-
-        const RunReport ra = run_pipeline(a);
-        const RunReport rb = run_pipeline(b);
-        ASSERT_TRUE(all_succeeded(ra)) << algo;
-        ASSERT_TRUE(all_succeeded(rb)) << algo;
-        ASSERT_EQ(ra.replicates.size(), 8u);
-
-        for (std::uint64_t r = 0; r < 8; ++r) {
-            EXPECT_FALSE(ra.replicates[r].output_path.empty());
-            EXPECT_EQ(slurp(ra.replicates[r].output_path),
-                      slurp(rb.replicates[r].output_path))
-                << algo << " replicate " << r;
+        const RunReport& ra = reports.front();
+        for (std::size_t v = 1; v < reports.size(); ++v) {
+            for (std::uint64_t r = 0; r < 8; ++r) {
+                EXPECT_FALSE(ra.replicates[r].output_path.empty());
+                EXPECT_EQ(slurp(ra.replicates[r].output_path),
+                          slurp(reports[v].replicates[r].output_path))
+                    << algo << " variant " << variants[v].tag << " replicate " << r;
+            }
         }
         // Replicates must be distinct samples, not copies of each other.
         EXPECT_NE(slurp(ra.replicates[0].output_path),
@@ -400,6 +519,8 @@ TEST(Pipeline, ReportIsWrittenAndContainsPerReplicateStats) {
 
     const std::string json = slurp(c.report_path);
     EXPECT_NE(json.find("\"resolved_policy\""), std::string::npos);
+    EXPECT_NE(json.find("\"resolved_chain_threads\""), std::string::npos);
+    EXPECT_NE(json.find("\"resolved_max_concurrent\""), std::string::npos);
     EXPECT_NE(json.find("\"switches_per_second\""), std::string::npos);
     EXPECT_NE(json.find("\"replicates\""), std::string::npos);
     EXPECT_NE(json.find("\"metrics\""), std::string::npos);

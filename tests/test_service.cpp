@@ -21,6 +21,8 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/socket.h>
+
 namespace gesmc {
 namespace {
 
@@ -161,6 +163,20 @@ TEST(ServiceFrames, RejectsMalformedFrames) {
     for (int i = 0; i < 8; ++i) huge.push_back(static_cast<char>(0xFF));
     EXPECT_THROW((void)decode_frame(huge.data(), huge.size(), consumed), Error);
 
+    // A 'D' chunk over the chunk bound is rejected from the header alone —
+    // no buffering of a hostile multi-GiB "chunk" while waiting for bytes.
+    std::string fat_chunk;
+    fat_chunk.push_back('D');
+    const std::uint64_t fat = kGraphChunkBytes + 1;
+    for (int i = 0; i < 8; ++i) {
+        fat_chunk.push_back(static_cast<char>((fat >> (8 * i)) & 0xFF));
+    }
+    EXPECT_THROW((void)decode_frame(fat_chunk.data(), fat_chunk.size(), consumed),
+                 Error);
+    // The same length is fine for a 'J' frame (just incomplete here).
+    fat_chunk[0] = 'J';
+    EXPECT_FALSE(decode_frame(fat_chunk.data(), fat_chunk.size(), consumed).has_value());
+
     // Truncation is not an error — it means "wait for more bytes".
     const std::string ok = encode_frame(FrameType::kJson, "payload");
     for (std::size_t cut = 0; cut < ok.size(); ++cut) {
@@ -170,24 +186,107 @@ TEST(ServiceFrames, RejectsMalformedFrames) {
     }
 }
 
-TEST(ServiceFrames, GraphPayloadRoundTripsAndRejectsGarbage) {
+TEST(ServiceFrames, GraphHeaderRoundTripsAndRejectsGarbage) {
     GraphFrame graph;
     graph.replicate = 7;
     graph.name = "replicate_07.gesb";
-    graph.bytes = std::string("GESB\x01 raw bytes \x00\xFF", 18);
+    graph.total_bytes = 123456789;
     const std::string payload = encode_graph_payload(graph);
     const GraphFrame back = decode_graph_payload(payload);
     EXPECT_EQ(back.replicate, 7u);
     EXPECT_EQ(back.name, graph.name);
-    EXPECT_EQ(back.bytes, graph.bytes);
+    EXPECT_EQ(back.total_bytes, graph.total_bytes);
 
     EXPECT_THROW((void)decode_graph_payload("short"), Error);
-    EXPECT_THROW((void)decode_graph_payload(payload.substr(0, 14)), Error);
+    EXPECT_THROW((void)decode_graph_payload(payload.substr(0, payload.size() - 1)),
+                 Error);
+    EXPECT_THROW((void)decode_graph_payload(payload + "x"), Error);
     // Path-traversal names must never reach the client's filesystem.
     GraphFrame evil = graph;
     evil.name = "../../etc/passwd";
     const std::string evil_payload = encode_graph_payload(evil);
     EXPECT_THROW((void)decode_graph_payload(evil_payload), Error);
+}
+
+TEST(ServiceFrames, GraphTransferEnforcesSequencingAndCaps) {
+    GraphTransferState transfer;
+    // A chunk before any header is a protocol violation.
+    EXPECT_THROW((void)transfer.consume(1), Error);
+
+    GraphFrame header;
+    header.replicate = 3;
+    header.name = "replicate_3.gesb";
+    header.total_bytes = 10;
+    EXPECT_FALSE(transfer.begin(header));
+    ASSERT_TRUE(transfer.open());
+    EXPECT_EQ(transfer.remaining(), 10u);
+
+    // A second header while a transfer is open is a violation.
+    EXPECT_THROW((void)transfer.begin(header), Error);
+    // Chunks over the protocol bound are rejected regardless of remaining.
+    EXPECT_THROW((void)transfer.consume(kGraphChunkBytes + 1), Error);
+    // Empty chunks are meaningless and rejected.
+    EXPECT_THROW((void)transfer.consume(0), Error);
+
+    EXPECT_FALSE(transfer.consume(4));
+    EXPECT_EQ(transfer.remaining(), 6u);
+    // Overflowing the announced total is the cap-enforcement case: the
+    // client must reject before any byte lands on disk.
+    EXPECT_THROW((void)transfer.consume(7), Error);
+    EXPECT_TRUE(transfer.consume(6));
+    EXPECT_FALSE(transfer.open());
+
+    // Zero-byte transfers complete at the header.
+    header.total_bytes = 0;
+    EXPECT_TRUE(transfer.begin(header));
+    EXPECT_FALSE(transfer.open());
+}
+
+TEST(ServiceFrames, ChunkedGraphStreamReassemblesByteIdentically) {
+    // Drive a SocketObserver with a tiny chunk size over a socketpair and
+    // reassemble: the multi-chunk path must reproduce the file exactly and
+    // keep each transfer's frames contiguous.
+    const fs::path dir = scratch_dir("chunk_stream");
+    const std::string path = (dir / "replicate_0.gesb").string();
+    std::string blob;
+    for (int i = 0; i < 1000; ++i) blob.push_back(static_cast<char>(i * 31));
+    {
+        std::ofstream os(path, std::ios::binary);
+        os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FdHandle write_end(fds[0]);
+    FdHandle read_end(fds[1]);
+
+    SocketObserver observer(write_end.get(), 1, nullptr, /*chunk_bytes=*/64);
+    ReplicateReport report;
+    report.index = 0;
+    report.output_path = path;
+    observer.on_replicate_done(report);
+    write_end.reset(); // EOF so the reader loop terminates
+
+    FrameReader reader;
+    GraphTransferState transfer;
+    std::string reassembled;
+    std::uint64_t chunks = 0;
+    bool complete = false;
+    for (;;) {
+        const std::optional<Frame> frame = read_frame(read_end.get(), reader);
+        if (!frame.has_value()) break;
+        if (frame->type == FrameType::kGraph) {
+            complete = transfer.begin(decode_graph_payload(frame->payload));
+        } else if (frame->type == FrameType::kGraphData) {
+            EXPECT_LE(frame->payload.size(), 64u);
+            complete = transfer.consume(frame->payload.size());
+            reassembled += frame->payload;
+            ++chunks;
+        }
+    }
+    EXPECT_TRUE(complete);
+    EXPECT_EQ(chunks, (blob.size() + 63) / 64);
+    EXPECT_EQ(reassembled, blob);
 }
 
 // --------------------------------------------------------- control frames
@@ -432,6 +531,190 @@ TEST(JobManager, RefusesSubmissionsWhileDraining) {
                  Error);
 }
 
+// --------------------------------------------- width-counting admission
+
+TEST(SharedExecutor, AdmitsAWideChainAndNarrowReplicatesConcurrently) {
+    // The acceptance bar for the width-counting gate: a pool-borrowing
+    // T = 2 chain of one run and width-1 replicates of another run must
+    // *compute at the same time* inside one budget of 4.  Under the old
+    // binary shared/unique gate this test deadlocks: the wide body blocks
+    // waiting to observe a narrow body running, which the gate would never
+    // have admitted concurrently.
+    SharedExecutor executor(4);
+    std::atomic<bool> wide_running{false};
+    std::atomic<bool> narrow_ran_during_wide{false};
+
+    std::thread wide_job([&] {
+        ScheduleRequest request;
+        request.policy = SchedulePolicy::kIntraChain;
+        request.chain_threads = 2; // pool-borrowing chain, not whole-budget
+        executor.run(1, request, [&](const ReplicateSlot& slot) {
+            EXPECT_EQ(slot.chain_threads, 2u);
+            ASSERT_NE(slot.shared_pool, nullptr);
+            wide_running.store(true, std::memory_order_relaxed);
+            while (!narrow_ran_during_wide.load(std::memory_order_relaxed)) {
+                std::this_thread::yield();
+            }
+        });
+    });
+
+    while (!wide_running.load(std::memory_order_relaxed)) std::this_thread::yield();
+    ScheduleRequest narrow;
+    narrow.policy = SchedulePolicy::kReplicates;
+    executor.run(2, narrow, [&](const ReplicateSlot& slot) {
+        EXPECT_EQ(slot.chain_threads, 1u);
+        EXPECT_EQ(slot.shared_pool, nullptr);
+        if (wide_running.load(std::memory_order_relaxed)) {
+            narrow_ran_during_wide.store(true, std::memory_order_relaxed);
+        }
+    });
+    wide_job.join();
+    EXPECT_TRUE(narrow_ran_during_wide.load());
+}
+
+TEST(SharedExecutor, MixedWidthStressNeverOversubscribesTheBudget) {
+    // Concurrent runs of every policy shape against one budget of 4: the
+    // summed width of computing replicates must never exceed the budget,
+    // every replicate must run exactly once, and the whole thing must not
+    // deadlock.  Run under TSan in CI this also shakes out gate races.
+    constexpr unsigned kBudget = 4;
+    SharedExecutor executor(kBudget);
+    std::atomic<unsigned> active_width{0};
+    std::atomic<unsigned> max_width{0};
+    std::atomic<std::uint64_t> bodies{0};
+
+    const auto body = [&](const ReplicateSlot& slot) {
+        const unsigned width = slot.chain_threads;
+        const unsigned now =
+            active_width.fetch_add(width, std::memory_order_relaxed) + width;
+        unsigned seen = max_width.load(std::memory_order_relaxed);
+        while (seen < now && !max_width.compare_exchange_weak(
+                                 seen, now, std::memory_order_relaxed)) {
+        }
+        if (slot.shared_pool != nullptr) {
+            // Exercise the leased team: a real fork-join on `width` threads.
+            std::atomic<unsigned> hits{0};
+            slot.shared_pool->run([&](unsigned) { hits.fetch_add(1); });
+            EXPECT_EQ(hits.load(), width);
+        }
+        bodies.fetch_add(1, std::memory_order_relaxed);
+        active_width.fetch_sub(width, std::memory_order_relaxed);
+    };
+
+    constexpr std::uint64_t kPerRun = 24;
+    const ScheduleRequest shapes[] = {
+        {SchedulePolicy::kReplicates, 0, 0},
+        {SchedulePolicy::kHybrid, 2, 0},
+        {SchedulePolicy::kIntraChain, 0, 0},
+        {SchedulePolicy::kHybrid, 3, 1},
+    };
+    std::vector<std::thread> runs;
+    for (const ScheduleRequest& request : shapes) {
+        runs.emplace_back([&executor, &body, request] {
+            executor.run(kPerRun, request, body);
+        });
+    }
+    for (std::thread& run : runs) run.join();
+    EXPECT_EQ(bodies.load(), kPerRun * std::size(shapes));
+    EXPECT_LE(max_width.load(), kBudget);
+    EXPECT_GE(max_width.load(), 1u);
+    EXPECT_EQ(active_width.load(), 0u);
+}
+
+TEST(JobManager, MixedWidthJobsSettleUnderCancelAndDrainMidLease) {
+    // Cancel one mixed-width job mid-run and drain the rest: every job must
+    // reach a terminal status (no deadlock with leases in flight), and the
+    // drain must leave resumable or complete state behind.
+    const fs::path dir_wide = scratch_dir("jm_mixed_wide");
+    const fs::path dir_narrow = scratch_dir("jm_mixed_narrow");
+    const fs::path dir_victim = scratch_dir("jm_mixed_victim");
+
+    PipelineConfig wide = job_config(dir_wide, 11);
+    wide.policy = SchedulePolicy::kHybrid;
+    wide.chain_threads = 2;
+    wide.supersteps = 12;
+    wide.checkpoint_every = 1;
+    PipelineConfig narrow = job_config(dir_narrow, 12);
+    narrow.policy = SchedulePolicy::kReplicates;
+    narrow.supersteps = 12;
+    narrow.checkpoint_every = 1;
+    PipelineConfig victim = job_config(dir_victim, 13);
+    victim.policy = SchedulePolicy::kHybrid;
+    victim.chain_threads = 2;
+    victim.gen_n = 1500;
+    victim.supersteps = 200; // long enough to still be running when cancelled
+    victim.checkpoint_every = 1;
+
+    class FirstCheckpoint final : public RunObserver {
+    public:
+        void on_checkpoint(std::uint64_t, const ChainState&,
+                           const std::string&) override {
+            seen.store(true, std::memory_order_relaxed);
+        }
+        std::atomic<bool> seen{false};
+    };
+
+    JobManager manager(4, 3);
+    FirstCheckpoint victim_started;
+    const std::uint64_t id_wide = manager.submit(wide, nullptr);
+    const std::uint64_t id_narrow = manager.submit(narrow, nullptr);
+    const std::uint64_t id_victim = manager.submit(victim, &victim_started);
+    while (!victim_started.seen.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+    }
+    EXPECT_TRUE(manager.cancel(id_victim));
+    manager.drain(); // must not deadlock with leases of both widths in flight
+
+    const JobStatus wide_status = manager.wait(id_wide).status;
+    const JobStatus narrow_status = manager.wait(id_narrow).status;
+    const JobStatus victim_status = manager.wait(id_victim).status;
+    EXPECT_TRUE(wide_status == JobStatus::kSucceeded ||
+                wide_status == JobStatus::kInterrupted)
+        << to_string(wide_status);
+    EXPECT_TRUE(narrow_status == JobStatus::kSucceeded ||
+                narrow_status == JobStatus::kInterrupted)
+        << to_string(narrow_status);
+    EXPECT_EQ(victim_status, JobStatus::kCancelled);
+}
+
+TEST(JobManager, HybridJobsAreByteIdenticalToDirectRuns) {
+    // The cross-policy determinism contract through the service path: the
+    // same config at two hybrid (K, T) points and under the replicate
+    // policy, admitted concurrently, matches a direct single-run reference
+    // byte for byte.
+    const fs::path ref_dir = scratch_dir("jm_hybrid_ref");
+    const RunReport ref = run_pipeline(job_config(ref_dir, 55));
+    ASSERT_TRUE(all_succeeded(ref));
+
+    struct Variant {
+        const char* tag;
+        SchedulePolicy policy;
+        unsigned chain_threads;
+    };
+    const Variant variants[] = {
+        {"h2", SchedulePolicy::kHybrid, 2},   // 2 x 2 on a 4-budget
+        {"h3", SchedulePolicy::kHybrid, 3},   // 1 x 3
+        {"r", SchedulePolicy::kReplicates, 0} // 4 x 1
+    };
+    JobManager manager(4, 3);
+    std::vector<std::pair<std::uint64_t, fs::path>> jobs;
+    for (const Variant& v : variants) {
+        const fs::path dir = scratch_dir(std::string("jm_hybrid_") + v.tag);
+        PipelineConfig config = job_config(dir, 55);
+        config.policy = v.policy;
+        config.chain_threads = v.chain_threads;
+        jobs.emplace_back(manager.submit(config, nullptr), dir);
+    }
+    for (const auto& [id, dir] : jobs) {
+        const JobInfo done = manager.wait(id);
+        EXPECT_EQ(done.status, JobStatus::kSucceeded) << done.error;
+        for (const ReplicateReport& r : ref.replicates) {
+            EXPECT_EQ(slurp(r.output_path),
+                      slurp((dir / fs::path(r.output_path).filename()).string()));
+        }
+    }
+}
+
 // ------------------------------------------------- end-to-end over socket
 
 TEST(ServiceServer, SubmitStreamsFramesByteIdenticalToADirectRun) {
@@ -489,22 +772,76 @@ TEST(ServiceServer, SubmitStreamsFramesByteIdenticalToADirectRun) {
     EXPECT_EQ(done.string_member("status"), "succeeded");
     EXPECT_EQ(done.uint_member("replicates_done"), 3u);
 
-    // The streamed graph bytes equal a direct pipeline run's outputs.
+    // The streamed graph bytes — reassembled from chunked transfers —
+    // equal a direct pipeline run's outputs.
     const fs::path direct_dir = scratch_dir("e2e_direct");
     const RunReport ref = run_pipeline(job_config(direct_dir, 77));
     ASSERT_TRUE(all_succeeded(ref));
     std::uint64_t graphs = 0;
+    GraphTransferState transfer;
+    std::string reassembled;
     for (const Frame& frame : frames) {
-        if (frame.type != FrameType::kGraph) continue;
-        const GraphFrame graph = decode_graph_payload(frame.payload);
-        EXPECT_EQ(graph.bytes,
-                  slurp((direct_dir / graph.name).string()))
-            << graph.name;
-        ++graphs;
+        if (frame.type == FrameType::kGraph) {
+            reassembled.clear();
+            if (transfer.begin(decode_graph_payload(frame.payload))) {
+                ADD_FAILURE() << "zero-byte replicate graph";
+            }
+            continue;
+        }
+        if (frame.type != FrameType::kGraphData) continue;
+        reassembled += frame.payload;
+        if (transfer.consume(frame.payload.size())) {
+            EXPECT_EQ(reassembled,
+                      slurp((direct_dir / transfer.header().name).string()))
+                << transfer.header().name;
+            ++graphs;
+        }
     }
     EXPECT_EQ(graphs, 3u);
 
-    // Status over a second connection sees the finished job.
+    // A hybrid (K, T) submission over the same live socket streams the
+    // same bytes: the schedule never leaks into results.
+    {
+        const fs::path hybrid_dir = dir / "job_hybrid";
+        const FdHandle fd = connect_unix(socket_path);
+        Request request;
+        request.kind = RequestKind::kSubmit;
+        request.config_text = config_text.str() +
+                              "output-dir = " + hybrid_dir.string() +
+                              "\npolicy = hybrid\nchain-threads = 2\n";
+        write_all(fd.get(), make_request_line(request));
+        FrameReader reader;
+        GraphTransferState hybrid_transfer;
+        std::string bytes;
+        std::uint64_t hybrid_graphs = 0;
+        for (;;) {
+            const auto frame = read_frame(fd.get(), reader);
+            ASSERT_TRUE(frame.has_value()) << "connection closed before done";
+            if (frame->type == FrameType::kGraph) {
+                bytes.clear();
+                ASSERT_FALSE(hybrid_transfer.begin(decode_graph_payload(frame->payload)));
+                continue;
+            }
+            if (frame->type == FrameType::kGraphData) {
+                bytes += frame->payload;
+                if (hybrid_transfer.consume(frame->payload.size())) {
+                    EXPECT_EQ(bytes,
+                              slurp((direct_dir / hybrid_transfer.header().name).string()))
+                        << hybrid_transfer.header().name;
+                    ++hybrid_graphs;
+                }
+                continue;
+            }
+            const JsonValue event = parse_json(frame->payload);
+            if (event.string_member("event") == "done") {
+                EXPECT_EQ(event.string_member("status"), "succeeded");
+                break;
+            }
+        }
+        EXPECT_EQ(hybrid_graphs, 3u);
+    }
+
+    // Status over a second connection sees the finished jobs.
     {
         const FdHandle fd = connect_unix(socket_path);
         Request request;
@@ -514,8 +851,10 @@ TEST(ServiceServer, SubmitStreamsFramesByteIdenticalToADirectRun) {
         const auto frame = read_frame(fd.get(), reader);
         ASSERT_TRUE(frame.has_value());
         const JsonValue status = parse_json(frame->payload);
-        ASSERT_EQ(status.find("jobs")->array_items.size(), 1u);
+        ASSERT_EQ(status.find("jobs")->array_items.size(), 2u);
         EXPECT_EQ(status.find("jobs")->array_items[0].string_member("status"),
+                  "succeeded");
+        EXPECT_EQ(status.find("jobs")->array_items[1].string_member("status"),
                   "succeeded");
     }
 

@@ -47,8 +47,10 @@ Shortcuts (equivalent to --set):
   --replicates R      independent replicates to sample
   --supersteps K      supersteps per replicate
   --seed S            master seed (replicate seeds are derived)
-  --threads P         shared pool width, 0 = hardware concurrency
-  --policy NAME       auto | replicates | intra-chain
+  --threads P         machine-level thread budget, 0 = hardware concurrency
+  --policy NAME       auto | replicates | intra-chain | hybrid
+  --chain-threads T   threads leased per chain (hybrid K x T; 0 = derive)
+  --max-concurrent K  cap on replicates computing at once (0 = budget/T)
   --output-dir DIR    write one graph per replicate into DIR
   --output-format F   text | binary
   --report FILE       write the JSON run report to FILE
@@ -116,6 +118,7 @@ int main(int argc, char** argv) {
         {"--algo", "algorithm"},      {"--replicates", "replicates"},
         {"--supersteps", "supersteps"}, {"--seed", "seed"},
         {"--threads", "threads"},     {"--policy", "policy"},
+        {"--chain-threads", "chain-threads"}, {"--max-concurrent", "max-concurrent"},
         {"--output-dir", "output-dir"}, {"--output-format", "output-format"},
         {"--report", "report"},         {"--checkpoint-every", "checkpoint-every"},
     };

@@ -32,8 +32,10 @@ constexpr const char* kUsage = R"(gesmc_serve — sampling service daemon
 
 Options:
   --socket PATH   Unix-domain socket to listen on (required)
-  --threads P     shared pool width, 0 = hardware concurrency  [0]
-  --max-jobs N    jobs running concurrently; others queue      [2]
+  --threads P     machine-level thread budget shared by all jobs;
+                  each job's replicates lease chain-threads-wide
+                  sub-pools out of it (0 = hardware concurrency) [0]
+  --max-jobs N    jobs running concurrently; others queue       [2]
   --quiet         suppress progress logging
   --help          this text
 

@@ -11,11 +11,14 @@
 /// A submitted config document travels verbatim (same "key = value" keys as
 /// gesmc_sample); --set overrides append lines, later entries win.  The
 /// daemon streams 'J' event frames (progress, checkpoints, per-replicate
-/// report fragments) and one 'G' frame per finished replicate carrying the
-/// output graph byte-identical to the daemon-side file; with --stream-dir
-/// the graphs land under their original basenames plus an events.log of
-/// every JSON payload.  Exit code mirrors the job: 0 succeeded, 1
-/// otherwise (failed / cancelled / interrupted / connection lost).
+/// report fragments) and, per finished replicate, one chunked graph
+/// transfer — a 'G' header followed by bounded 'D' data chunks — carrying
+/// the output graph byte-identical to the daemon-side file; with
+/// --stream-dir the chunks are appended straight to disk (O(chunk) client
+/// memory, no size ceiling) under their original basenames, plus an
+/// events.log of every JSON payload.  Exit code mirrors the job: 0
+/// succeeded, 1 otherwise (failed / cancelled / interrupted / connection
+/// lost).
 #include "service/frame.hpp"
 #include "service/json.hpp"
 #include "service/socket.hpp"
@@ -126,6 +129,25 @@ int submit_action(const SubmitOptions& options) {
     FrameReader reader;
     std::string final_status;
     std::uint64_t graphs_saved = 0;
+    // Chunked graph reassembly: a 'G' header opens a transfer, 'D' chunks
+    // append to it until the announced total arrives.  The state machine
+    // enforces the protocol caps (chunk bound, no overflow past the total)
+    // before any byte touches the filesystem.
+    GraphTransferState transfer;
+    std::ofstream graph_out;
+    std::string graph_path;
+    const auto finish_graph = [&] {
+        if (graph_out.is_open()) {
+            graph_out.close();
+            if (!graph_out.good()) throw Error("cannot write " + graph_path);
+        }
+        ++graphs_saved;
+        if (!options.quiet) {
+            std::cerr << "streamed replicate " << transfer.header().replicate << " -> "
+                      << (graph_path.empty() ? transfer.header().name : graph_path)
+                      << " (" << transfer.header().total_bytes << " bytes)\n";
+        }
+    };
     for (;;) {
         const std::optional<Frame> frame = read_frame(fd.get(), reader);
         if (!frame.has_value()) {
@@ -133,20 +155,27 @@ int submit_action(const SubmitOptions& options) {
             return 1;
         }
         if (frame->type == FrameType::kGraph) {
-            const GraphFrame graph = decode_graph_payload(frame->payload);
+            const GraphFrame header = decode_graph_payload(frame->payload);
+            const bool complete = transfer.begin(header);
             if (!options.stream_dir.empty()) {
-                const std::string path =
-                    (std::filesystem::path(options.stream_dir) / graph.name).string();
-                std::ofstream os(path, std::ios::binary);
-                if (!os.good()) throw Error("cannot write " + path);
-                os.write(graph.bytes.data(),
-                         static_cast<std::streamsize>(graph.bytes.size()));
-                ++graphs_saved;
-                if (!options.quiet) {
-                    std::cerr << "streamed replicate " << graph.replicate << " -> "
-                              << path << " (" << graph.bytes.size() << " bytes)\n";
-                }
+                graph_path =
+                    (std::filesystem::path(options.stream_dir) / header.name).string();
+                graph_out.open(graph_path, std::ios::binary | std::ios::trunc);
+                if (!graph_out.good()) throw Error("cannot write " + graph_path);
+            } else {
+                graph_path.clear();
             }
+            if (complete) finish_graph(); // zero-byte transfer
+            continue;
+        }
+        if (frame->type == FrameType::kGraphData) {
+            const bool complete = transfer.consume(frame->payload.size());
+            if (graph_out.is_open()) {
+                graph_out.write(frame->payload.data(),
+                                static_cast<std::streamsize>(frame->payload.size()));
+                if (!graph_out.good()) throw Error("cannot write " + graph_path);
+            }
+            if (complete) finish_graph();
             continue;
         }
         if (events_log.has_value()) *events_log << frame->payload << "\n";
