@@ -6,6 +6,7 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace gesmc {
 
@@ -99,6 +100,12 @@ void apply_config_entry(PipelineConfig& config, const std::string& raw_key,
     const std::string value = trim(raw_value);
     if (key == "input") {
         config.input_path = value;
+    } else if (key == "input-glob") {
+        config.input_glob = value;
+    } else if (key == "corpus-manifest") {
+        config.corpus_manifest = value;
+    } else if (key == "corpus") {
+        config.corpus_spec = value;
     } else if (key == "input-kind") {
         if (value == "edges") config.input_kind = InputKind::kEdgeList;
         else if (value == "degrees") config.input_kind = InputKind::kDegreeSequence;
@@ -200,7 +207,13 @@ PipelineConfig read_pipeline_config(std::istream& is) {
         GESMC_CHECK(eq != std::string::npos,
                     "config line " + std::to_string(line_no) + ": expected \"key = value\", got \"" +
                         stripped + "\"");
-        apply_config_entry(config, stripped.substr(0, eq), stripped.substr(eq + 1));
+        try {
+            apply_config_entry(config, stripped.substr(0, eq), stripped.substr(eq + 1));
+        } catch (const Error& e) {
+            // Re-throw with the position: a bad entry in a many-key corpus
+            // document must point at its line, not make the user bisect.
+            throw Error("config line " + std::to_string(line_no) + ": " + e.what());
+        }
     }
     return config;
 }
@@ -216,7 +229,161 @@ PipelineConfig read_pipeline_config_string(const std::string& text) {
     return read_pipeline_config(is);
 }
 
+std::string pipeline_config_to_string(const PipelineConfig& config) {
+    const PipelineConfig defaults;
+    std::ostringstream os;
+    const auto put = [&os](const char* key, const std::string& value) {
+        GESMC_CHECK(value.find('\n') == std::string::npos,
+                    std::string("config key \"") + key +
+                        "\" cannot be rendered: value contains a newline");
+        os << key << " = " << value << "\n";
+    };
+    const auto put_u64 = [&put](const char* key, std::uint64_t v) {
+        put(key, std::to_string(v));
+    };
+    const auto put_double = [&put](const char* key, double v) {
+        std::ostringstream s;
+        s.precision(17); // round-trippable, matching the JSON report emitter
+        s << v;
+        put(key, s.str());
+    };
+    const auto put_bool = [&put](const char* key, bool v) {
+        put(key, v ? "true" : "false");
+    };
+
+    if (config.input_path != defaults.input_path) put("input", config.input_path);
+    if (config.input_glob != defaults.input_glob) put("input-glob", config.input_glob);
+    if (config.corpus_manifest != defaults.corpus_manifest) {
+        put("corpus-manifest", config.corpus_manifest);
+    }
+    if (config.corpus_spec != defaults.corpus_spec) put("corpus", config.corpus_spec);
+    if (config.input_kind != defaults.input_kind) {
+        put("input-kind", to_string(config.input_kind));
+    }
+    if (config.init != defaults.init) put("init", to_string(config.init));
+    if (config.generator != defaults.generator) put("generator", config.generator);
+    if (config.gen_n != defaults.gen_n) put_u64("gen-n", config.gen_n);
+    if (config.gen_m != defaults.gen_m) put_u64("gen-m", config.gen_m);
+    if (config.gen_gamma != defaults.gen_gamma) put_double("gen-gamma", config.gen_gamma);
+    if (config.gen_rows != defaults.gen_rows) put_u64("gen-rows", config.gen_rows);
+    if (config.gen_cols != defaults.gen_cols) put_u64("gen-cols", config.gen_cols);
+    if (config.gen_degree != defaults.gen_degree) put_u64("gen-degree", config.gen_degree);
+    if (config.algorithm != defaults.algorithm) put("algorithm", config.algorithm);
+    if (config.supersteps != defaults.supersteps) put_u64("supersteps", config.supersteps);
+    if (config.pl != defaults.pl) put_double("pl", config.pl);
+    if (config.prefetch != defaults.prefetch) put_bool("prefetch", config.prefetch);
+    if (config.small_graph_cutoff != defaults.small_graph_cutoff) {
+        put_u64("small-cutoff", config.small_graph_cutoff);
+    }
+    if (config.replicates != defaults.replicates) put_u64("replicates", config.replicates);
+    if (config.seed != defaults.seed) put_u64("seed", config.seed);
+    if (config.threads != defaults.threads) put_u64("threads", config.threads);
+    if (config.policy != defaults.policy) put("policy", to_string(config.policy));
+    if (config.chain_threads != defaults.chain_threads) {
+        put_u64("chain-threads", config.chain_threads);
+    }
+    if (config.max_concurrent != defaults.max_concurrent) {
+        put_u64("max-concurrent", config.max_concurrent);
+    }
+    if (config.checkpoint_every != defaults.checkpoint_every) {
+        put_u64("checkpoint-every", config.checkpoint_every);
+    }
+    if (config.resume_from != defaults.resume_from) put("resume-from", config.resume_from);
+    if (config.keep_checkpoints != defaults.keep_checkpoints) {
+        put_bool("keep-checkpoints", config.keep_checkpoints);
+    }
+    if (config.output_dir != defaults.output_dir) put("output-dir", config.output_dir);
+    if (config.output_prefix != defaults.output_prefix) {
+        put("output-prefix", config.output_prefix);
+    }
+    if (config.output_format != defaults.output_format) {
+        put("output-format", to_string(config.output_format));
+    }
+    if (config.report_path != defaults.report_path) put("report", config.report_path);
+    if (config.metrics != defaults.metrics) put_bool("metrics", config.metrics);
+    if (config.verify != defaults.verify) put_bool("verify", config.verify);
+    return os.str();
+}
+
+std::vector<std::string> split_input_list(const std::string& value) {
+    std::vector<std::string> tokens;
+    std::size_t i = 0;
+    const auto is_space = [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+    };
+    while (i < value.size()) {
+        if (is_space(value[i])) {
+            ++i;
+            continue;
+        }
+        std::string token;
+        if (value[i] == '"') {
+            const std::size_t close = value.find('"', i + 1);
+            GESMC_CHECK(close != std::string::npos,
+                        "config key \"input\": unterminated quote in \"" + value + "\"");
+            token = value.substr(i + 1, close - i - 1);
+            i = close + 1;
+        } else {
+            const std::size_t start = i;
+            while (i < value.size() && !is_space(value[i])) ++i;
+            token = value.substr(start, i - start);
+        }
+        GESMC_CHECK(!token.empty(),
+                    "config key \"input\": empty (quoted) path in \"" + value + "\"");
+        tokens.push_back(std::move(token));
+    }
+    return tokens;
+}
+
+std::string single_input_path(const PipelineConfig& config) {
+    const std::vector<std::string> tokens = split_input_list(config.input_path);
+    if (tokens.empty()) return "";
+    GESMC_CHECK(tokens.size() == 1,
+                "config key \"input\" lists " + std::to_string(tokens.size()) +
+                    " paths where a single input is expected");
+    return tokens[0];
+}
+
+bool is_corpus_config(const PipelineConfig& config) {
+    if (!config.input_glob.empty() || !config.corpus_manifest.empty() ||
+        !config.corpus_spec.empty()) {
+        return true;
+    }
+    // `input` with several entries names a corpus; a double-quoted path
+    // containing spaces stays one entry (split_input_list).
+    return split_input_list(config.input_path).size() > 1;
+}
+
+void validate_input_sources(const PipelineConfig& config) {
+    std::vector<std::string> sources;
+    if (!config.input_path.empty()) sources.push_back("input = " + config.input_path);
+    if (!config.input_glob.empty()) {
+        sources.push_back("input-glob = " + config.input_glob);
+    }
+    if (!config.corpus_manifest.empty()) {
+        sources.push_back("corpus-manifest = " + config.corpus_manifest);
+    }
+    if (!config.corpus_spec.empty()) sources.push_back("corpus = " + config.corpus_spec);
+    if (config.input_kind == InputKind::kGenerator) {
+        sources.push_back("input-kind = generator");
+    }
+    if (sources.size() > 1) {
+        std::string message = "contradictory input sources — a config names "
+                              "exactly one of input / input-glob / "
+                              "corpus-manifest / corpus / a generator, got:";
+        for (const std::string& s : sources) message += "\n  " + s;
+        throw Error(message);
+    }
+}
+
 void validate(const PipelineConfig& config) {
+    validate_input_sources(config);
+    GESMC_CHECK(!is_corpus_config(config),
+                "this config names a corpus of inputs; expand it with "
+                "plan_corpus — gesmc_sample does so automatically, and "
+                "gesmc_submit --corpus fans it out as per-graph jobs "
+                "(run_pipeline and plain service submission handle single "
+                "graphs only)");
     GESMC_CHECK(config.replicates > 0, "replicates must be >= 1");
     GESMC_CHECK(config.supersteps > 0, "supersteps must be >= 1");
     GESMC_CHECK(config.pl > 0 && config.pl < 1, "pl must be in (0, 1)");

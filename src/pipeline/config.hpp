@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace gesmc {
 
@@ -59,7 +60,11 @@ enum class OutputFormat {
 
 struct PipelineConfig {
     // ------------------------------------------------------------- input
-    std::string input_path;                      ///< key: input
+    /// One input path — or, for a corpus run, a whitespace-separated list
+    /// of paths.  A path containing spaces must be double-quoted
+    /// (`input = "my graph.txt"`) so it stays a single entry; see
+    /// split_input_list.                                       key: input
+    std::string input_path;
     InputKind input_kind = InputKind::kEdgeList; ///< key: input-kind
                                                  ///<   (edges|degrees|generator)
     InitMethod init = InitMethod::kHavelHakimi;  ///< key: init
@@ -72,6 +77,31 @@ struct PipelineConfig {
     std::uint64_t gen_rows = 100;                ///< key: gen-rows (grid)
     std::uint64_t gen_cols = 100;                ///< key: gen-cols (grid)
     std::uint32_t gen_degree = 8;                ///< key: gen-degree (regular)
+
+    // ------------------------------------------------------------- corpus
+    // A config names *one* input source.  Beyond the single-graph `input`,
+    // three corpus sources turn the run into a sharded corpus run — one
+    // (namespaced) single-graph run per input graph, scheduled jointly over
+    // the thread budget and merged into one corpus summary
+    // (pipeline/corpus.hpp, docs/corpus.md).  Naming more than one source
+    // is rejected at validation.
+
+    /// Shell-style pattern (`*`/`?` in the filename component) matched
+    /// against a directory of edge-list files; matches are taken in sorted
+    /// order.                                       key: input-glob
+    std::string input_glob;
+
+    /// Manifest file: one input per line (`path [:: name]`, '#'/'%'
+    /// comments at line start or after whitespace), relative paths
+    /// resolving against the manifest's directory.
+    ///                                              key: corpus-manifest
+    std::string corpus_manifest;
+
+    /// Synthetic corpus spec backed by src/gen/corpus — `test`, `bench`, or
+    /// `powerlaw n=<N> gamma=<G> count=<C>` / `gnp n=<N> m=<M> count=<C>`
+    /// (members are materialized under <output-dir>/corpus-inputs/).
+    ///                                              key: corpus
+    std::string corpus_spec;
 
     // ------------------------------------------------------------- chain
     std::string algorithm = "par-global-es"; ///< key: algorithm (chain name)
@@ -141,7 +171,9 @@ struct PipelineConfig {
 void apply_config_entry(PipelineConfig& config, const std::string& key,
                         const std::string& value);
 
-/// Parses a config stream/file on top of the defaults.
+/// Parses a config stream/file on top of the defaults.  Errors from
+/// malformed lines or bad entries carry the offending line number (and the
+/// key, via apply_config_entry's messages).
 PipelineConfig read_pipeline_config(std::istream& is);
 PipelineConfig read_pipeline_config_file(const std::string& path);
 
@@ -150,8 +182,37 @@ PipelineConfig read_pipeline_config_file(const std::string& path);
 /// file on the daemon's disk.
 PipelineConfig read_pipeline_config_string(const std::string& text);
 
-/// Validates cross-field constraints (input present, counts positive, ...).
-/// Throws Error with an actionable message.
+/// Renders `config` back to "key = value" text that read_pipeline_config
+/// parses to an equivalent config — how corpus shards travel to the
+/// sampling service as plain config documents.  Only non-default entries
+/// are emitted.
+[[nodiscard]] std::string pipeline_config_to_string(const PipelineConfig& config);
+
+/// Splits an `input` value into its path entries: whitespace-separated
+/// tokens, where a double-quoted token may contain spaces (the quotes are
+/// stripped).  Throws on an unterminated quote.
+[[nodiscard]] std::vector<std::string> split_input_list(const std::string& value);
+
+/// The single path of a one-graph config's `input` (quotes stripped);
+/// empty for an empty input.  Throws if `input` in fact lists several
+/// paths — callers reach here only after validate().
+[[nodiscard]] std::string single_input_path(const PipelineConfig& config);
+
+/// True iff the config names a corpus of inputs rather than a single graph:
+/// any of input-glob / corpus-manifest / corpus is set, or `input` lists
+/// more than one entry (see split_input_list).  Corpus configs are expanded
+/// by plan_corpus (pipeline/corpus.hpp); run_pipeline and service
+/// submission reject them.
+[[nodiscard]] bool is_corpus_config(const PipelineConfig& config);
+
+/// Throws unless at most one input source is named: contradictory
+/// combinations (e.g. `input` together with `corpus-manifest`) are config
+/// errors regardless of how the config will be run.
+void validate_input_sources(const PipelineConfig& config);
+
+/// Validates cross-field constraints (input present, counts positive, ...)
+/// for a *single-graph* run.  Throws Error with an actionable message;
+/// corpus configs are rejected here (expand them with plan_corpus).
 void validate(const PipelineConfig& config);
 
 } // namespace gesmc

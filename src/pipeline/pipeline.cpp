@@ -98,10 +98,13 @@ std::string checkpoint_path(const std::string& run_dir, const PipelineConfig& co
 EdgeList materialize_input(const PipelineConfig& config) {
     validate(config);
     switch (config.input_kind) {
+    // single_input_path, not the raw value: a spaced path travels
+    // double-quoted through the `input` list spelling.
     case InputKind::kEdgeList:
-        return read_any_edge_list_file(config.input_path);
+        return read_any_edge_list_file(single_input_path(config));
     case InputKind::kDegreeSequence:
-        return realize_degree_sequence(read_degree_sequence_file(config.input_path), config);
+        return realize_degree_sequence(
+            read_degree_sequence_file(single_input_path(config)), config);
     case InputKind::kGenerator:
         return generate_input(config);
     }

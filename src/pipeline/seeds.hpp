@@ -28,4 +28,29 @@ inline constexpr std::uint64_t kReplicateSeedSalt = 0x9b1c5e7a3fd24e19ULL;
     return mix64(master, kReplicateSeedSalt, index);
 }
 
+/// Domain salt for per-graph master seeds in corpus runs — distinct from
+/// kReplicateSeedSalt so graph seeds never collide with replicate seeds.
+inline constexpr std::uint64_t kCorpusGraphSeedSalt = 0x5d8f02b6c4a7131dULL;
+
+/// Domain salt for the generation seeds of synthetic corpus members
+/// (`corpus = powerlaw ...`), separated from the chain-seed stream so the
+/// input graphs and the switching randomness are independent.
+inline constexpr std::uint64_t kCorpusGenSeedSalt = 0x37c41fa90be8d65bULL;
+
+/// Master seed of corpus graph `graph_index` in a corpus with master seed
+/// `master`: the graph's shard runs as a single-graph pipeline with this
+/// seed, so its replicate seeds are replicate_seed(corpus_graph_seed(...),
+/// r).  The derived value lands in the corpus summary, so any row can be
+/// reproduced by a standalone run with `seed = <derived>` (docs/corpus.md).
+[[nodiscard]] constexpr std::uint64_t corpus_graph_seed(std::uint64_t master,
+                                                        std::uint64_t graph_index) noexcept {
+    return mix64(master, kCorpusGraphSeedSalt, graph_index);
+}
+
+/// Generation seed of synthetic corpus member `graph_index`.
+[[nodiscard]] constexpr std::uint64_t corpus_gen_seed(std::uint64_t master,
+                                                      std::uint64_t graph_index) noexcept {
+    return mix64(master, kCorpusGenSeedSalt, graph_index);
+}
+
 } // namespace gesmc

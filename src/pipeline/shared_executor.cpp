@@ -1,0 +1,117 @@
+#include "pipeline/shared_executor.hpp"
+
+#include "util/check.hpp"
+
+namespace gesmc {
+
+SharedExecutor::SharedExecutor(unsigned threads) : budget_(threads) {
+    const unsigned n = budget_.total();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+SharedExecutor::~SharedExecutor() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+unsigned SharedExecutor::threads() const noexcept { return budget_.total(); }
+
+std::shared_ptr<SharedExecutor::RunQueue>
+SharedExecutor::pick_task_locked(std::uint64_t& replicate) {
+    // One rotation over the active runs: take one replicate from the first
+    // run under its own K cap, then move that run to the back of the ring —
+    // each active job contributes one task per round, regardless of size.
+    const std::size_t rounds = active_.size();
+    for (std::size_t i = 0; i < rounds; ++i) {
+        std::shared_ptr<RunQueue> queue = active_.front();
+        active_.pop_front();
+        if (queue->inflight < queue->max_inflight) {
+            replicate = queue->pending.front();
+            queue->pending.pop_front();
+            ++queue->inflight;
+            if (!queue->pending.empty()) active_.push_back(queue);
+            return queue;
+        }
+        active_.push_back(queue); // at its cap; skip this round
+    }
+    return nullptr;
+}
+
+void SharedExecutor::worker_loop() {
+    for (;;) {
+        std::shared_ptr<RunQueue> queue;
+        std::uint64_t replicate = 0;
+        {
+            std::unique_lock lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                if (stopping_ && active_.empty()) return true;
+                queue = pick_task_locked(replicate);
+                return queue != nullptr;
+            });
+            // Drain before exiting: a run() may still be counting down on
+            // queued replicates when the destructor fires.
+            if (queue == nullptr) return;
+        }
+        {
+            // The admission gate: every replicate computes under a leased
+            // sub-pool of its run's width, so the total computing width
+            // across all jobs never exceeds the budget.  Blocking here is
+            // fine — the lease queue is FIFO, so a wide lease drains the
+            // budget and narrow tasks queue behind it without starvation.
+            PoolLease lease = budget_.acquire(queue->width);
+            (*queue->fn)(ReplicateSlot{replicate, lease.width(), lease.pool()});
+        }
+        {
+            std::lock_guard lock(mutex_);
+            --queue->inflight;
+            if (--queue->remaining == 0) queue->done_cv.notify_all();
+        }
+        // Freed budget width and a freed K slot may both unblock peers.
+        work_cv_.notify_all();
+    }
+}
+
+void SharedExecutor::run(std::uint64_t replicates, const ScheduleRequest& request,
+                         const std::function<void(const ReplicateSlot&)>& fn) {
+    GESMC_CHECK(fn != nullptr, "null replicate body");
+    if (replicates == 0) return;
+    const ResolvedSchedule schedule = resolve_schedule(request, replicates, threads());
+
+    if (schedule.max_concurrent <= 1) {
+        // K = 1 (intra-chain): strict replicate order on the calling runner
+        // thread.  Leasing per replicate lets other jobs' tasks interleave
+        // between chains; the FIFO budget keeps a whole-budget lease from
+        // being starved by their width-1 traffic.
+        for (std::uint64_t r = 0; r < replicates; ++r) {
+            PoolLease lease = budget_.acquire(schedule.chain_threads);
+            fn(ReplicateSlot{r, lease.width(), lease.pool()});
+        }
+        return;
+    }
+
+    // K > 1: hand the replicates to the shared worker team.  The queue is
+    // heap-shared with every worker: the final decrement may race with
+    // run() returning, and a worker must never touch a waiter's dead stack
+    // frame (fn itself is safe by reference — run() cannot return until
+    // the last fn call completed).
+    auto queue = std::make_shared<RunQueue>();
+    for (std::uint64_t r = 0; r < replicates; ++r) queue->pending.push_back(r);
+    queue->width = schedule.chain_threads;
+    queue->max_inflight = schedule.max_concurrent;
+    queue->remaining = replicates;
+    queue->fn = &fn;
+    std::unique_lock lock(mutex_);
+    GESMC_CHECK(!stopping_, "executor is shutting down");
+    active_.push_back(queue);
+    work_cv_.notify_all();
+    queue->done_cv.wait(lock, [&queue] { return queue->remaining == 0; });
+}
+
+} // namespace gesmc

@@ -1,0 +1,89 @@
+/// \file shared_executor.hpp
+/// \brief Machine-wide replicate execution shared by concurrent runs.
+///
+/// SharedExecutor is a ReplicateExecutor over one ThreadBudget of P threads
+/// that multiplexes the replicates of *many concurrent run() calls* — the
+/// sampling service's jobs, or the graphs of one corpus run — while
+/// preserving each run's resolved (K, T) schedule:
+///
+///   * Every run's replicates become tasks of the run's resolved chain
+///     width T; one team of P task workers pops tasks *round-robin across
+///     runs* (one replicate from each active run in turn, so a small run is
+///     never FIFO-starved behind a thousand-replicate one) and leases a
+///     width-T sub-pool out of the budget before computing.
+///   * The width-counting budget is the admission gate: a T=4 chain of one
+///     run and four T=1 replicates of other runs compute simultaneously,
+///     and the total leased width never exceeds P.
+///   * A K = 1 run (intra-chain) runs its replicates on its own calling
+///     thread, leasing per replicate so other runs interleave between
+///     chains; the ChainConfig::shared_pool contract holds because every
+///     lease is an exclusive, disjoint worker team.
+///
+/// This class started life inside the service's JobManager; the corpus
+/// layer (pipeline/corpus.hpp) shares it now, so it lives with the
+/// scheduler seam it implements.
+#pragma once
+
+#include "parallel/pool_lease.hpp"
+#include "pipeline/scheduler.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gesmc {
+
+/// Machine-wide replicate executor shared by all concurrently running jobs.
+class SharedExecutor final : public ReplicateExecutor {
+public:
+    /// `threads` = 0 resolves to hardware concurrency.
+    explicit SharedExecutor(unsigned threads);
+    ~SharedExecutor() override;
+
+    SharedExecutor(const SharedExecutor&) = delete;
+    SharedExecutor& operator=(const SharedExecutor&) = delete;
+
+    /// Budget width P.
+    [[nodiscard]] unsigned threads() const noexcept override;
+
+    void run(std::uint64_t replicates, const ScheduleRequest& request,
+             const std::function<void(const ReplicateSlot&)>& fn) override;
+
+private:
+    /// One concurrent run() call's replicates: the unit the task workers
+    /// round-robin over.  Lives in active_ while it still has pending
+    /// indices; `inflight` enforces the run's own K cap on top of the
+    /// budget's machine-wide one.
+    struct RunQueue {
+        std::deque<std::uint64_t> pending;  ///< replicate indices not yet started
+        unsigned width = 1;                 ///< T: lease width per replicate
+        unsigned max_inflight = 1;          ///< K: the run's concurrency cap
+        unsigned inflight = 0;              ///< replicates currently computing
+        std::uint64_t remaining = 0;        ///< not yet *completed* replicates
+        const std::function<void(const ReplicateSlot&)>* fn = nullptr;
+        std::condition_variable done_cv;    ///< signalled at remaining == 0
+    };
+
+    void worker_loop();
+    /// Pops the next round-robin task whose run is under its K cap;
+    /// null when nothing is currently runnable.  Requires mutex_.
+    std::shared_ptr<RunQueue> pick_task_locked(std::uint64_t& replicate);
+
+    ThreadBudget budget_;  ///< the width-counting admission gate
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    /// Round-robin ring of runs with pending replicates: workers pop from
+    /// the front and rotate the run to the back.
+    std::list<std::shared_ptr<RunQueue>> active_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace gesmc

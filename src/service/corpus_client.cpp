@@ -1,0 +1,93 @@
+#include "service/corpus_client.hpp"
+
+#include "pipeline/pipeline.hpp"
+#include "service/json.hpp"
+#include "util/check.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace gesmc {
+
+namespace {
+
+const JsonValue& member(const JsonValue& doc, const std::string& key) {
+    const JsonValue* value = doc.find(key);
+    GESMC_CHECK(value != nullptr, "shard report is missing \"" + key + "\"");
+    return *value;
+}
+
+double number(const JsonValue& doc, const std::string& key) {
+    const JsonValue& value = member(doc, key);
+    // The report writer emits null for non-finite doubles (JSON has no
+    // NaN/Infinity); map it back so client-side means match local ones.
+    if (value.is_null()) return std::numeric_limits<double>::quiet_NaN();
+    GESMC_CHECK(value.is_number(), "shard report \"" + key + "\" is not a number");
+    return value.number_value;
+}
+
+std::uint64_t uint(const JsonValue& doc, const std::string& key) {
+    // uint_member is exact for integer-shaped numbers — 64-bit seeds would
+    // be rounded by the double path.
+    return doc.uint_member(key);
+}
+
+} // namespace
+
+CorpusGraphRow corpus_row_from_report_json(const CorpusInput& input,
+                                           const std::string& json_text) {
+    const JsonValue doc = parse_json(json_text);
+    GESMC_CHECK(doc.is_object(), "shard report is not a JSON object");
+
+    CorpusGraphRow row;
+    row.name = input.name;
+    row.input_path = input.path;
+    row.seed = uint(member(doc, "config"), "seed");
+    const JsonValue& graph = member(doc, "input_graph");
+    row.input_nodes = uint(graph, "nodes");
+    row.input_edges = uint(graph, "edges");
+    row.seconds = number(doc, "total_seconds");
+    row.switches_per_second = number(doc, "switches_per_second");
+
+    const JsonValue& replicates = member(doc, "replicates");
+    GESMC_CHECK(replicates.is_array(), "shard report \"replicates\" is not an array");
+    row.replicates = replicates.array_items.size();
+
+    std::uint64_t attempted = 0, accepted = 0, with_metrics = 0;
+    double triangles = 0, clustering = 0, assortativity = 0, components = 0;
+    for (const JsonValue& r : replicates.array_items) {
+        const JsonValue& stats = member(r, "stats");
+        attempted += uint(stats, "attempted");
+        accepted += uint(stats, "accepted");
+        if (const JsonValue* error = r.find("error"); error != nullptr) {
+            GESMC_CHECK(error->is_string(), "shard report replicate error is not a string");
+            if (is_interrupt_error(error->string_value)) {
+                ++row.interrupted;
+            } else {
+                ++row.failed;
+                if (row.error.empty()) row.error = error->string_value;
+            }
+        }
+        if (const JsonValue* metrics = r.find("metrics"); metrics != nullptr) {
+            ++with_metrics;
+            triangles += number(*metrics, "triangles");
+            clustering += number(*metrics, "global_clustering");
+            assortativity += number(*metrics, "assortativity");
+            components += number(*metrics, "components");
+        }
+    }
+    row.acceptance_rate =
+        attempted > 0 ? static_cast<double>(accepted) / static_cast<double>(attempted)
+                      : 0;
+    if (with_metrics > 0) {
+        row.has_metrics = true;
+        const double n = static_cast<double>(with_metrics);
+        row.mean_triangles = triangles / n;
+        row.mean_clustering = clustering / n;
+        row.mean_assortativity = assortativity / n;
+        row.mean_components = components / n;
+    }
+    return row;
+}
+
+} // namespace gesmc

@@ -1,0 +1,30 @@
+/// \file corpus_client.hpp
+/// \brief Client-side corpus merging for `gesmc_submit --corpus`.
+///
+/// A corpus submitted to the sampling service travels as per-graph jobs:
+/// the client expands the corpus config locally (pipeline/corpus.hpp),
+/// renders each shard back to config text (pipeline_config_to_string) and
+/// submits it like any single job — the daemon never learns about corpora
+/// and schedules the shards with the same round-robin fairness as all
+/// other traffic.  What the daemon *does* produce per shard is the
+/// standard JSON run report in the shard's output directory; this helper
+/// parses those documents (with the service's strict JSON reader) back
+/// into corpus summary rows so the client can reassemble the same merged
+/// summary a local run_corpus writes.
+#pragma once
+
+#include "pipeline/corpus.hpp"
+
+#include <string>
+
+namespace gesmc {
+
+/// Rebuilds corpus member `input`'s summary row from the JSON text of its
+/// shard run report (the document write_json_report emits).  Field-for-
+/// field equivalent to corpus_row_from_report on the in-memory RunReport —
+/// asserted by tests/test_service.cpp.  Throws Error on malformed or
+/// incomplete JSON.
+[[nodiscard]] CorpusGraphRow corpus_row_from_report_json(const CorpusInput& input,
+                                                         const std::string& json_text);
+
+} // namespace gesmc

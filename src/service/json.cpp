@@ -3,6 +3,7 @@
 #include "util/check.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -178,7 +179,19 @@ private:
         }
         JsonValue v;
         v.kind = JsonValue::Kind::kNumber;
-        v.number_value = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+        const std::string token = text_.substr(start, pos_ - start);
+        v.number_value = std::strtod(token.c_str(), nullptr);
+        // Integer-shaped and in range: keep the exact value alongside the
+        // double (64-bit seeds/ids overflow double's 53-bit mantissa).
+        if (token.find_first_of(".eE-") == std::string::npos) {
+            errno = 0;
+            char* end = nullptr;
+            const unsigned long long exact = std::strtoull(token.c_str(), &end, 10);
+            if (errno == 0 && end != nullptr && *end == '\0') {
+                v.has_uint = true;
+                v.uint_value = exact;
+            }
+        }
         return v;
     }
 
@@ -285,6 +298,9 @@ std::uint64_t JsonValue::uint_member(const std::string& key) const {
     const JsonValue* v = find(key);
     GESMC_CHECK(v != nullptr, "JSON: missing member \"" + key + "\"");
     GESMC_CHECK(v->is_number(), "JSON: member \"" + key + "\" is not a number");
+    // Integer-shaped input carries its exact value (64-bit seeds/ids do not
+    // survive the double round-trip).
+    if (v->has_uint) return v->uint_value;
     // The upper bound makes the cast defined (a double >= 2^63 would be
     // UB to convert); protocol integers are job/replicate ids, far below.
     GESMC_CHECK(v->number_value >= 0 && std::floor(v->number_value) == v->number_value &&

@@ -26,6 +26,12 @@ public:
     Kind kind = Kind::kNull;
     bool bool_value = false;
     double number_value = 0;
+    /// Exact value of an unsigned-integer-shaped number (no sign, fraction
+    /// or exponent, fits in 64 bits).  number_value alone would round 64-bit
+    /// ids and seeds through double's 53-bit mantissa — uint_member returns
+    /// this when set.
+    bool has_uint = false;
+    std::uint64_t uint_value = 0;
     std::string string_value;
     std::vector<JsonValue> array_items;
     /// Insertion order preserved (duplicate keys: last wins on lookup).

@@ -4,8 +4,13 @@
 // direct pipeline runs), cancel semantics for queued and running jobs,
 // drain/resume, and an end-to-end Unix-socket session against a live
 // ServiceServer.
+#include "gen/corpus.hpp"
+#include "graph/io.hpp"
 #include "pipeline/config.hpp"
+#include "pipeline/corpus.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
+#include "service/corpus_client.hpp"
 #include "service/frame.hpp"
 #include "service/job_manager.hpp"
 #include "service/json.hpp"
@@ -713,6 +718,127 @@ TEST(JobManager, HybridJobsAreByteIdenticalToDirectRuns) {
                       slurp((dir / fs::path(r.output_path).filename()).string()));
         }
     }
+}
+
+// ------------------------------------------------------------ corpus runs
+
+TEST(JobManager, RejectsCorpusConfigsAtSubmit) {
+    // A corpus config must be fanned out client-side (gesmc_submit
+    // --corpus); submitting it as one job is refused with a pointer at the
+    // expansion path, not silently run on the first input.
+    JobManager manager(1, 1);
+    PipelineConfig corpus;
+    corpus.input_glob = "data/*.gesb";
+    EXPECT_THROW((void)manager.submit(corpus, nullptr), Error);
+    EXPECT_TRUE(manager.jobs().empty());
+}
+
+TEST(CorpusClient, RowFromReportJsonMatchesTheInMemoryRow) {
+    // The client-side merge parses the shard report the daemon wrote; the
+    // row it rebuilds must be field-equal to the one run_corpus computes
+    // from the in-memory RunReport.
+    const fs::path dir = scratch_dir("corpus_row");
+    PipelineConfig config = job_config(dir, 41);
+    config.metrics = true;
+    const RunReport report = run_pipeline(config);
+    ASSERT_TRUE(all_succeeded(report));
+
+    const CorpusInput input{"row-test", "in/row-test.gesb"};
+    const CorpusGraphRow direct = corpus_row_from_report(input, report);
+    std::ostringstream os;
+    write_json_report(os, report);
+    const CorpusGraphRow parsed = corpus_row_from_report_json(input, os.str());
+
+    EXPECT_EQ(parsed.name, direct.name);
+    EXPECT_EQ(parsed.input_path, direct.input_path);
+    EXPECT_EQ(parsed.seed, direct.seed);
+    EXPECT_EQ(parsed.input_nodes, direct.input_nodes);
+    EXPECT_EQ(parsed.input_edges, direct.input_edges);
+    EXPECT_EQ(parsed.replicates, direct.replicates);
+    EXPECT_EQ(parsed.failed, direct.failed);
+    EXPECT_EQ(parsed.interrupted, direct.interrupted);
+    EXPECT_NEAR(parsed.seconds, direct.seconds, 1e-12);
+    EXPECT_NEAR(parsed.switches_per_second, direct.switches_per_second, 1e-6);
+    EXPECT_NEAR(parsed.acceptance_rate, direct.acceptance_rate, 1e-12);
+    ASSERT_TRUE(parsed.has_metrics);
+    EXPECT_NEAR(parsed.mean_triangles, direct.mean_triangles, 1e-9);
+    EXPECT_NEAR(parsed.mean_clustering, direct.mean_clustering, 1e-12);
+    EXPECT_NEAR(parsed.mean_assortativity, direct.mean_assortativity, 1e-12);
+    EXPECT_NEAR(parsed.mean_components, direct.mean_components, 1e-12);
+    EXPECT_EQ(parsed.error, direct.error);
+
+    EXPECT_THROW((void)corpus_row_from_report_json(input, "{}"), Error);
+    EXPECT_THROW((void)corpus_row_from_report_json(input, "not json"), Error);
+}
+
+TEST(JobManager, CorpusShardsSubmittedAsJobsMatchALocalCorpusRun) {
+    // The gesmc_submit --corpus contract at the JobManager seam: every
+    // shard rendered to config text, parsed back (as the daemon does), and
+    // submitted as an ordinary job produces outputs byte-identical to the
+    // local run_corpus over the same corpus config.
+    const fs::path inputs = scratch_dir("corpus_jm_inputs");
+    std::vector<std::string> paths;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        const EdgeList g = generate_powerlaw_graph(300 + 30 * i, 2.2, 700 + i);
+        const std::string path =
+            (inputs / ("g" + std::to_string(i) + ".gesb")).string();
+        write_edge_list_binary_file(path, g);
+        paths.push_back(path);
+    }
+    const auto corpus_config = [&](const fs::path& out) {
+        PipelineConfig base;
+        base.input_path = paths[0] + " " + paths[1] + " " + paths[2];
+        base.algorithm = "par-global-es";
+        base.supersteps = 3;
+        base.replicates = 3;
+        base.seed = 66;
+        base.metrics = false;
+        base.threads = 2;
+        base.output_format = OutputFormat::kBinary;
+        base.output_dir = out.string();
+        return base;
+    };
+
+    const fs::path local_dir = scratch_dir("corpus_jm_local");
+    const CorpusPlan local_plan = plan_corpus(corpus_config(local_dir));
+    const CorpusReport local = run_corpus(local_plan);
+    ASSERT_TRUE(all_succeeded(local));
+
+    const fs::path svc_dir = scratch_dir("corpus_jm_svc");
+    const CorpusPlan svc_plan = plan_corpus(corpus_config(svc_dir));
+    JobManager manager(2, 2);
+    std::vector<std::uint64_t> jobs;
+    for (std::size_t i = 0; i < svc_plan.graphs.size(); ++i) {
+        // Render + re-parse: exactly what travels over the submit frame.
+        const std::string text =
+            pipeline_config_to_string(corpus_shard(svc_plan, i));
+        jobs.push_back(manager.submit(read_pipeline_config_string(text), nullptr));
+    }
+    for (const std::uint64_t id : jobs) {
+        const JobInfo done = manager.wait(id);
+        EXPECT_EQ(done.status, JobStatus::kSucceeded) << done.error;
+    }
+
+    std::uint64_t compared = 0;
+    for (const CorpusInput& graph : local_plan.graphs) {
+        for (const fs::directory_entry& entry :
+             fs::directory_iterator(local_dir / graph.name)) {
+            if (!entry.is_regular_file() || entry.path().extension() != ".gesb") {
+                continue;
+            }
+            const fs::path svc_file = svc_dir / graph.name / entry.path().filename();
+            EXPECT_EQ(slurp(entry.path().string()), slurp(svc_file.string()))
+                << svc_file;
+            ++compared;
+        }
+        // The daemon-side shard wrote the report the client merge reads.
+        const std::string report_json =
+            slurp((svc_dir / graph.name / "report.json").string());
+        const CorpusGraphRow row = corpus_row_from_report_json(graph, report_json);
+        EXPECT_EQ(row.replicates, 3u);
+        EXPECT_EQ(row.failed, 0u);
+    }
+    EXPECT_EQ(compared, 9u);
 }
 
 // ------------------------------------------------- end-to-end over socket

@@ -2,27 +2,34 @@
 /// \brief Batch sampler CLI: config-driven multi-replicate orchestration.
 ///
 /// Runs R independent replicates of an edge-switching Markov chain on one
-/// input graph, scheduled over a shared thread pool, and writes one output
-/// graph per replicate plus a machine-readable JSON run report.  This is
-/// the null-model workhorse: motif/significance analyses need hundreds of
-/// randomized replicates per input, and this tool produces them in one
-/// reproducible invocation.
+/// input graph — or on a whole *corpus* of input graphs — scheduled over a
+/// shared thread budget, and writes one output graph per replicate plus a
+/// machine-readable JSON report.  This is the null-model workhorse:
+/// motif/significance analyses need hundreds of randomized replicates per
+/// input, and this tool produces them in one reproducible invocation.
 ///
 ///   gesmc_sample --config run.cfg
 ///   gesmc_sample --input g.txt --replicates 64 --output-dir out --report out/run.json
 ///   gesmc_sample --config run.cfg --set threads=16 --set policy=replicates
 ///   gesmc_sample --config run.cfg --output-dir out --checkpoint-every 10
 ///   gesmc_sample --config run.cfg --resume out        # after an interruption
+///   gesmc_sample --glob 'data/*.gesb' --replicates 16 --output-dir out/corpus
 ///
-/// Every option is a config key (see src/pipeline/config.hpp); CLI flags
-/// override file entries in command-line order.
+/// A config naming several inputs (input list, --glob/--manifest/--corpus)
+/// runs as a corpus: per-graph shards with derived seeds under one thread
+/// budget, merged into a corpus summary (docs/corpus.md).  Every option is
+/// a config key (see src/pipeline/config.hpp); CLI flags override file
+/// entries in command-line order.
 #include "pipeline/config.hpp"
+#include "pipeline/corpus.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
 #include "util/format.hpp"
 #include "util/signal_interrupt.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -39,9 +46,15 @@ Config:
   --set KEY=VALUE     override any config key (repeatable)
 
 Shortcuts (equivalent to --set):
-  --input FILE        edge list (text or GESB binary)
+  --input FILE        edge list (text or GESB binary); several paths make
+                      the run a corpus (one shard per graph, derived seeds)
   --degrees FILE      degree-sequence input (realized via init method)
   --gen KIND          generator input: powerlaw | gnp | grid | regular
+  --glob PATTERN      corpus input: every file matching PATTERN (sorted;
+                      quote it so the shell does not expand)
+  --manifest FILE     corpus input: manifest of paths ("path [:: name]")
+  --corpus SPEC       synthetic corpus: test | bench |
+                      "powerlaw n=.. gamma=.. count=.." | "gnp n=.. m=.. count=.."
   --algo NAME         seq-es | seq-global-es | par-es | par-global-es |
                       naive-par-es | adj-list-es
   --replicates R      independent replicates to sample
@@ -53,7 +66,9 @@ Shortcuts (equivalent to --set):
   --max-concurrent K  cap on replicates computing at once (0 = budget/T)
   --output-dir DIR    write one graph per replicate into DIR
   --output-format F   text | binary
-  --report FILE       write the JSON run report to FILE
+  --report FILE       write the JSON run report to FILE (corpus runs: the
+                      merged corpus summary; per-graph reports land in each
+                      graph's output subdirectory)
   --checkpoint-every N  persist per-replicate chain state (.gesc) every N
                       supersteps under <output-dir>/checkpoints
   --resume DIR        resume an interrupted run from DIR's checkpoints:
@@ -96,6 +111,54 @@ struct CliEntry {
     std::string value;
 };
 
+/// Corpus mode: expand the config into per-graph shards, run every
+/// (graph x replicate) cell over one thread budget, emit the merged corpus
+/// summary.  Exit codes mirror the single-graph path (0 ok, 1 failures,
+/// 130 interrupted with a resume hint).
+int run_corpus_cli(const PipelineConfig& config, bool quiet, bool progress) {
+    const CorpusPlan plan = plan_corpus(config);
+    std::mutex progress_mutex;
+    std::uint64_t cells_done = 0;
+    const std::uint64_t total_cells = plan.graphs.size() * config.replicates;
+    CorpusHooks hooks;
+    if (progress) {
+        hooks.on_replicate_done = [&](std::size_t graph, const ReplicateReport& r) {
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            ++cells_done;
+            std::cerr << "corpus: " << plan.graphs[graph].name << " replicate "
+                      << r.index << (r.error.empty() ? " done" : " FAILED") << " in "
+                      << fmt_seconds(r.seconds) << " [" << cells_done << "/"
+                      << total_cells << "]\n";
+        };
+    }
+    const std::atomic<bool>* interrupt = nullptr;
+    if (config.checkpoint_every > 0) {
+        install_interrupt_handlers();
+        interrupt = &interrupt_flag();
+    }
+    const CorpusReport report =
+        run_corpus(plan, quiet ? nullptr : &std::cerr, interrupt, hooks);
+    // The merged summary must reach the caller even on partial failure or
+    // interruption — completed rows carry real results.
+    if (config.report_path.empty()) write_corpus_json(std::cout, report);
+    if (was_interrupted(report)) {
+        std::cerr << "interrupted: per-graph state checkpointed under "
+                  << config.output_dir
+                  << "/<graph>/checkpoints; continue with --resume "
+                  << config.output_dir << "\n";
+        return 130;
+    }
+    if (!all_succeeded(report)) {
+        for (const CorpusGraphRow& row : report.rows) {
+            if (!row.error.empty()) {
+                std::cerr << "graph " << row.name << " failed: " << row.error << "\n";
+            }
+        }
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +178,8 @@ int main(int argc, char** argv) {
     // Flags that expand to a plain config entry.
     const std::vector<std::pair<std::string, std::string>> shortcuts = {
         {"--input", "input"},         {"--gen", "generator"},
+        {"--glob", "input-glob"},     {"--manifest", "corpus-manifest"},
+        {"--corpus", "corpus"},
         {"--algo", "algorithm"},      {"--replicates", "replicates"},
         {"--supersteps", "supersteps"}, {"--seed", "seed"},
         {"--threads", "threads"},     {"--policy", "policy"},
@@ -200,6 +265,7 @@ int main(int argc, char** argv) {
         for (const CliEntry& entry : overrides) {
             apply_config_entry(config, entry.key, entry.value);
         }
+        if (is_corpus_config(config)) return run_corpus_cli(config, quiet, progress);
         std::optional<ProgressPrinter> printer;
         if (progress) printer.emplace(config.replicates);
         PipelineExec exec;

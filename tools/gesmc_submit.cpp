@@ -19,17 +19,32 @@
 /// events.log of every JSON payload.  Exit code mirrors the job: 0
 /// succeeded, 1 otherwise (failed / cancelled / interrupted / connection
 /// lost).
+///
+/// --corpus fans a corpus config out as per-graph jobs: the client expands
+/// the corpus locally (derived seeds, namespaced output dirs), submits one
+/// job per graph over its own connection — the daemon schedules them with
+/// the same round-robin fairness as any other traffic — and reassembles
+/// the merged corpus summary from the shard reports the daemon wrote:
+///
+///   gesmc_submit --socket /tmp/gesmc.sock --corpus --config corpus.cfg
+#include "pipeline/config.hpp"
+#include "pipeline/corpus.hpp"
+#include "service/corpus_client.hpp"
 #include "service/frame.hpp"
 #include "service/json.hpp"
 #include "service/socket.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace gesmc;
@@ -45,6 +60,12 @@ Submit (default action):
   --config FILE     pipeline config to submit ("key = value" lines)
   --set KEY=VALUE   append a config override (repeatable, later wins)
   --stream-dir DIR  save streamed replicate graphs + events.log into DIR
+                    (--corpus: per-graph subdirectories DIR/<name>/)
+  --corpus          treat the config as a corpus: submit one job per input
+                    graph (derived seeds, output-dir/<name>/ namespacing)
+                    and merge the shard reports into the corpus summary
+                    (written to the config's `report` path, else stdout);
+                    requires output-dir — client and daemon share it
   --quiet           suppress per-replicate progress lines
 
 Control actions:
@@ -85,49 +106,64 @@ struct SubmitOptions {
     std::string config_path;
     std::vector<std::string> overrides; ///< "key=value" entries, in order
     std::string stream_dir;
+    bool corpus = false;
     bool quiet = false;
 };
 
-int submit_action(const SubmitOptions& options) {
-    // Config text travels verbatim; overrides append lines (later wins,
-    // matching gesmc_sample's CLI-over-file precedence).
-    std::string config_text;
-    if (!options.config_path.empty()) config_text = read_file_bytes(options.config_path);
+/// Builds the submitted config document: the --config file's text verbatim,
+/// then one appended line per --set (later wins, matching gesmc_sample's
+/// CLI-over-file precedence).  Returns 0 and fills `out`, or a usage exit
+/// code.
+int assemble_config_text(const SubmitOptions& options, std::string& out) {
+    out.clear();
+    if (!options.config_path.empty()) out = read_file_bytes(options.config_path);
     for (const std::string& entry : options.overrides) {
         const std::size_t eq = entry.find('=');
         if (eq == std::string::npos) {
             std::cerr << "--set expects KEY=VALUE, got: " << entry << "\n";
             return 2;
         }
-        if (!config_text.empty() && config_text.back() != '\n') config_text += '\n';
-        config_text += entry.substr(0, eq) + " = " + entry.substr(eq + 1) + "\n";
+        if (!out.empty() && out.back() != '\n') out += '\n';
+        out += entry.substr(0, eq) + " = " + entry.substr(eq + 1) + "\n";
     }
-    if (config_text.empty()) {
+    if (out.empty()) {
         std::cerr << "nothing to submit: give --config and/or --set\n";
         return 2;
     }
+    return 0;
+}
 
+/// What one submitted job's stream ended in.
+struct StreamOutcome {
+    int exit_code = 1;
+    std::string final_status; ///< daemon's terminal status ("" = stream broke)
+};
+
+/// Submits `config_text` over its own connection and consumes the frame
+/// stream until the job settles; with a non-empty `stream_dir`, replicate
+/// graphs and events.log land there.  Shared by the single-job and corpus
+/// paths (the latter runs one of these per graph, concurrently).
+StreamOutcome stream_job(const std::string& socket_path, const std::string& config_text,
+                         const std::string& stream_dir, bool quiet) {
+    StreamOutcome outcome;
     std::optional<std::ofstream> events_log;
-    if (!options.stream_dir.empty()) {
-        std::filesystem::create_directories(options.stream_dir);
-        events_log.emplace(
-            (std::filesystem::path(options.stream_dir) / "events.log").string(),
-            std::ios::binary);
+    if (!stream_dir.empty()) {
+        std::filesystem::create_directories(stream_dir);
+        events_log.emplace((std::filesystem::path(stream_dir) / "events.log").string(),
+                           std::ios::binary);
         if (!events_log->good()) {
-            std::cerr << "error: cannot write events.log under " << options.stream_dir
-                      << "\n";
-            return 1;
+            std::cerr << "error: cannot write events.log under " << stream_dir << "\n";
+            return outcome;
         }
     }
 
-    const FdHandle fd = connect_unix(options.socket_path);
+    const FdHandle fd = connect_unix(socket_path);
     Request request;
     request.kind = RequestKind::kSubmit;
     request.config_text = config_text;
     write_all(fd.get(), make_request_line(request));
 
     FrameReader reader;
-    std::string final_status;
     std::uint64_t graphs_saved = 0;
     // Chunked graph reassembly: a 'G' header opens a transfer, 'D' chunks
     // append to it until the announced total arrives.  The state machine
@@ -142,7 +178,7 @@ int submit_action(const SubmitOptions& options) {
             if (!graph_out.good()) throw Error("cannot write " + graph_path);
         }
         ++graphs_saved;
-        if (!options.quiet) {
+        if (!quiet) {
             std::cerr << "streamed replicate " << transfer.header().replicate << " -> "
                       << (graph_path.empty() ? transfer.header().name : graph_path)
                       << " (" << transfer.header().total_bytes << " bytes)\n";
@@ -152,14 +188,14 @@ int submit_action(const SubmitOptions& options) {
         const std::optional<Frame> frame = read_frame(fd.get(), reader);
         if (!frame.has_value()) {
             std::cerr << "error: connection closed before the job finished\n";
-            return 1;
+            return outcome;
         }
         if (frame->type == FrameType::kGraph) {
             const GraphFrame header = decode_graph_payload(frame->payload);
             const bool complete = transfer.begin(header);
-            if (!options.stream_dir.empty()) {
+            if (!stream_dir.empty()) {
                 graph_path =
-                    (std::filesystem::path(options.stream_dir) / header.name).string();
+                    (std::filesystem::path(stream_dir) / header.name).string();
                 graph_out.open(graph_path, std::ios::binary | std::ios::trunc);
                 if (!graph_out.good()) throw Error("cannot write " + graph_path);
             } else {
@@ -182,11 +218,11 @@ int submit_action(const SubmitOptions& options) {
         const JsonValue doc = parse_json(frame->payload);
         const std::string& event = doc.string_member("event");
         if (event == "accepted") {
-            if (!options.quiet) {
+            if (!quiet) {
                 std::cerr << "job " << doc.uint_member("job") << " accepted\n";
             }
         } else if (event == "replicate") {
-            if (!options.quiet) {
+            if (!quiet) {
                 const JsonValue* report = doc.find("report");
                 std::cerr << "replicate";
                 if (report != nullptr && report->find("index") != nullptr) {
@@ -201,11 +237,12 @@ int submit_action(const SubmitOptions& options) {
             }
         } else if (event == "error") {
             std::cerr << "error: " << doc.string_member("message") << "\n";
-            return 1;
+            return outcome;
         } else if (event == "done") {
-            final_status = doc.string_member("status");
-            if (!options.quiet) {
-                std::cerr << "job " << doc.uint_member("job") << " " << final_status;
+            outcome.final_status = doc.string_member("status");
+            if (!quiet) {
+                std::cerr << "job " << doc.uint_member("job") << " "
+                          << outcome.final_status;
                 if (doc.find("error") != nullptr) {
                     std::cerr << " (" << doc.string_member("error") << ")";
                 }
@@ -215,11 +252,161 @@ int submit_action(const SubmitOptions& options) {
         }
         // superstep / checkpoint events: logged to events.log only.
     }
-    if (!options.stream_dir.empty() && !options.quiet) {
-        std::cerr << graphs_saved << " replicate graph(s) saved under "
-                  << options.stream_dir << "\n";
+    if (!stream_dir.empty() && !quiet) {
+        std::cerr << graphs_saved << " replicate graph(s) saved under " << stream_dir
+                  << "\n";
     }
-    return final_status == "succeeded" ? 0 : 1;
+    outcome.exit_code = outcome.final_status == "succeeded" ? 0 : 1;
+    return outcome;
+}
+
+int submit_action(const SubmitOptions& options) {
+    std::string config_text;
+    if (const int rc = assemble_config_text(options, config_text); rc != 0) return rc;
+    return stream_job(options.socket_path, config_text, options.stream_dir,
+                      options.quiet)
+        .exit_code;
+}
+
+/// --corpus: expand locally, submit one job per graph concurrently, merge
+/// the daemon-written shard reports into the corpus summary.  Client and
+/// daemon share a filesystem (Unix-socket service), so the shard output
+/// directories and reports are readable here.
+int corpus_submit_action(const SubmitOptions& options) {
+    std::string config_text;
+    if (const int rc = assemble_config_text(options, config_text); rc != 0) return rc;
+    const PipelineConfig config = read_pipeline_config_string(config_text);
+    if (!is_corpus_config(config)) {
+        std::cerr << "--corpus: the config names a single input; give several "
+                     "inputs, an input-glob, a corpus-manifest, or a corpus spec\n";
+        return 2;
+    }
+    if (config.output_dir.empty()) {
+        std::cerr << "--corpus requires output-dir: the daemon writes per-graph "
+                     "outputs and reports there and the client merges the summary "
+                     "from them\n";
+        return 2;
+    }
+    const CorpusPlan plan = plan_corpus(config);
+    // Derive every shard before anything runs: corpus_shard consults the
+    // resume-from directories on disk, and the daemon is about to write
+    // into this run's own.
+    std::vector<PipelineConfig> shards;
+    shards.reserve(plan.graphs.size());
+    for (std::size_t i = 0; i < plan.graphs.size(); ++i) {
+        shards.push_back(corpus_shard(plan, i));
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    struct GraphOutcome {
+        StreamOutcome stream;
+        std::string error; ///< client-side failure (connect, write, ...)
+    };
+    std::vector<GraphOutcome> outcomes(plan.graphs.size());
+    std::mutex progress_mutex;
+    std::size_t finished = 0;
+    // A bounded window of in-flight submissions, each on its own
+    // connection + consumer thread (every stream needs a live reader so
+    // observer sends never stall).  The window, not one stream per graph:
+    // a thousand-member corpus must not open a thousand sockets against
+    // the thread-per-connection daemon — the daemon queues beyond
+    // --max-jobs anyway, so a handful of open streams keeps it saturated
+    // while the rest of the corpus waits client-side.
+    constexpr std::size_t kMaxStreams = 8;
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= plan.graphs.size()) return;
+            try {
+                const std::string stream_dir =
+                    options.stream_dir.empty()
+                        ? std::string()
+                        : (std::filesystem::path(options.stream_dir) /
+                           plan.graphs[i].name)
+                              .string();
+                outcomes[i].stream =
+                    stream_job(options.socket_path,
+                               pipeline_config_to_string(shards[i]), stream_dir,
+                               /*quiet=*/true);
+            } catch (const std::exception& e) {
+                outcomes[i].error = e.what();
+            }
+            if (!options.quiet) {
+                const std::lock_guard<std::mutex> lock(progress_mutex);
+                ++finished;
+                std::cerr << "corpus: graph " << plan.graphs[i].name << " ";
+                if (!outcomes[i].error.empty()) {
+                    std::cerr << "error: " << outcomes[i].error;
+                } else if (outcomes[i].stream.final_status.empty()) {
+                    std::cerr << "connection lost";
+                } else {
+                    std::cerr << outcomes[i].stream.final_status;
+                }
+                std::cerr << " [" << finished << "/" << plan.graphs.size() << "]\n";
+            }
+        }
+    };
+    std::vector<std::thread> streams;
+    const std::size_t width = std::min(kMaxStreams, plan.graphs.size());
+    streams.reserve(width);
+    for (std::size_t w = 0; w < width; ++w) streams.emplace_back(worker);
+    for (std::thread& stream : streams) stream.join();
+
+    // Reassemble the merged summary from the shard reports the daemon wrote
+    // — the same rows a local run_corpus computes in memory.
+    CorpusReport report;
+    report.config = plan.base;
+    bool ok = true;
+    for (std::size_t i = 0; i < plan.graphs.size(); ++i) {
+        CorpusGraphRow row;
+        try {
+            row = corpus_row_from_report_json(plan.graphs[i],
+                                              read_file_bytes(shards[i].report_path));
+        } catch (const std::exception& e) {
+            row.name = plan.graphs[i].name;
+            row.input_path = plan.graphs[i].path;
+            row.seed = shards[i].seed;
+            row.replicates = shards[i].replicates;
+            row.failed = shards[i].replicates;
+            row.error = "cannot read shard report: " + std::string(e.what());
+        }
+        // The daemon's terminal status overrides a clean-looking parse: a
+        // job that failed before run_pipeline rewrote report.json (e.g. a
+        // vanished input) leaves a *stale* report from an earlier run
+        // behind, and the summary must name the failed graph rather than
+        // echo old numbers as success.
+        const bool job_ok =
+            outcomes[i].error.empty() && outcomes[i].stream.exit_code == 0;
+        if (!job_ok && row.error.empty() && row.failed == 0 &&
+            row.interrupted == 0) {
+            row.error = !outcomes[i].error.empty()
+                            ? outcomes[i].error
+                        : outcomes[i].stream.final_status.empty()
+                            ? "connection lost before the job finished"
+                            : "daemon job " + outcomes[i].stream.final_status +
+                                  " (per-graph report may be stale)";
+        }
+        ok = ok && job_ok && row.failed == 0 && row.interrupted == 0 &&
+             row.error.empty();
+        report.rows.push_back(std::move(row));
+    }
+    report.total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count();
+    if (!config.report_path.empty()) {
+        const std::filesystem::path parent =
+            std::filesystem::path(config.report_path).parent_path();
+        if (!parent.empty()) std::filesystem::create_directories(parent);
+        write_corpus_json_file(config.report_path, report);
+        if (!options.quiet) {
+            std::cerr << "corpus: merged summary written to " << config.report_path
+                      << "\n";
+        }
+    } else {
+        write_corpus_json(std::cout, report);
+    }
+    return ok ? 0 : 1;
 }
 
 } // namespace
@@ -259,6 +446,8 @@ int main(int argc, char** argv) {
         } else if (arg == "--stream-dir") {
             if (!(v = need_value(i))) return 2;
             submit.stream_dir = v;
+        } else if (arg == "--corpus") {
+            submit.corpus = true;
         } else if (arg == "--status") {
             action = Action::kStatus;
         } else if (arg == "--job") {
@@ -286,7 +475,7 @@ int main(int argc, char** argv) {
         switch (action) {
         case Action::kSubmit:
             submit.socket_path = socket_path;
-            return submit_action(submit);
+            return submit.corpus ? corpus_submit_action(submit) : submit_action(submit);
         case Action::kStatus: {
             Request request;
             request.kind = RequestKind::kStatus;
