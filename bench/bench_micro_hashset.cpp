@@ -3,6 +3,10 @@
 /// functions, robin-hood vs concurrent vs std::unordered_set under a
 /// switch-like mixed workload, and the two edge-sampling strategies of
 /// §5.3 (auxiliary array vs sampling buckets from the hash set).
+///
+/// `--bench-json=FILE` additionally writes the gesmc-bench-v1 aggregate
+/// the CI regression gate diffs against bench/baselines/BENCH_hashset.json.
+#include "bench_util/gbench_json.hpp"
 #include "graph/edge.hpp"
 #include "hashing/concurrent_edge_set.hpp"
 #include "hashing/hash.hpp"
@@ -134,4 +138,6 @@ BENCHMARK(BM_SampleEdgeFromHashSet);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return gesmc::run_micro_bench("hashset", argc, argv);
+}

@@ -2,6 +2,10 @@
 /// \brief Micro bench for the §5.3 randomness substrate: generator
 /// throughput, bounded draws, binomial sampling, and sequential vs
 /// parallel permutation sampling (the per-global-switch cost of G-ES-MC).
+///
+/// `--bench-json=FILE` writes the gesmc-bench-v1 aggregate (no committed
+/// baseline for this suite yet; docs/observability.md).
+#include "bench_util/gbench_json.hpp"
 #include "rng/binomial.hpp"
 #include "rng/bounded.hpp"
 #include "rng/counter_rng.hpp"
@@ -73,4 +77,6 @@ BENCHMARK(BM_SamplePermutation)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return gesmc::run_micro_bench("rng_shuffle", argc, argv);
+}

@@ -2,6 +2,10 @@
 /// \brief Per-switch cost of every chain implementation, plus the §5.4
 /// prefetch-pipeline ablation for SeqES and the ParallelSuperstep
 /// prefetch ablation.  Items/sec = attempted switches per second.
+///
+/// `--bench-json=FILE` additionally writes the gesmc-bench-v1 aggregate
+/// the CI regression gate diffs against bench/baselines/BENCH_switching.json.
+#include "bench_util/gbench_json.hpp"
 #include "core/chain.hpp"
 #include "gen/corpus.hpp"
 #include "gen/gnp.hpp"
@@ -109,4 +113,6 @@ BENCHMARK(BM_ParGlobalES_SmallGraph)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return gesmc::run_micro_bench("switching", argc, argv);
+}

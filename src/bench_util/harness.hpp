@@ -11,8 +11,10 @@
 #include "core/chain.hpp"
 #include "util/format.hpp"
 
+#include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace gesmc {
 
@@ -43,5 +45,47 @@ double measure_parallel_ceiling(unsigned threads);
 
 /// Prints the standard bench preamble (machine info, scaling note).
 void print_bench_header(const std::string& title, const std::string& paper_ref);
+
+// --------------------------------------------------------------------------
+// Machine-readable bench output (BENCH_<name>.json; schema gesmc-bench-v1,
+// docs/observability.md).  The CI regression gate diffs a fresh run against
+// the committed baseline and only compares runs from the same host class.
+
+/// One benchmark's aggregate over its repetitions.
+struct BenchResult {
+    std::string name;            ///< e.g. "BM_SeqES_Prefetch"
+    double median_seconds = 0;   ///< median per-iteration wall time
+    double items_per_second = 0; ///< median items/sec counter (0 = no counter)
+    std::uint64_t repetitions = 0;
+};
+
+/// Identifies the machine class a bench ran on.  `fingerprint` is the
+/// equality key the regression gate uses: numbers from different hardware
+/// are not comparable, so a mismatch downgrades the gate to informational.
+struct BenchHost {
+    std::string fingerprint; ///< "<os>/<arch>/<cpu>/ht<N>"
+    std::string os;          ///< uname sysname + release
+    std::string arch;        ///< uname machine
+    std::string cpu;         ///< /proc/cpuinfo "model name" ("" if unknown)
+    unsigned hardware_threads = 0;
+    double parallel_ceiling = 0; ///< measured self speed-up at ht (0 = not run)
+};
+
+/// A whole bench binary's results.
+struct BenchSuite {
+    std::string bench; ///< e.g. "switching" -> BENCH_switching.json
+    BenchHost host;
+    std::vector<BenchResult> results;
+};
+
+/// Fills every BenchHost field except parallel_ceiling.
+[[nodiscard]] BenchHost bench_host_info();
+
+/// Median of `values` (consumed by sorting); 0 for an empty vector.
+[[nodiscard]] double median_of(std::vector<double> values);
+
+/// Serializes the suite as the gesmc-bench-v1 JSON document.
+void write_bench_json(std::ostream& os, const BenchSuite& suite);
+void write_bench_json_file(const std::string& path, const BenchSuite& suite);
 
 } // namespace gesmc

@@ -6,6 +6,8 @@
 #include "core/par_global_es.hpp"
 #include "core/seq_es.hpp"
 #include "core/seq_global_es.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 #include <algorithm>
@@ -114,21 +116,67 @@ std::unique_ptr<Chain> make_chain(const ChainState& state, const ChainConfig& co
     return nullptr;
 }
 
+namespace {
+
+/// Folds the superstep's ChainStats delta into the chain.* counters.  Every
+/// driven run of every chain algorithm passes through run_checkpointed, so
+/// this one seam instruments all six chains (and resumed chains: the delta
+/// starts at the restored stats, never re-counting checkpointed work).
+void count_chain_progress(const ChainStats& before, const ChainStats& after) {
+    struct ChainCounters {
+        obs::Counter& supersteps =
+            obs::MetricsRegistry::instance().counter("chain.supersteps");
+        obs::Counter& attempted =
+            obs::MetricsRegistry::instance().counter("chain.switches.attempted");
+        obs::Counter& accepted =
+            obs::MetricsRegistry::instance().counter("chain.switches.accepted");
+        obs::Counter& rejected_loop =
+            obs::MetricsRegistry::instance().counter("chain.switches.rejected_loop");
+        obs::Counter& rejected_edge =
+            obs::MetricsRegistry::instance().counter("chain.switches.rejected_edge");
+        obs::Counter& rounds =
+            obs::MetricsRegistry::instance().counter("chain.rounds");
+    };
+    static ChainCounters& counters = *new ChainCounters();
+    counters.supersteps.add(after.supersteps - before.supersteps);
+    counters.attempted.add(after.attempted - before.attempted);
+    counters.accepted.add(after.accepted - before.accepted);
+    counters.rejected_loop.add(after.rejected_loop - before.rejected_loop);
+    counters.rejected_edge.add(after.rejected_edge - before.rejected_edge);
+    counters.rounds.add(after.rounds_total - before.rounds_total);
+}
+
+} // namespace
+
 void run_checkpointed(Chain& chain, std::uint64_t target, std::uint64_t checkpoint_every,
                       RunObserver* observer, std::uint64_t replicate,
                       const std::function<void()>& on_checkpoint_boundary) {
     GESMC_CHECK(on_checkpoint_boundary != nullptr, "null checkpoint boundary");
     std::uint64_t done = chain.stats().supersteps;
     GESMC_CHECK(done <= target, "chain is already past the target superstep count");
+    const ChainStats before = chain.stats();
     while (done < target) {
         const std::uint64_t chunk = checkpoint_every > 0
                                         ? std::min(checkpoint_every, target - done)
                                         : target - done;
-        chain.run_supersteps(chunk, observer, replicate);
+        if (obs::trace_enabled()) {
+            // Per-superstep spans: split the chunk into single supersteps.
+            // Byte-identical to the chunked path — randomness is counter-
+            // based, so split points never change the trajectory (the same
+            // property checkpoint/resume relies on).
+            for (std::uint64_t s = 0; s < chunk; ++s) {
+                obs::TraceSpan span("superstep", "core",
+                                    {{"replicate", replicate}, {"superstep", done + s}});
+                chain.run_supersteps(1, observer, replicate);
+            }
+        } else {
+            chain.run_supersteps(chunk, observer, replicate);
+        }
         done += chunk;
         if (done < target) on_checkpoint_boundary();
     }
     on_checkpoint_boundary(); // completion boundary: the finished marker
+    if (obs::metrics_enabled()) count_chain_progress(before, chain.stats());
 }
 
 } // namespace gesmc

@@ -1,5 +1,7 @@
 #include "hashing/concurrent_edge_set.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <thread>
 
 namespace gesmc {
@@ -12,6 +14,25 @@ constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
 constexpr std::uint64_t key_of(std::uint64_t bucket) noexcept { return bucket & kUnlockedMask; }
 constexpr unsigned owner_of(std::uint64_t bucket) noexcept {
     return static_cast<unsigned>(bucket >> kLockShift);
+}
+
+/// Probe statistics, counted locally per call and added once at the end —
+/// the disabled cost on the contains() hot path is one relaxed load and a
+/// predictable branch.
+struct EdgeSetMetrics {
+    obs::Counter& lookups =
+        obs::MetricsRegistry::instance().counter("edgeset.lookups");
+    obs::Counter& probe_steps =
+        obs::MetricsRegistry::instance().counter("edgeset.probe_steps");
+    obs::Counter& inserts =
+        obs::MetricsRegistry::instance().counter("edgeset.inserts");
+    obs::Counter& insert_collisions =
+        obs::MetricsRegistry::instance().counter("edgeset.insert_collisions");
+};
+
+EdgeSetMetrics& edge_set_metrics() noexcept {
+    static EdgeSetMetrics& m = *new EdgeSetMetrics();
+    return m;
 }
 } // namespace
 
@@ -28,15 +49,31 @@ ConcurrentEdgeSet::ConcurrentEdgeSet(std::uint64_t max_live_keys) {
 }
 
 bool ConcurrentEdgeSet::contains(std::uint64_t key) const noexcept {
+    if (!obs::metrics_enabled()) {
+        std::uint64_t idx = home(key);
+        for (std::uint64_t probes = 0; probes <= mask_; ++probes) {
+            const std::uint64_t bucket = table_[idx].load(std::memory_order_acquire);
+            const std::uint64_t k = key_of(bucket);
+            if (k == key) return true;
+            if (k == kEmpty) return false;
+            idx = (idx + 1) & mask_;
+        }
+        return false; // table fully scanned (cannot happen at load <= 1/2)
+    }
+    EdgeSetMetrics& m = edge_set_metrics();
+    m.lookups.add(1);
     std::uint64_t idx = home(key);
     for (std::uint64_t probes = 0; probes <= mask_; ++probes) {
         const std::uint64_t bucket = table_[idx].load(std::memory_order_acquire);
         const std::uint64_t k = key_of(bucket);
-        if (k == key) return true;
-        if (k == kEmpty) return false;
+        if (k == key || k == kEmpty) {
+            m.probe_steps.add(probes + 1);
+            return k == key;
+        }
         idx = (idx + 1) & mask_;
     }
-    return false; // table fully scanned (cannot happen at load <= 1/2)
+    m.probe_steps.add(mask_ + 1);
+    return false;
 }
 
 void ConcurrentEdgeSet::lock_stripe(std::atomic<std::uint8_t>& s) noexcept {
@@ -63,6 +100,7 @@ void ConcurrentEdgeSet::unlock_stripe(std::atomic<std::uint8_t>& s) noexcept {
 bool ConcurrentEdgeSet::insert_impl(std::uint64_t key, std::uint64_t locked_state,
                                     std::uint64_t* slot_out, bool* exists_locked_out) {
     const std::uint64_t value = key | locked_state;
+    const bool measure = obs::metrics_enabled();
 retry:
     std::uint64_t idx = home(key);
     std::uint64_t first_tomb = kNoSlot;
@@ -84,6 +122,11 @@ retry:
                                                                std::memory_order_acq_rel)) {
                     tombs_.fetch_sub(1, std::memory_order_relaxed);
                     size_.fetch_add(1, std::memory_order_relaxed);
+                    if (measure) {
+                        EdgeSetMetrics& m = edge_set_metrics();
+                        m.inserts.add(1);
+                        if (probes > 0) m.insert_collisions.add(probes);
+                    }
                     if (slot_out) *slot_out = first_tomb;
                     return true;
                 }
@@ -93,6 +136,11 @@ retry:
             if (table_[idx].compare_exchange_strong(expected, value,
                                                     std::memory_order_acq_rel)) {
                 size_.fetch_add(1, std::memory_order_relaxed);
+                if (measure) {
+                    EdgeSetMetrics& m = edge_set_metrics();
+                    m.inserts.add(1);
+                    if (probes > 0) m.insert_collisions.add(probes);
+                }
                 if (slot_out) *slot_out = idx;
                 return true;
             }

@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include "pipeline/report.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace gesmc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+unsigned shard_index() noexcept {
+    static std::atomic<unsigned> next_ordinal{0};
+    // One fetch_add per thread lifetime; afterwards a plain TLS read.
+    static thread_local const unsigned shard =
+        next_ordinal.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return shard;
+}
+
+} // namespace detail
+
+void set_metrics_enabled(bool enabled) noexcept {
+    detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- Counter
+
+std::uint64_t Counter::total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void Counter::reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- Histogram
+
+void Histogram::record(std::uint64_t value) noexcept {
+    if (!metrics_enabled()) return;
+    Shard& s = shards_[detail::shard_index()];
+    s.buckets[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t prev = s.max.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !s.max.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+}
+
+void Histogram::reset() noexcept {
+    for (Shard& s : shards_) {
+        for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        s.max.store(0, std::memory_order_relaxed);
+    }
+}
+
+// ---------------------------------------------------------------- registry
+
+struct MetricsRegistry::Impl {
+    mutable std::mutex mutex;
+    // unique_ptr values: map growth must never move a metric another thread
+    // holds a reference to.
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+    // Leaked on purpose: metric references handed out to static call-site
+    // caches must outlive every destructor that might still record.
+    static MetricsRegistry* const registry = new MetricsRegistry();
+    return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+    static Impl* const impl = new Impl();
+    return *impl;
+}
+
+template <typename Map>
+static auto& find_or_create(Map& map, std::mutex& mutex, std::string_view name) {
+    std::lock_guard lock(mutex);
+    auto it = map.find(name);
+    if (it == map.end()) {
+        it = map.emplace(std::string(name),
+                         std::make_unique<typename Map::mapped_type::element_type>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    Impl& i = impl();
+    return find_or_create(i.counters, i.mutex, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    Impl& i = impl();
+    return find_or_create(i.gauges, i.mutex, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+    Impl& i = impl();
+    return find_or_create(i.histograms, i.mutex, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    Impl& i = impl();
+    MetricsSnapshot snap;
+    snap.enabled = metrics_enabled();
+    std::lock_guard lock(i.mutex);
+    snap.counters.reserve(i.counters.size());
+    for (const auto& [name, counter] : i.counters) {
+        snap.counters.emplace_back(name, counter->total());
+    }
+    snap.gauges.reserve(i.gauges.size());
+    for (const auto& [name, gauge] : i.gauges) {
+        snap.gauges.emplace_back(name, gauge->value());
+    }
+    snap.histograms.reserve(i.histograms.size());
+    for (const auto& [name, histogram] : i.histograms) {
+        HistogramSnapshot h;
+        h.name = name;
+        std::uint64_t buckets[kHistogramBuckets] = {};
+        for (const Histogram::Shard& s : histogram->shards_) {
+            for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+                buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+            }
+            h.count += s.count.load(std::memory_order_relaxed);
+            h.sum += s.sum.load(std::memory_order_relaxed);
+            h.max = std::max(h.max, s.max.load(std::memory_order_relaxed));
+        }
+        for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+            if (buckets[b] == 0) continue;
+            // bucket b holds values of bit_width b: upper bound 2^b - 1.
+            const std::uint64_t upper =
+                b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+            h.buckets.push_back({upper, buckets[b]});
+        }
+        snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset() noexcept {
+    Impl& i = impl();
+    std::lock_guard lock(i.mutex);
+    for (auto& [name, counter] : i.counters) counter->reset();
+    for (auto& [name, gauge] : i.gauges) gauge->value_.store(0, std::memory_order_relaxed);
+    for (auto& [name, histogram] : i.histograms) histogram->reset();
+}
+
+// -------------------------------------------------------------------- JSON
+
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
+    w.begin_object();
+    w.kv("enabled", snapshot.enabled);
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : snapshot.counters) w.kv(name, value);
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, value] : snapshot.gauges) {
+        // JsonWriter has no signed overload; gauges here are occupancy-like
+        // and non-negative, but clamp defensively rather than wrap.
+        w.kv(name, static_cast<std::uint64_t>(std::max<std::int64_t>(value, 0)));
+    }
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+        w.key(h.name);
+        w.begin_object();
+        w.kv("count", h.count);
+        w.kv("sum", h.sum);
+        w.kv("max", h.max);
+        if (h.count > 0) {
+            w.kv("mean", static_cast<double>(h.sum) / static_cast<double>(h.count));
+        }
+        w.key("buckets");
+        w.begin_array();
+        for (const HistogramSnapshot::Bucket& b : h.buckets) {
+            w.begin_object();
+            w.kv("le", b.upper_bound);
+            w.kv("count", b.count);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+} // namespace gesmc::obs

@@ -1,0 +1,172 @@
+/// \file metrics.hpp
+/// \brief Process-wide metrics registry: sharded counters, gauges and
+/// log2-bucketed histograms behind one runtime flag.
+///
+/// The measurement substrate for the whole stack (chains, hash set, thread
+/// budget, executor, service).  Design constraints, in order:
+///
+///   * Disabled (the default) must be indistinguishable from absent: every
+///     record path starts with one relaxed atomic-bool load and an early
+///     return, so byte-identical determinism and hot-path perf are
+///     untouched when nobody asked to measure.
+///   * Enabled must stay off the contention radar: counters and histograms
+///     are sharded into cache-line-padded cells and each thread writes only
+///     the shard its (stable) thread ordinal hashes to — concurrent
+///     increments never bounce a line between cores.
+///   * Metrics are process-lifetime: registration allocates once under a
+///     mutex, handles are stable references that never dangle, and reads
+///     (snapshot()) sum the shards without stopping writers — a snapshot is
+///     a consistent-enough view (monotone per counter), not a fence.
+///
+/// Values accumulate for the life of the process; reset() exists for tests
+/// and for tools that want per-run numbers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gesmc {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Shards per counter/histogram.  Enough that a machine's worth of threads
+/// rarely collides on one cell; small enough that summing stays trivial.
+inline constexpr unsigned kMetricShards = 16;
+
+/// Histogram buckets: bucket i counts values with bit_width(value) == i,
+/// i.e. value in [2^(i-1), 2^i).  Index 0 is the zero bucket.
+inline constexpr unsigned kHistogramBuckets = 65;
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+/// The calling thread's shard: a stable small ordinal taken modulo
+/// kMetricShards (cheap thread_local read, no hashing per record).
+[[nodiscard]] unsigned shard_index() noexcept;
+} // namespace detail
+
+/// The single runtime flag all record paths check first (relaxed load).
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips collection on/off process-wide.  Daemons enable it at startup;
+/// batch tools opt in via --metrics/--metrics-out/--trace.
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Monotone event count, sharded per thread.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        if (!metrics_enabled()) return;
+        shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Sum over shards; concurrent adds may or may not be included.
+    [[nodiscard]] std::uint64_t total() const noexcept;
+
+private:
+    friend class MetricsRegistry;
+    void reset() noexcept;
+
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> value{0};
+    };
+    Shard shards_[kMetricShards];
+};
+
+/// Point-in-time signed value (occupancy, caps).  Not sharded: set() has
+/// last-writer-wins semantics a shard sum cannot express, and gauges are
+/// written at coarse rates (per lease / per graph, not per switch).
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept {
+        if (metrics_enabled()) value_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t delta) noexcept {
+        if (metrics_enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    friend class MetricsRegistry;
+    alignas(64) std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed distribution of non-negative integer samples (wait times
+/// in microseconds, probe lengths).  Sharded like Counter.
+class Histogram {
+public:
+    void record(std::uint64_t value) noexcept;
+
+private:
+    friend class MetricsRegistry;
+    void reset() noexcept;
+
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> buckets[kHistogramBuckets];
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> max{0};
+    };
+    Shard shards_[kMetricShards];
+};
+
+struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    /// Non-empty buckets only: [le lower-power-of-two bound, count].
+    struct Bucket {
+        std::uint64_t upper_bound = 0;  ///< largest value the bucket admits
+        std::uint64_t count = 0;
+    };
+    std::vector<Bucket> buckets;
+};
+
+/// One coherent read of every registered metric, name-sorted.
+struct MetricsSnapshot {
+    bool enabled = false;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+};
+
+/// Name -> metric registry (process singleton).  Lookup takes a mutex;
+/// call sites cache the returned reference (static local) so hot paths
+/// never re-enter the map.  Handles live until process exit.
+class MetricsRegistry {
+public:
+    static MetricsRegistry& instance();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    /// Zeroes every registered value (names and handles stay valid).
+    void reset() noexcept;
+
+private:
+    MetricsRegistry() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+/// Emits a snapshot as one JSON object: {"enabled": ..., "counters": {...},
+/// "gauges": {...}, "histograms": {...}} — embedded by run reports and the
+/// daemon's metrics frame (schema in docs/observability.md).
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot);
+
+} // namespace obs
+} // namespace gesmc

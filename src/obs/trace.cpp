@@ -1,0 +1,203 @@
+#include "obs/trace.hpp"
+
+#include "util/check.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace gesmc::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_active{false};
+} // namespace detail
+
+namespace {
+
+struct TraceEvent {
+    const char* name = nullptr;
+    const char* category = nullptr;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    unsigned tid = 0;
+    TraceArg args[4];
+    unsigned num_args = 0;
+};
+
+struct TraceState {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::chrono::steady_clock::time_point epoch;
+    /// Bumped on every start(): a span begun under a previous session must
+    /// not leak its event into this one.
+    std::uint64_t generation = 0;
+};
+
+TraceState& state() {
+    static TraceState* const s = new TraceState();
+    return *s;
+}
+
+/// Small stable per-thread id (Chrome wants numbers; std::thread::id is
+/// opaque and often huge).
+unsigned trace_thread_id() noexcept {
+    static std::atomic<unsigned> next{1};
+    static thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::uint64_t now_ns(const TraceState& s) noexcept {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - s.epoch)
+                                          .count());
+}
+
+void write_microseconds(std::ostream& os, std::uint64_t ns) {
+    // Chrome "ts"/"dur" are microseconds; keep sub-µs resolution as a
+    // decimal fraction (Perfetto accepts fractional timestamps).
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    os << buf;
+}
+
+void write_json_string(std::ostream& os, const char* text) {
+    os << '"';
+    for (const char* p = text; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os << buf;
+        } else {
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events) {
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent& e : events) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n  {\"name\": ";
+        write_json_string(os, e.name);
+        os << ", \"cat\": ";
+        write_json_string(os, e.category);
+        os << ", \"ph\": \"X\", \"ts\": ";
+        write_microseconds(os, e.start_ns);
+        os << ", \"dur\": ";
+        write_microseconds(os, e.dur_ns);
+        os << ", \"pid\": 1, \"tid\": " << e.tid;
+        if (e.num_args > 0) {
+            os << ", \"args\": {";
+            for (unsigned i = 0; i < e.num_args; ++i) {
+                if (i > 0) os << ", ";
+                write_json_string(os, e.args[i].key);
+                os << ": " << e.args[i].value;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::vector<TraceEvent> stop_and_take() {
+    detail::g_trace_active.store(false, std::memory_order_relaxed);
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    std::vector<TraceEvent> events = std::move(s.events);
+    s.events.clear();
+    return events;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ TraceSession
+
+void TraceSession::start() {
+    TraceState& s = state();
+    {
+        std::lock_guard lock(s.mutex);
+        if (trace_enabled()) return;
+        s.events.clear();
+        s.epoch = std::chrono::steady_clock::now();
+        ++s.generation;
+    }
+    detail::g_trace_active.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::stop_and_write(std::ostream& os) {
+    write_trace_json(os, stop_and_take());
+}
+
+void TraceSession::stop_and_write(const std::string& path) {
+    const std::vector<TraceEvent> events = stop_and_take();
+    std::ofstream os(path);
+    GESMC_CHECK(os.good(), "cannot open trace file for writing: " + path);
+    write_trace_json(os, events);
+    GESMC_CHECK(os.good(), "writing trace file failed: " + path);
+}
+
+std::string TraceSession::stop_to_string() {
+    std::ostringstream os;
+    stop_and_write(os);
+    return os.str();
+}
+
+void TraceSession::stop() noexcept { stop_and_take(); }
+
+std::size_t TraceSession::event_count() {
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    return s.events.size();
+}
+
+// --------------------------------------------------------------- TraceSpan
+
+TraceSpan::TraceSpan(const char* name, const char* category,
+                     std::initializer_list<TraceArg> args) noexcept
+    : name_(name), category_(category) {
+    if (!trace_enabled()) return;
+    for (const TraceArg& arg : args) {
+        if (num_args_ >= 4) break;
+        args_[num_args_++] = arg;
+    }
+    TraceState& s = state();
+    {
+        std::lock_guard lock(s.mutex);
+        generation_ = s.generation;
+    }
+    start_ns_ = now_ns(s);
+    active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+    if (!active_ || !trace_enabled()) return;
+    TraceState& s = state();
+    TraceEvent e;
+    e.name = name_;
+    e.category = category_;
+    e.start_ns = start_ns_;
+    e.dur_ns = now_ns(s) - start_ns_;
+    e.tid = trace_thread_id();
+    for (unsigned i = 0; i < num_args_; ++i) e.args[i] = args_[i];
+    e.num_args = num_args_;
+    std::lock_guard lock(s.mutex);
+    // A span begun under an earlier (stopped) session carries timestamps
+    // against a dead epoch — drop it rather than corrupt this session.
+    if (generation_ != s.generation) return;
+    s.events.push_back(e);
+}
+
+} // namespace gesmc::obs

@@ -1,0 +1,91 @@
+/// \file trace.hpp
+/// \brief Span recording emitted as Chrome trace_event JSON.
+///
+/// A TraceSession captures *where a run's wall clock goes* — superstep
+/// compute vs. checkpoint IO vs. lease waits vs. service frame handling —
+/// as complete ("ph": "X") events loadable in chrome://tracing or Perfetto.
+/// Spans are coarse by design (one per superstep / lease / replicate /
+/// request, never per switch), so a single mutex-guarded event buffer is
+/// plenty; the per-span cost when *inactive* is one relaxed atomic load.
+///
+/// Usage: TraceSession::start() begins recording; RAII TraceSpan objects
+/// measure scopes; stop_and_write(path) emits the JSON and ends the
+/// session.  Span names and categories must be string literals (the
+/// session stores the pointers, not copies).  One session at a time;
+/// events recorded while no session is active are dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+
+namespace gesmc::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_active;
+} // namespace detail
+
+/// True while a TraceSession is recording (relaxed load — the fast gate
+/// every span constructor checks first).
+[[nodiscard]] inline bool trace_enabled() noexcept {
+    return detail::g_trace_active.load(std::memory_order_relaxed);
+}
+
+/// One numeric span argument ("replicate": 3).  Keys must be literals.
+struct TraceArg {
+    const char* key = nullptr;
+    std::uint64_t value = 0;
+};
+
+/// Process-wide recording session (all members static: there is one event
+/// buffer, guarded by an internal mutex).
+class TraceSession {
+public:
+    /// Starts recording (clears any events left by a stopped session).
+    /// No-op if already active.
+    static void start();
+
+    [[nodiscard]] static bool active() noexcept { return trace_enabled(); }
+
+    /// Stops recording and writes the Chrome trace_event JSON document.
+    /// Throws Error if the file cannot be written (the session still ends).
+    static void stop_and_write(const std::string& path);
+    static void stop_and_write(std::ostream& os);
+
+    /// Stops recording, returning the JSON document (tests).
+    static std::string stop_to_string();
+
+    /// Stops recording and discards the events.
+    static void stop() noexcept;
+
+    /// Recorded event count (0 when inactive and after stop).
+    [[nodiscard]] static std::size_t event_count();
+};
+
+/// RAII complete-event span: measures construction-to-destruction and
+/// appends one "ph": "X" event if the session was active at construction.
+/// Up to four numeric args; name/category/keys must be string literals.
+class TraceSpan {
+public:
+    explicit TraceSpan(const char* name, const char* category = "gesmc") noexcept
+        : TraceSpan(name, category, {}) {}
+    TraceSpan(const char* name, const char* category,
+              std::initializer_list<TraceArg> args) noexcept;
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+private:
+    const char* name_;
+    const char* category_;
+    std::uint64_t start_ns_ = 0;
+    std::uint64_t generation_ = 0;  ///< session the span belongs to
+    TraceArg args_[4];
+    unsigned num_args_ = 0;
+    bool active_ = false;
+};
+
+} // namespace gesmc::obs

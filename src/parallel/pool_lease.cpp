@@ -1,10 +1,35 @@
 #include "parallel/pool_lease.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace gesmc {
+
+namespace {
+
+/// budget.* metrics shared by every ThreadBudget in the process (batch runs
+/// and the daemon have exactly one, so process-wide names are unambiguous;
+/// a test creating several budgets just sums into the same counters).
+struct BudgetMetrics {
+    obs::Counter& leases =
+        obs::MetricsRegistry::instance().counter("budget.leases.acquired");
+    obs::Histogram& wait_us =
+        obs::MetricsRegistry::instance().histogram("budget.lease_wait_us");
+    obs::Gauge& leased_width =
+        obs::MetricsRegistry::instance().gauge("budget.leased_width");
+    obs::Gauge& waiting = obs::MetricsRegistry::instance().gauge("budget.waiting");
+};
+
+BudgetMetrics& budget_metrics() {
+    static BudgetMetrics& m = *new BudgetMetrics();
+    return m;
+}
+
+} // namespace
 
 void PoolLease::release() noexcept {
     if (budget_ == nullptr) return;
@@ -43,13 +68,29 @@ PoolLease ThreadBudget::acquire(unsigned width) {
                     " outside [1, " + std::to_string(total_) + "]");
     std::unique_ptr<ThreadPool> pool;
     {
+        const obs::TraceSpan span("lease.wait", "parallel", {{"width", width}});
+        const bool measure = obs::metrics_enabled();
+        const auto wait_start = measure ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point();
         std::unique_lock lock(mutex_);
         const std::uint64_t ticket = next_ticket_++;
+        if (measure) budget_metrics().waiting.set(static_cast<std::int64_t>(
+            next_ticket_ - now_serving_));
         cv_.wait(lock, [&] {
             return ticket == now_serving_ && leased_ + width <= total_;
         });
         ++now_serving_;
         leased_ += width;
+        if (measure) {
+            BudgetMetrics& m = budget_metrics();
+            m.leases.add(1);
+            m.wait_us.record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count()));
+            m.leased_width.set(leased_);
+            m.waiting.set(static_cast<std::int64_t>(next_ticket_ - now_serving_));
+        }
         if (width > 1) pool = take_cached_pool_locked(width);
     }
     // The next ticket may already fit alongside this one — wake the queue.
@@ -79,6 +120,11 @@ std::optional<PoolLease> ThreadBudget::try_acquire(unsigned width) {
             return std::nullopt;
         }
         leased_ += width;
+        if (obs::metrics_enabled()) {
+            BudgetMetrics& m = budget_metrics();
+            m.leases.add(1);
+            m.leased_width.set(leased_);
+        }
         if (width > 1) pool = take_cached_pool_locked(width);
     }
     if (width > 1 && pool == nullptr) {
@@ -99,6 +145,7 @@ void ThreadBudget::release(unsigned width, std::unique_ptr<ThreadPool> pool) noe
     {
         std::lock_guard lock(mutex_);
         leased_ -= width;
+        if (obs::metrics_enabled()) budget_metrics().leased_width.set(leased_);
         if (pool != nullptr) idle_pools_.push_back(std::move(pool));
         // Bound the cache: parked pools may hold at most total_ worker
         // threads in sum, so a long-lived budget serving many widths over

@@ -3,6 +3,7 @@
 #include "gen/corpus.hpp"
 #include "gen/gnp.hpp"
 #include "graph/io.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/seeds.hpp"
 #include "pipeline/shared_executor.hpp"
 #include "util/check.hpp"
@@ -11,6 +12,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -495,44 +498,89 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
 
     std::mutex log_mutex;
     std::size_t finished = 0;
-    // One coordinator thread per graph: it only materializes the input and
-    // parks in SharedExecutor::run while the shared worker team does the
-    // computing, so even large corpora cost idle threads, not oversubscribed
-    // CPUs.
+
+    // Streamed rows: one compact JSON line per graph, appended the moment
+    // the graph settles — a 10k-graph overnight run is monitorable (tail -f)
+    // long before the merged summary exists.
+    std::ofstream rows_stream;
+    std::mutex rows_mutex;
+    if (!plan.base.output_dir.empty()) {
+        fs::create_directories(plan.base.output_dir);
+        const std::string rows_path =
+            (fs::path(plan.base.output_dir) / "corpus_rows.ndjson").string();
+        rows_stream.open(rows_path, std::ios::trunc);
+        GESMC_CHECK(rows_stream.good(),
+                    "cannot open corpus row stream for writing: " + rows_path);
+    }
+
+    // Bounded coordinator pool: a coordinator only materializes its graph's
+    // input and parks in SharedExecutor::run while the shared worker team
+    // computes, but parked threads still cost stacks — a 10k-graph corpus
+    // must not spawn 10k of them.  The cap keeps every budget thread
+    // feedable (and stays above the handful of graphs the interleaving
+    // tests run concurrently); graphs beyond it run in waves as
+    // coordinators free up.
+    const std::size_t coordinator_cap = std::min<std::size_t>(
+        plan.graphs.size(), std::max<std::size_t>(executor.threads(), 8));
+    struct CorpusGauges {
+        obs::Gauge& cap =
+            obs::MetricsRegistry::instance().gauge("corpus.coordinator_cap");
+        obs::Gauge& active =
+            obs::MetricsRegistry::instance().gauge("corpus.coordinators_active");
+        obs::Counter& graphs_done =
+            obs::MetricsRegistry::instance().counter("corpus.graphs.done");
+    };
+    static CorpusGauges& gauges = *new CorpusGauges();
+    gauges.cap.set(static_cast<std::int64_t>(coordinator_cap));
+
+    std::atomic<std::size_t> next_graph{0};
     std::vector<std::thread> runners;
-    runners.reserve(plan.graphs.size());
-    for (std::size_t i = 0; i < plan.graphs.size(); ++i) {
-        runners.emplace_back([&, i] {
-            const CorpusInput& input = plan.graphs[i];
-            const PipelineConfig shard = corpus_shard(plan, i);
-            CorpusGraphRow& row = report.rows[i];
-            HookObserver observer(hooks, i);
-            try {
-                PipelineExec exec;
-                exec.executor = &executor;
-                exec.interrupt = interrupt;
-                const RunReport run = run_pipeline(shard, nullptr, &observer, exec);
-                row = corpus_row_from_report(input, run);
-                if (hooks.on_graph_done != nullptr) hooks.on_graph_done(i, run);
-            } catch (const std::exception& e) {
-                // A shard-level failure (unreadable input, bad resume state)
-                // fails its row; the other graphs keep running.
-                row.name = input.name;
-                row.input_path = input.path;
-                row.seed = shard.seed;
-                row.replicates = shard.replicates;
-                row.failed = shard.replicates;
-                row.error = e.what();
-            }
-            if (log != nullptr) {
-                const std::lock_guard<std::mutex> lock(log_mutex);
-                ++finished;
-                *log << "corpus: graph " << input.name << " "
-                     << (row.error.empty() && row.interrupted == 0
-                             ? "done"
-                             : row.interrupted > 0 ? "interrupted" : "FAILED")
-                     << " in " << fmt_seconds(row.seconds) << " [" << finished << "/"
-                     << plan.graphs.size() << "]\n";
+    runners.reserve(coordinator_cap);
+    for (std::size_t c = 0; c < coordinator_cap; ++c) {
+        runners.emplace_back([&] {
+            for (;;) {
+                const std::size_t i = next_graph.fetch_add(1, std::memory_order_relaxed);
+                if (i >= plan.graphs.size()) return;
+                gauges.active.add(1);
+                const CorpusInput& input = plan.graphs[i];
+                const PipelineConfig shard = corpus_shard(plan, i);
+                CorpusGraphRow& row = report.rows[i];
+                HookObserver observer(hooks, i);
+                try {
+                    PipelineExec exec;
+                    exec.executor = &executor;
+                    exec.interrupt = interrupt;
+                    const RunReport run = run_pipeline(shard, nullptr, &observer, exec);
+                    row = corpus_row_from_report(input, run);
+                    if (hooks.on_graph_done != nullptr) hooks.on_graph_done(i, run);
+                } catch (const std::exception& e) {
+                    // A shard-level failure (unreadable input, bad resume
+                    // state) fails its row; the other graphs keep running.
+                    row.name = input.name;
+                    row.input_path = input.path;
+                    row.seed = shard.seed;
+                    row.replicates = shard.replicates;
+                    row.failed = shard.replicates;
+                    row.error = e.what();
+                }
+                gauges.graphs_done.add(1);
+                gauges.active.add(-1);
+                if (rows_stream.is_open()) {
+                    const std::lock_guard<std::mutex> lock(rows_mutex);
+                    rows_stream << corpus_row_ndjson(row) << '\n';
+                    rows_stream.flush();
+                }
+                if (log != nullptr) {
+                    const std::lock_guard<std::mutex> lock(log_mutex);
+                    ++finished;
+                    *log << "corpus: graph " << input.name << " "
+                         << (row.error.empty() && row.interrupted == 0
+                                 ? "done"
+                                 : row.interrupted > 0 ? "interrupted" : "FAILED")
+                         << " in " << fmt_seconds(row.seconds) << " ("
+                         << fmt_si(row.switches_per_second) << " switches/s) ["
+                         << finished << "/" << plan.graphs.size() << "]\n";
+                }
             }
         });
     }
@@ -556,6 +604,21 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
 }
 
 namespace {
+
+/// Compact JSON double, matching JsonWriter's round-trippable precision and
+/// its null spelling for non-finite values.
+std::string ndjson_double(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string ndjson_quote(const std::string& s) {
+    std::ostringstream os;
+    write_json_escaped(os, s);
+    return os.str();
+}
 
 /// min / median / max over the rows of one column.
 void write_aggregate(JsonWriter& w, const std::string& key, std::vector<double> values) {
@@ -673,6 +736,30 @@ void write_corpus_json_file(const std::string& path, const CorpusReport& report)
     std::ofstream os(path);
     GESMC_CHECK(os.good(), "cannot open corpus report for writing: " + path);
     write_corpus_json(os, report);
+}
+
+std::string corpus_row_ndjson(const CorpusGraphRow& row) {
+    std::string out = "{\"name\": " + ndjson_quote(row.name);
+    out += ", \"input\": " + ndjson_quote(row.input_path);
+    out += ", \"seed\": " + std::to_string(row.seed);
+    out += ", \"nodes\": " + std::to_string(row.input_nodes);
+    out += ", \"edges\": " + std::to_string(row.input_edges);
+    out += ", \"replicates\": " + std::to_string(row.replicates);
+    out += ", \"failed\": " + std::to_string(row.failed);
+    out += ", \"interrupted\": " + std::to_string(row.interrupted);
+    out += ", \"seconds\": " + ndjson_double(row.seconds);
+    out += ", \"switches_per_second\": " + ndjson_double(row.switches_per_second);
+    out += ", \"acceptance_rate\": " + ndjson_double(row.acceptance_rate);
+    if (!row.error.empty()) out += ", \"error\": " + ndjson_quote(row.error);
+    if (row.has_metrics) {
+        out += ", \"metrics\": {\"mean_triangles\": " + ndjson_double(row.mean_triangles);
+        out += ", \"mean_global_clustering\": " + ndjson_double(row.mean_clustering);
+        out += ", \"mean_assortativity\": " + ndjson_double(row.mean_assortativity);
+        out += ", \"mean_components\": " + ndjson_double(row.mean_components);
+        out += "}";
+    }
+    out += "}";
+    return out;
 }
 
 } // namespace gesmc

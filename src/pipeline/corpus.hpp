@@ -141,4 +141,10 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log = nullptr,
 void write_corpus_json(std::ostream& os, const CorpusReport& report);
 void write_corpus_json_file(const std::string& path, const CorpusReport& report);
 
+/// One row as a single compact JSON line (no newline) — the NDJSON spelling
+/// run_corpus streams to <output-dir>/corpus_rows.ndjson as each graph
+/// finishes, so a long corpus run is monitorable before the summary exists.
+/// Same fields as the summary's per-graph objects.
+[[nodiscard]] std::string corpus_row_ndjson(const CorpusGraphRow& row);
+
 } // namespace gesmc

@@ -9,6 +9,8 @@
 #include "graph/degree_sequence.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/pool_lease.hpp"
 #include "pipeline/scheduler.hpp"
 #include "pipeline/seeds.hpp"
@@ -243,6 +245,9 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
         ReplicateReport& out = report.replicates[slot.index];
         out.index = slot.index;
         out.seed = replicate_seed(config.seed, slot.index);
+        const obs::TraceSpan replicate_span(
+            "replicate", "pipeline",
+            {{"replicate", slot.index}, {"width", slot.chain_threads}});
         Timer timer;
         try {
             // Drain/cancel: a replicate that has not started is not worth
@@ -323,6 +328,10 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                     const std::string path =
                         checkpoint_path(config.output_dir, config, slot.index);
                     const ChainState state = chain->snapshot();
+                    const obs::TraceSpan span(
+                        "checkpoint", "pipeline",
+                        {{"replicate", slot.index},
+                         {"superstep", state.stats.supersteps}});
                     write_chain_state_file_atomic(path, state);
                     if (observer != nullptr) {
                         observer->on_checkpoint(slot.index, state, path);
@@ -374,6 +383,16 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
             out.error = e.what();
         }
         out.seconds = timer.elapsed_s();
+        if (obs::metrics_enabled()) {
+            struct PipelineCounters {
+                obs::Counter& completed = obs::MetricsRegistry::instance().counter(
+                    "pipeline.replicates.completed");
+                obs::Counter& failed = obs::MetricsRegistry::instance().counter(
+                    "pipeline.replicates.failed");
+            };
+            static PipelineCounters& counters = *new PipelineCounters();
+            (out.error.empty() ? counters.completed : counters.failed).add(1);
+        }
         // Streamed completion: the replicate's graph is already on disk
         // here — consumers need not wait for the assembled RunReport.
         if (observer != nullptr) observer->on_replicate_done(out);

@@ -1,5 +1,6 @@
 #include "pipeline/report.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 #include <cmath>
@@ -268,6 +269,13 @@ void write_json_report(std::ostream& os, const RunReport& report) {
         write_replicate_json(w, r);
     }
     w.end_array();
+
+    // Process-wide observability counters ride along when enabled — the
+    // same snapshot `gesmc_sample --metrics-out` writes standalone.
+    if (obs::metrics_enabled()) {
+        w.key("obs_metrics");
+        obs::write_metrics_json(w, obs::MetricsRegistry::instance().snapshot());
+    }
 
     w.end_object();
     os << '\n';

@@ -1,5 +1,7 @@
 #include "pipeline/shared_executor.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace gesmc {
@@ -22,6 +24,18 @@ SharedExecutor::~SharedExecutor() {
 }
 
 unsigned SharedExecutor::threads() const noexcept { return budget_.total(); }
+
+ExecutorStats SharedExecutor::stats() const {
+    ExecutorStats s;
+    s.threads = budget_.total();
+    s.leased = budget_.leased();
+    s.lease_waiters = budget_.waiting();
+    s.active_runs = active_runs_.load(std::memory_order_relaxed);
+    s.inflight_replicates = inflight_replicates_.load(std::memory_order_relaxed);
+    std::lock_guard lock(mutex_);
+    for (const auto& queue : active_) s.pending_replicates += queue->pending.size();
+    return s;
+}
 
 std::shared_ptr<SharedExecutor::RunQueue>
 SharedExecutor::pick_task_locked(std::uint64_t& replicate) {
@@ -66,7 +80,12 @@ void SharedExecutor::worker_loop() {
             // fine — the lease queue is FIFO, so a wide lease drains the
             // budget and narrow tasks queue behind it without starvation.
             PoolLease lease = budget_.acquire(queue->width);
+            inflight_replicates_.fetch_add(1, std::memory_order_relaxed);
+            const obs::TraceSpan span("replicate", "executor",
+                                      {{"replicate", replicate},
+                                       {"width", lease.width()}});
             (*queue->fn)(ReplicateSlot{replicate, lease.width(), lease.pool()});
+            inflight_replicates_.fetch_sub(1, std::memory_order_relaxed);
         }
         {
             std::lock_guard lock(mutex_);
@@ -84,6 +103,12 @@ void SharedExecutor::run(std::uint64_t replicates, const ScheduleRequest& reques
     if (replicates == 0) return;
     const ResolvedSchedule schedule = resolve_schedule(request, replicates, threads());
 
+    active_runs_.fetch_add(1, std::memory_order_relaxed);
+    struct RunGuard {
+        std::atomic<std::uint64_t>& runs;
+        ~RunGuard() { runs.fetch_sub(1, std::memory_order_relaxed); }
+    } run_guard{active_runs_};
+
     if (schedule.max_concurrent <= 1) {
         // K = 1 (intra-chain): strict replicate order on the calling runner
         // thread.  Leasing per replicate lets other jobs' tasks interleave
@@ -91,7 +116,11 @@ void SharedExecutor::run(std::uint64_t replicates, const ScheduleRequest& reques
         // being starved by their width-1 traffic.
         for (std::uint64_t r = 0; r < replicates; ++r) {
             PoolLease lease = budget_.acquire(schedule.chain_threads);
+            inflight_replicates_.fetch_add(1, std::memory_order_relaxed);
+            const obs::TraceSpan span("replicate", "executor",
+                                      {{"replicate", r}, {"width", lease.width()}});
             fn(ReplicateSlot{r, lease.width(), lease.pool()});
+            inflight_replicates_.fetch_sub(1, std::memory_order_relaxed);
         }
         return;
     }

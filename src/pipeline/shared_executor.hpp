@@ -27,6 +27,7 @@
 #include "parallel/pool_lease.hpp"
 #include "pipeline/scheduler.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,6 +39,18 @@
 #include <vector>
 
 namespace gesmc {
+
+/// Point-in-time load snapshot of a SharedExecutor — the numbers behind
+/// the daemon's `metrics` frame (queue depth, lease occupancy).  Racy by
+/// nature: a consistent-enough view, not a fence.
+struct ExecutorStats {
+    unsigned threads = 0;                  ///< budget width P
+    unsigned leased = 0;                   ///< width currently leased out
+    std::uint64_t lease_waiters = 0;       ///< acquire() calls queued
+    std::uint64_t active_runs = 0;         ///< run() calls in flight
+    std::uint64_t pending_replicates = 0;  ///< queued, not yet started
+    std::uint64_t inflight_replicates = 0; ///< replicates computing now
+};
 
 /// Machine-wide replicate executor shared by all concurrently running jobs.
 class SharedExecutor final : public ReplicateExecutor {
@@ -51,6 +64,8 @@ public:
 
     /// Budget width P.
     [[nodiscard]] unsigned threads() const noexcept override;
+
+    [[nodiscard]] ExecutorStats stats() const;
 
     void run(std::uint64_t replicates, const ScheduleRequest& request,
              const std::function<void(const ReplicateSlot&)>& fn) override;
@@ -77,7 +92,12 @@ private:
 
     ThreadBudget budget_;  ///< the width-counting admission gate
 
-    std::mutex mutex_;
+    /// Load tracking for stats() — atomics because the K = 1 fast path and
+    /// run() entry/exit update them without holding mutex_.
+    std::atomic<std::uint64_t> active_runs_{0};
+    std::atomic<std::uint64_t> inflight_replicates_{0};
+
+    mutable std::mutex mutex_;
     std::condition_variable work_cv_;
     /// Round-robin ring of runs with pending replicates: workers pop from
     /// the front and rotate the run to the back.

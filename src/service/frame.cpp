@@ -149,6 +149,8 @@ std::string to_string(RequestKind kind) {
         return "status";
     case RequestKind::kCancel:
         return "cancel";
+    case RequestKind::kMetrics:
+        return "metrics";
     case RequestKind::kShutdown:
         return "shutdown";
     }
@@ -180,6 +182,8 @@ Request parse_request(const std::string& json_line) {
         request.kind = RequestKind::kCancel;
         request.job = doc.uint_member("job");
         request.has_job = true;
+    } else if (type == "metrics") {
+        request.kind = RequestKind::kMetrics;
     } else if (type == "shutdown") {
         request.kind = RequestKind::kShutdown;
     } else {

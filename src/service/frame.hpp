@@ -130,6 +130,7 @@ enum class RequestKind {
     kSubmit,    ///< run a pipeline config document as a job
     kStatus,    ///< report all jobs (or one, when a job id is given)
     kCancel,    ///< stop a queued or running job
+    kMetrics,   ///< snapshot executor load + observability counters
     kShutdown,  ///< drain all jobs and exit the daemon
 };
 

@@ -1,5 +1,6 @@
 #include "service/job_manager.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 #include <algorithm>
@@ -35,11 +36,13 @@ std::string to_string(JobStatus status) {
 namespace {
 
 /// Forwards a job's pipeline events to its (possibly null) observer while
-/// counting completed replicates for status frames.
+/// counting completed replicates and attempted switches for status frames
+/// and the job's throughput row in the metrics frame.
 class CountingObserver final : public RunObserver {
 public:
-    CountingObserver(RunObserver* inner, std::atomic<std::uint64_t>& done)
-        : inner_(inner), done_(&done) {}
+    CountingObserver(RunObserver* inner, std::atomic<std::uint64_t>& done,
+                     std::atomic<std::uint64_t>& attempted)
+        : inner_(inner), done_(&done), attempted_(&attempted) {}
 
     void on_superstep(std::uint64_t replicate, const Chain& chain) override {
         if (inner_ != nullptr) inner_->on_superstep(replicate, chain);
@@ -50,13 +53,29 @@ public:
     }
     void on_replicate_done(const ReplicateReport& report) override {
         done_->fetch_add(1, std::memory_order_relaxed);
+        attempted_->fetch_add(report.stats.attempted, std::memory_order_relaxed);
         if (inner_ != nullptr) inner_->on_replicate_done(report);
     }
 
 private:
     RunObserver* inner_;
     std::atomic<std::uint64_t>* done_;
+    std::atomic<std::uint64_t>* attempted_;
 };
+
+/// service.jobs.* lifecycle counters (the snapshot-style per-status totals
+/// live in ServiceStats, computed exactly under the manager lock).
+struct JobCounters {
+    obs::Counter& submitted =
+        obs::MetricsRegistry::instance().counter("service.jobs.submitted");
+    obs::Counter& finished =
+        obs::MetricsRegistry::instance().counter("service.jobs.finished");
+};
+
+JobCounters& job_counters() {
+    static JobCounters& c = *new JobCounters();
+    return c;
+}
 
 } // namespace
 
@@ -98,6 +117,7 @@ JobManager::submit(const PipelineConfig& config,
         jobs_.emplace(job->id, job);
         prune_terminal_locked();
     }
+    job_counters().submitted.add(1);
 
     // The factory runs *outside* the manager lock: the server's factory does
     // blocking socket I/O (the "accepted" frame), and its failure path calls
@@ -158,6 +178,16 @@ JobInfo JobManager::info_locked(const Job& job) const {
     info.replicates_done = job.replicates_done.load(std::memory_order_relaxed);
     info.output_dir = job.config.output_dir;
     info.error = job.error;
+    info.attempted_switches = job.attempted_switches.load(std::memory_order_relaxed);
+    if (job.has_started) {
+        const auto end = job.has_finished ? job.finished
+                                          : std::chrono::steady_clock::now();
+        info.seconds = std::chrono::duration<double>(end - job.started).count();
+        if (info.seconds > 0) {
+            info.switches_per_second =
+                static_cast<double>(info.attempted_switches) / info.seconds;
+        }
+    }
     return info;
 }
 
@@ -174,6 +204,37 @@ std::vector<JobInfo> JobManager::jobs() const {
     out.reserve(jobs_.size());
     for (const auto& [id, job] : jobs_) out.push_back(info_locked(*job));
     return out;
+}
+
+ServiceStats JobManager::stats() const {
+    ServiceStats s;
+    s.executor = executor_.stats();
+    std::lock_guard lock(mutex_);
+    s.jobs.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) {
+        s.jobs.push_back(info_locked(*job));
+        switch (job->status) {
+        case JobStatus::kQueued:
+            ++s.jobs_queued;
+            break;
+        case JobStatus::kRunning:
+            ++s.jobs_running;
+            break;
+        case JobStatus::kSucceeded:
+            ++s.jobs_succeeded;
+            break;
+        case JobStatus::kFailed:
+            ++s.jobs_failed;
+            break;
+        case JobStatus::kCancelled:
+            ++s.jobs_cancelled;
+            break;
+        case JobStatus::kInterrupted:
+            ++s.jobs_interrupted;
+            break;
+        }
+    }
+    return s;
 }
 
 bool JobManager::cancel(std::uint64_t id) {
@@ -209,7 +270,10 @@ void JobManager::finish_job(Job& job, JobStatus status, std::string error) {
         std::lock_guard lock(mutex_);
         job.status = status;
         job.error = std::move(error);
+        job.finished = std::chrono::steady_clock::now();
+        job.has_finished = true;
     }
+    job_counters().finished.add(1);
     cv_.notify_all();
 }
 
@@ -247,9 +311,12 @@ void JobManager::runner_loop() {
             queue_.pop_front();
             if (job->status != JobStatus::kQueued) continue; // cancelled in queue
             job->status = JobStatus::kRunning;
+            job->started = std::chrono::steady_clock::now();
+            job->has_started = true;
         }
 
-        CountingObserver observer(job->observer, job->replicates_done);
+        CountingObserver observer(job->observer, job->replicates_done,
+                                  job->attempted_switches);
         PipelineExec exec;
         exec.executor = &executor_;
         exec.interrupt = &job->interrupt;

@@ -30,6 +30,7 @@
 #include "pipeline/shared_executor.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,6 +69,26 @@ struct JobInfo {
     std::uint64_t replicates_done = 0;  ///< on_replicate_done count (any outcome)
     std::string output_dir;
     std::string error;  ///< run-level error (admission errors throw at submit)
+
+    /// Throughput so far: wall clock since the job started running (still
+    /// ticking while kRunning) and attempted switches over it.  Zero until
+    /// the job leaves the queue.
+    double seconds = 0;
+    std::uint64_t attempted_switches = 0;
+    double switches_per_second = 0;
+};
+
+/// Point-in-time load snapshot of the whole manager — the payload of the
+/// daemon's `metrics` frame.
+struct ServiceStats {
+    ExecutorStats executor;
+    std::uint64_t jobs_queued = 0;
+    std::uint64_t jobs_running = 0;
+    std::uint64_t jobs_succeeded = 0;
+    std::uint64_t jobs_failed = 0;
+    std::uint64_t jobs_cancelled = 0;
+    std::uint64_t jobs_interrupted = 0;
+    std::vector<JobInfo> jobs;  ///< per-job rows, id ascending
 };
 
 class JobManager {
@@ -107,6 +128,10 @@ public:
     [[nodiscard]] std::optional<JobInfo> job(std::uint64_t id) const;
     [[nodiscard]] std::vector<JobInfo> jobs() const;
 
+    /// Executor load + per-job throughput in one consistent pass under the
+    /// manager lock (the executor part is racy by nature, see ExecutorStats).
+    [[nodiscard]] ServiceStats stats() const;
+
     /// Blocks until `id` reaches a terminal status; throws on unknown id.
     JobInfo wait(std::uint64_t id);
 
@@ -127,6 +152,13 @@ private:
         std::atomic<bool> interrupt{false};
         bool cancel_requested = false;      ///< distinguishes cancel from drain
         std::atomic<std::uint64_t> replicates_done{0};
+        /// Attempted switches summed over finished replicates (fed by the
+        /// counting observer) — the numerator of the job's throughput.
+        std::atomic<std::uint64_t> attempted_switches{0};
+        std::chrono::steady_clock::time_point started;   ///< set at kRunning
+        std::chrono::steady_clock::time_point finished;  ///< set at terminal
+        bool has_started = false;
+        bool has_finished = false;
     };
 
     JobInfo info_locked(const Job& job) const;

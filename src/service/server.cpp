@@ -1,9 +1,12 @@
 #include "service/server.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/config.hpp"
 #include "util/check.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <filesystem>
@@ -26,17 +29,91 @@ std::string json_event_frame(const std::string& body) {
     return encode_frame(FrameType::kJson, body);
 }
 
+std::string json_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
 void append_job_info_json(std::string& out, const JobInfo& info) {
     out += "{\"job\": " + std::to_string(info.id);
     out += ", \"status\": " + json_quote(to_string(info.status));
     out += ", \"algorithm\": " + json_quote(info.algorithm);
     out += ", \"replicates\": " + std::to_string(info.replicates);
     out += ", \"replicates_done\": " + std::to_string(info.replicates_done);
+    if (info.seconds > 0) {
+        out += ", \"seconds\": " + json_double(info.seconds);
+        out += ", \"switches_per_second\": " + json_double(info.switches_per_second);
+    }
     if (!info.output_dir.empty()) {
         out += ", \"output_dir\": " + json_quote(info.output_dir);
     }
     if (!info.error.empty()) out += ", \"error\": " + json_quote(info.error);
     out += "}";
+}
+
+/// Bytes/frames on the daemon->client direction, summed over connections.
+struct WireCounters {
+    obs::Counter& frames =
+        obs::MetricsRegistry::instance().counter("service.frames.sent");
+    obs::Counter& bytes =
+        obs::MetricsRegistry::instance().counter("service.bytes.sent");
+};
+
+WireCounters& wire_counters() {
+    static WireCounters& c = *new WireCounters();
+    return c;
+}
+
+/// The daemon's `metrics` response: executor load, per-status job counts,
+/// per-job throughput rows, and the full registry snapshot.
+std::string metrics_event_body(const ServiceStats& stats) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("event", "metrics");
+
+    w.key("executor");
+    w.begin_object();
+    w.kv("threads", stats.executor.threads);
+    w.kv("leased_width", stats.executor.leased);
+    w.kv("lease_waiters", stats.executor.lease_waiters);
+    w.kv("active_runs", stats.executor.active_runs);
+    w.kv("pending_replicates", stats.executor.pending_replicates);
+    w.kv("inflight_replicates", stats.executor.inflight_replicates);
+    w.end_object();
+
+    w.key("jobs");
+    w.begin_object();
+    w.kv("queued", stats.jobs_queued);
+    w.kv("running", stats.jobs_running);
+    w.kv("succeeded", stats.jobs_succeeded);
+    w.kv("failed", stats.jobs_failed);
+    w.kv("cancelled", stats.jobs_cancelled);
+    w.kv("interrupted", stats.jobs_interrupted);
+    w.end_object();
+
+    w.key("per_job");
+    w.begin_array();
+    for (const JobInfo& info : stats.jobs) {
+        w.begin_object();
+        w.kv("job", info.id);
+        w.kv("status", to_string(info.status));
+        w.kv("algorithm", info.algorithm);
+        w.kv("replicates", info.replicates);
+        w.kv("replicates_done", info.replicates_done);
+        w.kv("seconds", info.seconds);
+        w.kv("attempted_switches", info.attempted_switches);
+        w.kv("switches_per_second", info.switches_per_second);
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("registry");
+    obs::write_metrics_json(w, obs::MetricsRegistry::instance().snapshot());
+
+    w.end_object();
+    return os.str();
 }
 
 } // namespace
@@ -53,7 +130,13 @@ SocketObserver::SocketObserver(int fd, std::uint64_t job_id,
 bool SocketObserver::send_frame_locked(FrameType type, std::string_view payload) {
     if (broken()) return false;
     try {
-        write_all(fd_, encode_frame(type, payload));
+        const std::string encoded = encode_frame(type, payload);
+        write_all(fd_, encoded);
+        if (obs::metrics_enabled()) {
+            WireCounters& c = wire_counters();
+            c.frames.add(1);
+            c.bytes.add(encoded.size());
+        }
         return true;
     } catch (const std::exception&) {
         // Client gone: stop streaming for good.  Never rethrow — these
@@ -71,6 +154,11 @@ void SocketObserver::send_frame(const std::string& encoded) {
         if (broken()) return;
         try {
             write_all(fd_, encoded);
+            if (obs::metrics_enabled()) {
+                WireCounters& c = wire_counters();
+                c.frames.add(1);
+                c.bytes.add(encoded.size());
+            }
         } catch (const std::exception&) {
             broken_.store(true, std::memory_order_relaxed);
             just_broke = true;
@@ -353,6 +441,10 @@ void ServiceServer::handle_connection(int fd, std::ostream* log) {
         return;
     }
 
+    const obs::TraceSpan request_span(
+        "request", "service",
+        {{"kind", static_cast<std::uint64_t>(request.kind)}});
+
     switch (request.kind) {
     case RequestKind::kStatus: {
         std::string body = "{\"event\": \"status\", \"jobs\": [";
@@ -375,6 +467,9 @@ void ServiceServer::handle_connection(int fd, std::ostream* log) {
                                 ", \"ok\": " + (ok ? "true" : "false") + "}"));
         return;
     }
+    case RequestKind::kMetrics:
+        write_all(fd, json_event_frame(metrics_event_body(manager_.stats())));
+        return;
     case RequestKind::kShutdown:
         write_all(fd, json_event_frame("{\"event\": \"shutting-down\"}"));
         request_stop();

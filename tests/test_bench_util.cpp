@@ -1,10 +1,14 @@
 // Tests for the measurement harness the figure benches rely on: timing
 // protocol (init + N supersteps), timeout/DNF semantics, cell formatting,
-// and the calibration kernel.
+// the calibration kernel, and the gesmc-bench-v1 JSON aggregates the CI
+// regression gate consumes.
 #include "bench_util/harness.hpp"
 #include "gen/gnp.hpp"
+#include "service/json.hpp"
 
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 namespace gesmc {
 namespace {
@@ -49,6 +53,59 @@ TEST(Harness, CalibrationCeilingSane) {
     const double self_ratio = measure_parallel_ceiling(1);
     EXPECT_GT(self_ratio, 0.5);
     EXPECT_LT(self_ratio, 2.0);
+}
+
+TEST(BenchJson, MedianOfHandlesOddEvenAndEmpty) {
+    EXPECT_EQ(median_of({}), 0.0);
+    EXPECT_EQ(median_of({3.0}), 3.0);
+    EXPECT_EQ(median_of({5.0, 1.0, 3.0}), 3.0);       // odd: middle value
+    EXPECT_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);  // even: midpoint
+}
+
+TEST(BenchJson, HostInfoCarriesAFingerprint) {
+    const BenchHost host = bench_host_info();
+    EXPECT_GE(host.hardware_threads, 1u);
+    EXPECT_FALSE(host.fingerprint.empty());
+    // The fingerprint embeds the thread count — different container shapes
+    // on the same kernel must not compare as the same host class.
+    EXPECT_NE(host.fingerprint.find("/ht"), std::string::npos);
+}
+
+TEST(BenchJson, WriteBenchJsonRoundTripsThroughTheParser) {
+    BenchSuite suite;
+    suite.bench = "switching";
+    suite.host = bench_host_info();
+    suite.host.parallel_ceiling = 3.5;
+    BenchResult r;
+    r.name = "BM_SeqES_Prefetch";
+    r.median_seconds = 1.25e-3;
+    r.items_per_second = 4.0e7;
+    r.repetitions = 3;
+    suite.results.push_back(r);
+    r.name = "BM_NoCounter";
+    r.items_per_second = 0; // omitted from the document
+    suite.results.push_back(r);
+
+    std::ostringstream os;
+    write_bench_json(os, suite);
+    const JsonValue doc = parse_json(os.str());
+    EXPECT_EQ(doc.string_member("schema"), "gesmc-bench-v1");
+    EXPECT_EQ(doc.string_member("bench"), "switching");
+    const JsonValue* host = doc.find("host");
+    ASSERT_NE(host, nullptr);
+    EXPECT_EQ(host->string_member("fingerprint"), suite.host.fingerprint);
+    EXPECT_EQ(host->uint_member("hardware_threads"), suite.host.hardware_threads);
+    EXPECT_DOUBLE_EQ(host->find("parallel_ceiling")->number_value, 3.5);
+    const JsonValue* results = doc.find("results");
+    ASSERT_TRUE(results != nullptr && results->is_array());
+    ASSERT_EQ(results->array_items.size(), 2u);
+    EXPECT_EQ(results->array_items[0].string_member("name"), "BM_SeqES_Prefetch");
+    EXPECT_DOUBLE_EQ(results->array_items[0].find("median_seconds")->number_value,
+                     1.25e-3);
+    EXPECT_DOUBLE_EQ(results->array_items[0].find("items_per_second")->number_value,
+                     4.0e7);
+    EXPECT_EQ(results->array_items[0].uint_member("repetitions"), 3u);
+    EXPECT_EQ(results->array_items[1].find("items_per_second"), nullptr);
 }
 
 TEST(Harness, DeterministicMeasurementGraphs) {

@@ -1,0 +1,310 @@
+// Tests for the observability subsystem: the sharded metrics registry
+// (exact sums under a concurrent hammer — run under TSan in CI), the
+// disabled-by-default contract, histogram bucketing, metrics JSON
+// round-trips, Chrome trace_event emission, and the headline guarantee
+// that instrumentation never changes sampled bytes.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace gesmc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every test leaves the process flags as it found them (off): the tests in
+/// this binary share the global registry and the trace singleton.
+struct ObsFlagsGuard {
+    ~ObsFlagsGuard() {
+        obs::set_metrics_enabled(false);
+        obs::TraceSession::stop();
+    }
+};
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot,
+                            const std::string& name) {
+    for (const auto& [n, v] : snapshot.counters) {
+        if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter not in snapshot: " << name;
+    return 0;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, DisabledRecordingIsANoOp) {
+    ObsFlagsGuard guard;
+    obs::set_metrics_enabled(false);
+    obs::Counter& counter =
+        obs::MetricsRegistry::instance().counter("test.disabled.counter");
+    obs::Gauge& gauge = obs::MetricsRegistry::instance().gauge("test.disabled.gauge");
+    counter.add(42);
+    gauge.set(7);
+    gauge.add(3);
+    obs::MetricsRegistry::instance().histogram("test.disabled.hist").record(9);
+    EXPECT_EQ(counter.total(), 0u);
+    EXPECT_EQ(gauge.value(), 0);
+
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_FALSE(snapshot.enabled);
+    EXPECT_EQ(counter_value(snapshot, "test.disabled.counter"), 0u);
+}
+
+TEST(Metrics, RegistryReturnsStableHandles) {
+    obs::Counter& a = obs::MetricsRegistry::instance().counter("test.stable");
+    obs::Counter& b = obs::MetricsRegistry::instance().counter("test.stable");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, ConcurrentHammerSumsExactly) {
+    // The sharded counters' correctness contract: adds from many threads are
+    // never lost, and a snapshot taken after joining sees the exact total.
+    // Concurrent snapshot() calls while writers run must also be safe (they
+    // may see partial sums, never torn ones) — TSan in CI checks that.
+    ObsFlagsGuard guard;
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+    obs::Counter& counter = obs::MetricsRegistry::instance().counter("test.hammer");
+    obs::Gauge& gauge = obs::MetricsRegistry::instance().gauge("test.hammer.gauge");
+    obs::Histogram& hist =
+        obs::MetricsRegistry::instance().histogram("test.hammer.hist");
+
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kAdds = 50'000;
+    std::atomic<bool> stop_snapshots{false};
+    std::thread snapshotter([&] {
+        while (!stop_snapshots.load(std::memory_order_relaxed)) {
+            (void)obs::MetricsRegistry::instance().snapshot();
+        }
+    });
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&counter, &gauge, &hist] {
+            for (std::uint64_t i = 0; i < kAdds; ++i) {
+                counter.add(1);
+                counter.add(3);
+                gauge.add(1);
+                gauge.add(-1);
+                hist.record(i & 1023);
+            }
+        });
+    }
+    for (std::thread& w : writers) w.join();
+    stop_snapshots.store(true, std::memory_order_relaxed);
+    snapshotter.join();
+
+    EXPECT_EQ(counter.total(), kThreads * kAdds * 4);
+    EXPECT_EQ(gauge.value(), 0);
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(counter_value(snapshot, "test.hammer"), kThreads * kAdds * 4);
+    for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+        if (h.name != "test.hammer.hist") continue;
+        EXPECT_EQ(h.count, kThreads * kAdds);
+        EXPECT_EQ(h.max, 1023u);
+    }
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+    ObsFlagsGuard guard;
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+    obs::Histogram& hist =
+        obs::MetricsRegistry::instance().histogram("test.buckets");
+    hist.record(0);
+    hist.record(1);
+    hist.record(5);       // bit_width 3 -> bucket [4, 7]
+    hist.record(1000000); // bit_width 20 -> bucket [524288, 1048575]
+
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::instance().snapshot();
+    bool found = false;
+    for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+        if (h.name != "test.buckets") continue;
+        found = true;
+        EXPECT_EQ(h.count, 4u);
+        EXPECT_EQ(h.sum, 1000006u);
+        EXPECT_EQ(h.max, 1000000u);
+        ASSERT_EQ(h.buckets.size(), 4u);
+        EXPECT_EQ(h.buckets[0].upper_bound, 0u);
+        EXPECT_EQ(h.buckets[1].upper_bound, 1u);
+        EXPECT_EQ(h.buckets[2].upper_bound, 7u);
+        EXPECT_EQ(h.buckets[3].upper_bound, (1u << 20) - 1);
+        for (const auto& bucket : h.buckets) EXPECT_EQ(bucket.count, 1u);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Metrics, SnapshotJsonRoundTripsThroughTheParser) {
+    ObsFlagsGuard guard;
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+    obs::MetricsRegistry::instance().counter("test.json.counter").add(11);
+    obs::MetricsRegistry::instance().gauge("test.json.gauge").set(4);
+    obs::MetricsRegistry::instance().histogram("test.json.hist").record(100);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    obs::write_metrics_json(w, obs::MetricsRegistry::instance().snapshot());
+    const JsonValue doc = parse_json(os.str());
+    EXPECT_TRUE(doc.find("enabled")->bool_value);
+    EXPECT_EQ(doc.find("counters")->uint_member("test.json.counter"), 11u);
+    EXPECT_EQ(doc.find("gauges")->uint_member("test.json.gauge"), 4u);
+    const JsonValue* hist = doc.find("histograms")->find("test.json.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->uint_member("count"), 1u);
+    EXPECT_EQ(hist->uint_member("sum"), 100u);
+    EXPECT_EQ(hist->uint_member("max"), 100u);
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST(Trace, SpansOutsideASessionAreDropped) {
+    ObsFlagsGuard guard;
+    EXPECT_FALSE(obs::trace_enabled());
+    { const obs::TraceSpan span("orphan", "test"); }
+    obs::TraceSession::start();
+    EXPECT_EQ(obs::TraceSession::event_count(), 0u);
+    obs::TraceSession::stop();
+}
+
+TEST(Trace, SpanStraddlingStopIsDropped) {
+    // A span constructed in one session and destroyed in the next must not
+    // record against the wrong epoch (its timestamps are meaningless there).
+    ObsFlagsGuard guard;
+    obs::TraceSession::start();
+    auto straddler = std::make_unique<obs::TraceSpan>("straddler", "test");
+    obs::TraceSession::stop();
+    obs::TraceSession::start();
+    straddler.reset();
+    EXPECT_EQ(obs::TraceSession::event_count(), 0u);
+    obs::TraceSession::stop();
+}
+
+TEST(Trace, EmitsChromeTraceEventJson) {
+    ObsFlagsGuard guard;
+    obs::TraceSession::start();
+    {
+        const obs::TraceSpan outer("superstep", "core",
+                                   {{"replicate", 2}, {"superstep", 7}});
+        const obs::TraceSpan inner("lease.wait", "parallel", {{"width", 3}});
+    }
+    EXPECT_EQ(obs::TraceSession::event_count(), 2u);
+    const std::string json = obs::TraceSession::stop_to_string();
+
+    const JsonValue doc = parse_json(json);
+    EXPECT_EQ(doc.string_member("displayTimeUnit"), "ms");
+    const JsonValue* events = doc.find("traceEvents");
+    ASSERT_TRUE(events != nullptr && events->is_array());
+    ASSERT_EQ(events->array_items.size(), 2u);
+    bool saw_superstep = false, saw_wait = false;
+    for (const JsonValue& event : events->array_items) {
+        EXPECT_EQ(event.string_member("ph"), "X");
+        EXPECT_GE(event.find("ts")->number_value, 0.0);
+        EXPECT_GE(event.find("dur")->number_value, 0.0);
+        EXPECT_EQ(event.uint_member("pid"), 1u);
+        if (event.string_member("name") == "superstep") {
+            saw_superstep = true;
+            EXPECT_EQ(event.string_member("cat"), "core");
+            EXPECT_EQ(event.find("args")->uint_member("replicate"), 2u);
+            EXPECT_EQ(event.find("args")->uint_member("superstep"), 7u);
+        } else if (event.string_member("name") == "lease.wait") {
+            saw_wait = true;
+            EXPECT_EQ(event.find("args")->uint_member("width"), 3u);
+        }
+    }
+    EXPECT_TRUE(saw_superstep);
+    EXPECT_TRUE(saw_wait);
+
+    // The session ended: a fresh one starts empty.
+    obs::TraceSession::start();
+    EXPECT_EQ(obs::TraceSession::event_count(), 0u);
+    obs::TraceSession::stop();
+}
+
+// ----------------------------------------------- instrumented-run identity
+
+TEST(Obs, InstrumentationNeverChangesSampledBytes) {
+    // The headline contract (and the reason every record path is gated on
+    // one flag): a fully instrumented run — metrics AND tracing on — emits
+    // replicate graphs byte-identical to a bare run of the same config.
+    ObsFlagsGuard guard;
+    const fs::path base_dir =
+        fs::path(testing::TempDir()) / "gesmc_obs_identity";
+    fs::remove_all(base_dir);
+    const auto config_for = [&](const char* tag) {
+        PipelineConfig c;
+        c.input_kind = InputKind::kGenerator;
+        c.generator = "powerlaw";
+        c.gen_n = 400;
+        c.gen_gamma = 2.2;
+        c.algorithm = "par-global-es";
+        c.supersteps = 5;
+        c.replicates = 3;
+        c.seed = 99;
+        c.threads = 2;
+        c.checkpoint_every = 2; // exercise the checkpoint + superstep spans
+        c.metrics = false;
+        c.output_dir = (base_dir / tag).string();
+        c.output_format = OutputFormat::kBinary;
+        return c;
+    };
+
+    obs::set_metrics_enabled(false);
+    const RunReport bare = run_pipeline(config_for("bare"));
+    ASSERT_TRUE(all_succeeded(bare));
+
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+    obs::TraceSession::start();
+    const RunReport instrumented = run_pipeline(config_for("instrumented"));
+    const std::string trace_json = obs::TraceSession::stop_to_string();
+    obs::set_metrics_enabled(false);
+    ASSERT_TRUE(all_succeeded(instrumented));
+
+    ASSERT_EQ(bare.replicates.size(), instrumented.replicates.size());
+    for (std::size_t r = 0; r < bare.replicates.size(); ++r) {
+        EXPECT_EQ(slurp(bare.replicates[r].output_path),
+                  slurp(instrumented.replicates[r].output_path))
+            << "replicate " << r;
+    }
+
+    // The instrumented run actually measured: chain counters moved and the
+    // trace holds replicate + superstep spans Perfetto can render.
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_GT(counter_value(snapshot, "chain.switches.attempted"), 0u);
+    const JsonValue trace = parse_json(trace_json);
+    bool saw_replicate = false, saw_superstep = false;
+    for (const JsonValue& event : trace.find("traceEvents")->array_items) {
+        if (event.string_member("name") == "replicate") saw_replicate = true;
+        if (event.string_member("name") == "superstep") saw_superstep = true;
+    }
+    EXPECT_TRUE(saw_replicate);
+    EXPECT_TRUE(saw_superstep);
+}
+
+} // namespace
+} // namespace gesmc

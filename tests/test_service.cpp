@@ -314,6 +314,13 @@ TEST(ServiceRequests, RoundTripThroughTheWireFormat) {
         parse_request(make_request_line(cancel).substr(0, make_request_line(cancel).size() - 1));
     EXPECT_EQ(cancel_back.kind, RequestKind::kCancel);
     EXPECT_EQ(cancel_back.job, 12u);
+
+    Request metrics;
+    metrics.kind = RequestKind::kMetrics;
+    const std::string metrics_line = make_request_line(metrics);
+    const Request metrics_back =
+        parse_request(metrics_line.substr(0, metrics_line.size() - 1));
+    EXPECT_EQ(metrics_back.kind, RequestKind::kMetrics);
 }
 
 TEST(ServiceRequests, RejectsUnknownAndIncompleteRequests) {
@@ -982,6 +989,42 @@ TEST(ServiceServer, SubmitStreamsFramesByteIdenticalToADirectRun) {
                   "succeeded");
         EXPECT_EQ(status.find("jobs")->array_items[1].string_member("status"),
                   "succeeded");
+    }
+
+    // A metrics request answers with one snapshot frame: executor occupancy,
+    // per-status job counts, per-job throughput, and the metrics registry.
+    {
+        const FdHandle fd = connect_unix(socket_path);
+        Request request;
+        request.kind = RequestKind::kMetrics;
+        write_all(fd.get(), make_request_line(request));
+        FrameReader reader;
+        const auto frame = read_frame(fd.get(), reader);
+        ASSERT_TRUE(frame.has_value());
+        const JsonValue metrics = parse_json(frame->payload);
+        EXPECT_EQ(metrics.string_member("event"), "metrics");
+        const JsonValue* executor = metrics.find("executor");
+        ASSERT_NE(executor, nullptr);
+        EXPECT_EQ(executor->uint_member("threads"), 2u);
+        EXPECT_EQ(executor->uint_member("active_runs"), 0u);
+        const JsonValue* jobs = metrics.find("jobs");
+        ASSERT_NE(jobs, nullptr);
+        EXPECT_EQ(jobs->uint_member("succeeded"), 2u);
+        EXPECT_EQ(jobs->uint_member("running"), 0u);
+        const JsonValue* per_job = metrics.find("per_job");
+        ASSERT_TRUE(per_job != nullptr && per_job->is_array());
+        ASSERT_EQ(per_job->array_items.size(), 2u);
+        for (const JsonValue& job : per_job->array_items) {
+            EXPECT_EQ(job.string_member("status"), "succeeded");
+            EXPECT_EQ(job.uint_member("replicates_done"), 3u);
+            EXPECT_GT(job.find("seconds")->number_value, 0.0);
+            EXPECT_GT(job.find("attempted_switches")->number_value, 0.0);
+            EXPECT_GT(job.find("switches_per_second")->number_value, 0.0);
+        }
+        ASSERT_NE(metrics.find("registry"), nullptr);
+        // The test process never called set_metrics_enabled (that's
+        // gesmc_serve's startup), so the registry reports itself disabled.
+        EXPECT_FALSE(metrics.find("registry")->find("enabled")->bool_value);
     }
 
     // Malformed control data answers with an error frame, not a hangup.

@@ -20,16 +20,20 @@
 /// budget, merged into a corpus summary (docs/corpus.md).  Every option is
 /// a config key (see src/pipeline/config.hpp); CLI flags override file
 /// entries in command-line order.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/corpus.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
+#include "util/check.hpp"
 #include "util/format.hpp"
 #include "util/signal_interrupt.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -78,6 +82,14 @@ Shortcuts (equivalent to --set):
                       (pass the same config as the interrupted run)
   --progress          print a live line as each replicate finishes
   --quiet             suppress progress output
+
+Observability (docs/observability.md):
+  --metrics           collect runtime counters (switch outcomes, lease waits,
+                      probe lengths); embedded as "obs_metrics" in the report
+  --metrics-out FILE  write the metrics snapshot to FILE (implies --metrics)
+  --trace FILE        record a Chrome trace_event timeline (supersteps,
+                      lease waits, checkpoints) to FILE — load it in
+                      chrome://tracing or Perfetto
   --help              this text
 )";
 
@@ -159,12 +171,65 @@ int run_corpus_cli(const PipelineConfig& config, bool quiet, bool progress) {
     return 0;
 }
 
+/// Single-graph mode, factored out so main can finalize the observability
+/// outputs (trace file, metrics snapshot) on every exit path uniformly.
+int run_single_cli(const PipelineConfig& config, bool quiet, bool progress) {
+    std::optional<ProgressPrinter> printer;
+    if (progress) printer.emplace(config.replicates);
+    PipelineExec exec;
+    if (config.checkpoint_every > 0) {
+        install_interrupt_handlers();
+        exec.interrupt = &interrupt_flag();
+    }
+    const RunReport report = run_pipeline(config, quiet ? nullptr : &std::cerr,
+                                          progress ? &*printer : nullptr, exec);
+    // was_interrupted, not the raw flag: a signal landing after the
+    // final checkpoint check leaves a fully successful run (whose
+    // checkpoints were just cleaned up) — that run must exit 0, not
+    // point a resume hint at deleted files.
+    if (was_interrupted(report)) {
+        std::cerr << "interrupted: per-replicate state checkpointed under "
+                  << config.output_dir << "/checkpoints; continue with --resume "
+                  << config.output_dir << "\n";
+        if (config.report_path.empty()) write_json_report(std::cout, report);
+        return 130;
+    }
+    if (config.report_path.empty()) {
+        // No report file requested: put the JSON on stdout so the run is
+        // still machine-consumable (--quiet only silences progress).
+        // Emitted also on partial failure — the completed replicates'
+        // stats and output paths must not be lost with them.
+        write_json_report(std::cout, report);
+    }
+    if (!all_succeeded(report)) {
+        for (const ReplicateReport& r : report.replicates) {
+            if (!r.error.empty()) {
+                std::cerr << "replicate " << r.index << " failed: " << r.error << "\n";
+            }
+        }
+        return 1;
+    }
+    return 0;
+}
+
+void write_metrics_snapshot_file(const std::string& path) {
+    std::ofstream os(path);
+    GESMC_CHECK(os.good(), "cannot open metrics output for writing: " + path);
+    JsonWriter w(os);
+    obs::write_metrics_json(w, obs::MetricsRegistry::instance().snapshot());
+    os << '\n';
+    GESMC_CHECK(os.good(), "writing metrics output failed: " + path);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     std::string config_path;
     std::vector<CliEntry> overrides;
     std::string resume_dir;
+    std::string trace_path;
+    std::string metrics_out;
+    bool metrics = false;
     bool quiet = false;
     bool progress = false;
 
@@ -201,6 +266,21 @@ int main(int argc, char** argv) {
         }
         if (arg == "--progress") {
             progress = true;
+            continue;
+        }
+        if (arg == "--metrics") {
+            metrics = true;
+            continue;
+        }
+        if (arg == "--metrics-out") {
+            if (!(v = need_value(i))) return 2;
+            metrics_out = v;
+            metrics = true;
+            continue;
+        }
+        if (arg == "--trace") {
+            if (!(v = need_value(i))) return 2;
+            trace_path = v;
             continue;
         }
         if (arg == "--resume") {
@@ -265,44 +345,19 @@ int main(int argc, char** argv) {
         for (const CliEntry& entry : overrides) {
             apply_config_entry(config, entry.key, entry.value);
         }
-        if (is_corpus_config(config)) return run_corpus_cli(config, quiet, progress);
-        std::optional<ProgressPrinter> printer;
-        if (progress) printer.emplace(config.replicates);
-        PipelineExec exec;
-        if (config.checkpoint_every > 0) {
-            install_interrupt_handlers();
-            exec.interrupt = &interrupt_flag();
-        }
-        const RunReport report = run_pipeline(config, quiet ? nullptr : &std::cerr,
-                                              progress ? &*printer : nullptr, exec);
-        // was_interrupted, not the raw flag: a signal landing after the
-        // final checkpoint check leaves a fully successful run (whose
-        // checkpoints were just cleaned up) — that run must exit 0, not
-        // point a resume hint at deleted files.
-        if (was_interrupted(report)) {
-            std::cerr << "interrupted: per-replicate state checkpointed under "
-                      << config.output_dir << "/checkpoints; continue with --resume "
-                      << config.output_dir << "\n";
-            if (config.report_path.empty()) write_json_report(std::cout, report);
-            return 130;
-        }
-        if (config.report_path.empty()) {
-            // No report file requested: put the JSON on stdout so the run is
-            // still machine-consumable (--quiet only silences progress).
-            // Emitted also on partial failure — the completed replicates'
-            // stats and output paths must not be lost with them.
-            write_json_report(std::cout, report);
-        }
-        if (!all_succeeded(report)) {
-            for (const ReplicateReport& r : report.replicates) {
-                if (!r.error.empty()) {
-                    std::cerr << "replicate " << r.index << " failed: " << r.error << "\n";
-                }
-            }
-            return 1;
-        }
-        return 0;
+        if (metrics) obs::set_metrics_enabled(true);
+        if (!trace_path.empty()) obs::TraceSession::start();
+        const int code = is_corpus_config(config)
+                             ? run_corpus_cli(config, quiet, progress)
+                             : run_single_cli(config, quiet, progress);
+        // Observability outputs are written on every completion path —
+        // an interrupted (130) or partially failed (1) run's timeline is
+        // exactly the one worth looking at.
+        if (!trace_path.empty()) obs::TraceSession::stop_and_write(trace_path);
+        if (!metrics_out.empty()) write_metrics_snapshot_file(metrics_out);
+        return code;
     } catch (const std::exception& e) {
+        obs::TraceSession::stop();
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }

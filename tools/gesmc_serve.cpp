@@ -15,6 +15,7 @@
 /// their next checkpoint boundary (resumable after a restart via
 /// resume-from), uncheckpointed jobs finish, queued jobs are cancelled,
 /// then the daemon exits 0.
+#include "obs/metrics.hpp"
 #include "service/server.hpp"
 
 #include <atomic>
@@ -36,6 +37,8 @@ Options:
                   each job's replicates lease chain-threads-wide
                   sub-pools out of it (0 = hardware concurrency) [0]
   --max-jobs N    jobs running concurrently; others queue       [2]
+  --no-metrics    disable runtime metrics collection (on by default;
+                  query with gesmc_submit --metrics)
   --quiet         suppress progress logging
   --help          this text
 
@@ -63,6 +66,7 @@ struct ClearServerOnExit {
 int main(int argc, char** argv) {
     ServerConfig config;
     bool quiet = false;
+    bool metrics = true;
 
     auto need_value = [&](int& i) -> const char* {
         if (i + 1 >= argc) {
@@ -79,6 +83,8 @@ int main(int argc, char** argv) {
             return 0;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--no-metrics") {
+            metrics = false;
         } else if (arg == "--socket") {
             if (!(v = need_value(i))) return 2;
             config.socket_path = v;
@@ -101,6 +107,11 @@ int main(int argc, char** argv) {
         std::cerr << "--socket PATH is required\n" << kUsage;
         return 2;
     }
+
+    // A daemon is long-lived and shared — collect by default so a `metrics`
+    // request is never an empty answer (~1ns per counter hit; batch tools
+    // stay opt-in instead).
+    obs::set_metrics_enabled(metrics);
 
     try {
         ServiceServer server(config);

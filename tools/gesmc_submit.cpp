@@ -72,6 +72,9 @@ Control actions:
   --status          print all jobs' status JSON to stdout
   --job N           restrict --status to one job
   --cancel N        cancel job N
+  --metrics         print the daemon's metrics snapshot JSON (executor
+                    occupancy, queue depth, per-job throughput; see
+                    docs/observability.md)
   --shutdown        drain and stop the daemon
 
 Exit code: the job's outcome (0 = succeeded), 2 = usage error.
@@ -414,7 +417,7 @@ int corpus_submit_action(const SubmitOptions& options) {
 int main(int argc, char** argv) {
     std::string socket_path;
     SubmitOptions submit;
-    enum class Action { kSubmit, kStatus, kCancel, kShutdown };
+    enum class Action { kSubmit, kStatus, kCancel, kMetrics, kShutdown };
     Action action = Action::kSubmit;
     std::uint64_t job = 0;
     bool has_job = false;
@@ -459,6 +462,8 @@ int main(int argc, char** argv) {
             action = Action::kCancel;
             job = std::strtoull(v, nullptr, 10);
             has_job = true;
+        } else if (arg == "--metrics") {
+            action = Action::kMetrics;
         } else if (arg == "--shutdown") {
             action = Action::kShutdown;
         } else {
@@ -488,6 +493,11 @@ int main(int argc, char** argv) {
             request.kind = RequestKind::kCancel;
             request.job = job;
             request.has_job = true;
+            return control_action(socket_path, request);
+        }
+        case Action::kMetrics: {
+            Request request;
+            request.kind = RequestKind::kMetrics;
             return control_action(socket_path, request);
         }
         case Action::kShutdown: {
