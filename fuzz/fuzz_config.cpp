@@ -1,0 +1,9 @@
+/// \file fuzz_config.cpp
+/// \brief libFuzzer driver for fuzz_target_config (Clang, GESMC_BUILD_FUZZERS).
+
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    gesmc::fuzz::fuzz_target_config(data, size);
+    return 0;
+}

@@ -1,0 +1,137 @@
+/// \file fuzz_targets.cpp
+/// \brief Harness bodies shared by the libFuzzer drivers and the
+/// deterministic regression replay (see fuzz_targets.hpp).
+
+#include "fuzz_targets.hpp"
+
+#include "graph/io.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/corpus.hpp"
+#include "service/frame.hpp"
+#include "service/json.hpp"
+#include "util/check.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace gesmc::fuzz {
+
+namespace {
+
+std::string as_string(const std::uint8_t* data, std::size_t size) {
+    return std::string(reinterpret_cast<const char*>(data), size);
+}
+
+}  // namespace
+
+void fuzz_target_json(const std::uint8_t* data, std::size_t size) {
+    const std::string text = as_string(data, size);
+    try {
+        const JsonValue value = parse_json(text);
+        // Exercise the typed accessors the protocol handlers lean on.
+        if (value.is_object()) {
+            (void)value.find("type");
+            for (const auto& [key, member] : value.object_members) {
+                (void)member.is_number();
+                if (member.has_uint) (void)member.uint_value;
+            }
+        }
+    } catch (const Error&) {
+        // Rejection with a diagnostic is the contract.
+    }
+    try {
+        (void)parse_request(text);
+    } catch (const Error&) {
+    }
+}
+
+void fuzz_target_frame(const std::uint8_t* data, std::size_t size) {
+    const std::string stream = as_string(data, size);
+
+    // One-shot decoder directly on the buffer.
+    try {
+        std::size_t consumed = 0;
+        (void)decode_frame(stream.data(), stream.size(), consumed);
+    } catch (const Error&) {
+    }
+
+    // Buffering reader fed in two halves (exercises the compaction path),
+    // with each decoded frame pushed through the payload decoders and the
+    // chunked-transfer state machine exactly as gesmc_submit does.
+    try {
+        FrameReader reader;
+        GraphTransferState transfer;
+        const std::size_t half = stream.size() / 2;
+        reader.feed(stream.data(), half);
+        reader.feed(stream.data() + half, stream.size() - half);
+        for (int frames = 0; frames < 64; ++frames) {
+            const std::optional<Frame> frame = reader.next();
+            if (!frame.has_value()) break;
+            switch (frame->type) {
+            case FrameType::kJson:
+                try {
+                    (void)parse_json(frame->payload);
+                } catch (const Error&) {
+                }
+                break;
+            case FrameType::kGraph:
+                (void)transfer.begin(decode_graph_payload(frame->payload));
+                break;
+            case FrameType::kGraphData:
+                (void)transfer.consume(frame->payload.size());
+                break;
+            }
+        }
+    } catch (const Error&) {
+    }
+}
+
+void fuzz_target_config(const std::uint8_t* data, std::size_t size) {
+    const std::string text = as_string(data, size);
+    try {
+        const PipelineConfig config = read_pipeline_config_string(text);
+        validate(config);
+    } catch (const Error&) {
+    }
+    try {
+        std::istringstream is(text);
+        (void)parse_corpus_manifest(is, "<fuzz>", "");
+    } catch (const Error&) {
+    }
+}
+
+void fuzz_target_graph_io(const std::uint8_t* data, std::size_t size) {
+    // First byte selects the reader so one corpus covers all four formats;
+    // the sniffers run on every input (they must never throw).
+    if (size == 0) return;
+    const unsigned char selector = data[0];
+    const std::string body = as_string(data + 1, size - 1);
+    {
+        std::istringstream is(body);
+        (void)is_binary_edge_list(is);
+    }
+    {
+        std::istringstream is(body);
+        (void)is_chain_state(is);
+    }
+    try {
+        std::istringstream is(body);
+        switch (selector % 4) {
+        case 0:
+            (void)read_edge_list(is);
+            break;
+        case 1:
+            (void)read_edge_list_binary(is);
+            break;
+        case 2:
+            (void)read_chain_state(is);
+            break;
+        default:
+            (void)read_degree_sequence(is);
+            break;
+        }
+    } catch (const Error&) {
+    }
+}
+
+}  // namespace gesmc::fuzz

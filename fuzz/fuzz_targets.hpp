@@ -1,0 +1,36 @@
+/// \file fuzz_targets.hpp
+/// \brief Shared harness bodies for the parser fuzzers.
+///
+/// One body per untrusted-input surface of the daemon.  Each body feeds the
+/// bytes to the parser and swallows gesmc::Error — a *rejected* input is
+/// the contract working; anything else (crash, sanitizer report, uncaught
+/// non-Error exception) is a bug.  The bodies are plain functions so two
+/// drivers share them:
+///
+///   * fuzz_<name>.cpp — libFuzzer entry points (Clang-only,
+///     GESMC_BUILD_FUZZERS=ON), used by the CI fuzz-smoke job and local
+///     fuzzing sessions (docs/static_analysis.md);
+///   * tests/test_fuzz_regression.cpp — replays fuzz/corpus/** and
+///     fuzz/crashes/** deterministically on every build, any compiler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gesmc::fuzz {
+
+/// parse_json + parse_request over one control line.
+void fuzz_target_json(const std::uint8_t* data, std::size_t size);
+
+/// decode_frame / FrameReader / graph-payload decode / transfer state
+/// machine over a daemon->client byte stream.
+void fuzz_target_frame(const std::uint8_t* data, std::size_t size);
+
+/// read_pipeline_config_string (+ validate) and parse_corpus_manifest.
+void fuzz_target_config(const std::uint8_t* data, std::size_t size);
+
+/// Graph file readers: text/GESB edge lists, .gesc chain state, degree
+/// sequences; the first input byte selects the reader.
+void fuzz_target_graph_io(const std::uint8_t* data, std::size_t size);
+
+}  // namespace gesmc::fuzz

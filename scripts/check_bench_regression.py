@@ -25,7 +25,7 @@ import sys
 
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
     if doc.get("schema") != "gesmc-bench-v1":
         sys.exit(f"{path}: not a gesmc-bench-v1 document "

@@ -33,7 +33,8 @@ for s in 1 2 3; do
         --seed "$s" --set "output-prefix=g$s" --output-format binary \
         --output-dir "$WORK_DIR/inputs" --quiet > /dev/null
 done
-test "$(ls "$WORK_DIR"/inputs/g*_0.gesb | wc -l)" = 3
+inputs=("$WORK_DIR"/inputs/g*_0.gesb)
+test "${#inputs[@]}" -eq 3
 
 CORPUS_ARGS=(--glob "$WORK_DIR/inputs/g*_0.gesb" --algo par-global-es
              --replicates 4 --supersteps 10 --seed 11 --threads 2

@@ -1,0 +1,61 @@
+/// \file thread_safety.hpp
+/// \brief Clang thread-safety-analysis attribute macros (no-op elsewhere).
+///
+/// The static half of the correctness gate (docs/static_analysis.md): these
+/// macros expand to Clang's capability attributes so a clang build with
+/// `-Wthread-safety -Werror` proves at compile time that every access to a
+/// `GESMC_GUARDED_BY` member happens under its mutex and that every
+/// `GESMC_REQUIRES` function is only called with the right lock held.  GCC
+/// (and any compiler without the attributes) sees empty macros — the
+/// annotations cost nothing outside the analysis.
+///
+/// Spelling follows the Clang documentation's capability vocabulary
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the library's
+/// annotated mutex types live in check/checked_mutex.hpp.
+#pragma once
+
+#if defined(__clang__)
+#define GESMC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GESMC_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability ("mutex" in diagnostics).
+#define GESMC_CAPABILITY(x) GESMC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define GESMC_SCOPED_CAPABILITY GESMC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define GESMC_GUARDED_BY(x) GESMC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define GESMC_PT_GUARDED_BY(x) GESMC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define GESMC_ACQUIRE(...) GESMC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define GESMC_RELEASE(...) GESMC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the capability; first argument is the success value.
+#define GESMC_TRY_ACQUIRE(...) \
+    GESMC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called with the capability held (the `_locked` helpers).
+#define GESMC_REQUIRES(...) GESMC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the capability *not* held.
+#define GESMC_EXCLUDES(...) GESMC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held — informs the analysis
+/// from that point on.  Used inside condition-variable wait predicates,
+/// where the analysis cannot see that the wait re-acquires the lock.
+#define GESMC_ASSERT_CAPABILITY(x) GESMC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability.
+#define GESMC_RETURN_CAPABILITY(x) GESMC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot follow.
+#define GESMC_NO_THREAD_SAFETY_ANALYSIS \
+    GESMC_THREAD_ANNOTATION(no_thread_safety_analysis)

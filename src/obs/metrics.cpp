@@ -1,12 +1,12 @@
 #include "obs/metrics.hpp"
 
+#include "check/checked_mutex.hpp"
 #include "pipeline/report.hpp"
 
 #include <algorithm>
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
 
 namespace gesmc::obs {
 
@@ -66,12 +66,18 @@ void Histogram::reset() noexcept {
 // ---------------------------------------------------------------- registry
 
 struct MetricsRegistry::Impl {
-    mutable std::mutex mutex;
+    /// Innermost lock of the whole process (rank 0): registrations happen
+    /// under subsystem locks (e.g. ThreadBudget registers its counters
+    /// while holding its own mutex), never the other way around.
+    mutable CheckedMutex mutex{LockRank::kMetricsRegistry, "MetricsRegistry"};
     // unique_ptr values: map growth must never move a metric another thread
     // holds a reference to.
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+        GESMC_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+        GESMC_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+        GESMC_GUARDED_BY(mutex);
 };
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -86,38 +92,46 @@ MetricsRegistry::Impl& MetricsRegistry::impl() const {
     return *impl;
 }
 
-template <typename Map>
-static auto& find_or_create(Map& map, std::mutex& mutex, std::string_view name) {
-    std::lock_guard lock(mutex);
-    auto it = map.find(name);
-    if (it == map.end()) {
-        it = map.emplace(std::string(name),
-                         std::make_unique<typename Map::mapped_type::element_type>())
-                 .first;
+// Lookup bodies are spelled out per accessor (not a shared template taking
+// the map by reference): the thread-safety analysis only tracks GUARDED_BY
+// members accessed where the lock is visibly held, and passing a guarded
+// map by reference would trip -Wthread-safety-reference at the call sites.
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    Impl& i = impl();
+    CheckedLockGuard lock(i.mutex);
+    auto it = i.counters.find(name);
+    if (it == i.counters.end()) {
+        it = i.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
     }
     return *it->second;
 }
 
-Counter& MetricsRegistry::counter(std::string_view name) {
-    Impl& i = impl();
-    return find_or_create(i.counters, i.mutex, name);
-}
-
 Gauge& MetricsRegistry::gauge(std::string_view name) {
     Impl& i = impl();
-    return find_or_create(i.gauges, i.mutex, name);
+    CheckedLockGuard lock(i.mutex);
+    auto it = i.gauges.find(name);
+    if (it == i.gauges.end()) {
+        it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    }
+    return *it->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
     Impl& i = impl();
-    return find_or_create(i.histograms, i.mutex, name);
+    CheckedLockGuard lock(i.mutex);
+    auto it = i.histograms.find(name);
+    if (it == i.histograms.end()) {
+        it = i.histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
+    }
+    return *it->second;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
     Impl& i = impl();
     MetricsSnapshot snap;
     snap.enabled = metrics_enabled();
-    std::lock_guard lock(i.mutex);
+    CheckedLockGuard lock(i.mutex);
     snap.counters.reserve(i.counters.size());
     for (const auto& [name, counter] : i.counters) {
         snap.counters.emplace_back(name, counter->total());
@@ -153,7 +167,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 void MetricsRegistry::reset() noexcept {
     Impl& i = impl();
-    std::lock_guard lock(i.mutex);
+    CheckedLockGuard lock(i.mutex);
     for (auto& [name, counter] : i.counters) counter->reset();
     for (auto& [name, gauge] : i.gauges) gauge->value_.store(0, std::memory_order_relaxed);
     for (auto& [name, histogram] : i.histograms) histogram->reset();

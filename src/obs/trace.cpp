@@ -1,11 +1,11 @@
 #include "obs/trace.hpp"
 
+#include "check/checked_mutex.hpp"
 #include "util/check.hpp"
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -29,12 +29,18 @@ struct TraceEvent {
 };
 
 struct TraceState {
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
-    std::chrono::steady_clock::time_point epoch;
+    CheckedMutex mutex{LockRank::kTraceSession, "TraceSession"};
+    std::vector<TraceEvent> events GESMC_GUARDED_BY(mutex);
+    /// Session epoch as a raw steady_clock nanosecond count.  Atomic rather
+    /// than guarded: TraceSpan timestamps read it on the hot path without
+    /// the lock while start() publishes a new session (found as a data race
+    /// when the lock gate landed — the old time_point was written under the
+    /// mutex but read outside it).  release/acquire so a span that sees the
+    /// new epoch also sees it fully written.
+    std::atomic<std::int64_t> epoch_ns{0};
     /// Bumped on every start(): a span begun under a previous session must
     /// not leak its event into this one.
-    std::uint64_t generation = 0;
+    std::uint64_t generation GESMC_GUARDED_BY(mutex) = 0;
 };
 
 TraceState& state() {
@@ -51,9 +57,10 @@ unsigned trace_thread_id() noexcept {
 }
 
 std::uint64_t now_ns(const TraceState& s) noexcept {
-    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                          std::chrono::steady_clock::now() - s.epoch)
-                                          .count());
+    const std::int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count();
+    return static_cast<std::uint64_t>(now - s.epoch_ns.load(std::memory_order_acquire));
 }
 
 void write_microseconds(std::ostream& os, std::uint64_t ns) {
@@ -115,7 +122,7 @@ void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events) {
 std::vector<TraceEvent> stop_and_take() {
     detail::g_trace_active.store(false, std::memory_order_relaxed);
     TraceState& s = state();
-    std::lock_guard lock(s.mutex);
+    CheckedLockGuard lock(s.mutex);
     std::vector<TraceEvent> events = std::move(s.events);
     s.events.clear();
     return events;
@@ -128,10 +135,13 @@ std::vector<TraceEvent> stop_and_take() {
 void TraceSession::start() {
     TraceState& s = state();
     {
-        std::lock_guard lock(s.mutex);
+        CheckedLockGuard lock(s.mutex);
         if (trace_enabled()) return;
         s.events.clear();
-        s.epoch = std::chrono::steady_clock::now();
+        s.epoch_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count(),
+                         std::memory_order_release);
         ++s.generation;
     }
     detail::g_trace_active.store(true, std::memory_order_relaxed);
@@ -159,7 +169,7 @@ void TraceSession::stop() noexcept { stop_and_take(); }
 
 std::size_t TraceSession::event_count() {
     TraceState& s = state();
-    std::lock_guard lock(s.mutex);
+    CheckedLockGuard lock(s.mutex);
     return s.events.size();
 }
 
@@ -175,7 +185,7 @@ TraceSpan::TraceSpan(const char* name, const char* category,
     }
     TraceState& s = state();
     {
-        std::lock_guard lock(s.mutex);
+        CheckedLockGuard lock(s.mutex);
         generation_ = s.generation;
     }
     start_ns_ = now_ns(s);
@@ -193,7 +203,7 @@ TraceSpan::~TraceSpan() {
     e.tid = trace_thread_id();
     for (unsigned i = 0; i < num_args_; ++i) e.args[i] = args_[i];
     e.num_args = num_args_;
-    std::lock_guard lock(s.mutex);
+    CheckedLockGuard lock(s.mutex);
     // A span begun under an earlier (stopped) session carries timestamps
     // against a dead epoch — drop it rather than corrupt this session.
     if (generation_ != s.generation) return;

@@ -42,12 +42,12 @@ ThreadBudget::ThreadBudget(unsigned total)
     : total_(total == 0 ? std::max(1u, std::thread::hardware_concurrency()) : total) {}
 
 unsigned ThreadBudget::leased() const {
-    std::lock_guard lock(mutex_);
+    CheckedLockGuard lock(mutex_);
     return leased_;
 }
 
 std::uint64_t ThreadBudget::waiting() const {
-    std::lock_guard lock(mutex_);
+    CheckedLockGuard lock(mutex_);
     return next_ticket_ - now_serving_;
 }
 
@@ -72,11 +72,12 @@ PoolLease ThreadBudget::acquire(unsigned width) {
         const bool measure = obs::metrics_enabled();
         const auto wait_start = measure ? std::chrono::steady_clock::now()
                                         : std::chrono::steady_clock::time_point();
-        std::unique_lock lock(mutex_);
+        CheckedUniqueLock lock(mutex_);
         const std::uint64_t ticket = next_ticket_++;
         if (measure) budget_metrics().waiting.set(static_cast<std::int64_t>(
             next_ticket_ - now_serving_));
         cv_.wait(lock, [&] {
+            mutex_.assert_held();
             return ticket == now_serving_ && leased_ + width <= total_;
         });
         ++now_serving_;
@@ -115,7 +116,7 @@ std::optional<PoolLease> ThreadBudget::try_acquire(unsigned width) {
                     " outside [1, " + std::to_string(total_) + "]");
     std::unique_ptr<ThreadPool> pool;
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         if (now_serving_ != next_ticket_ || leased_ + width > total_) {
             return std::nullopt;
         }
@@ -143,7 +144,7 @@ void ThreadBudget::release(unsigned width, std::unique_ptr<ThreadPool> pool) noe
     // outside the lock so a slow join never stalls the admission gate.
     std::vector<std::unique_ptr<ThreadPool>> evicted;
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         leased_ -= width;
         if (obs::metrics_enabled()) budget_metrics().leased_width.set(leased_);
         if (pool != nullptr) idle_pools_.push_back(std::move(pool));

@@ -27,12 +27,11 @@
 /// ThreadBudget is destroyed.
 #pragma once
 
+#include "check/checked_mutex.hpp"
 #include "parallel/thread_pool.hpp"
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -125,17 +124,18 @@ private:
     void release(unsigned width, std::unique_ptr<ThreadPool> pool) noexcept;
     /// Pops an idle cached pool of exactly `width`, or null on a cache
     /// miss — the caller spawns one *outside* the lock then.
-    [[nodiscard]] std::unique_ptr<ThreadPool> take_cached_pool_locked(unsigned width);
+    [[nodiscard]] std::unique_ptr<ThreadPool> take_cached_pool_locked(unsigned width)
+        GESMC_REQUIRES(mutex_);
 
     const unsigned total_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    unsigned leased_ = 0;
-    std::uint64_t next_ticket_ = 0;   ///< issued to each acquire() on entry
-    std::uint64_t now_serving_ = 0;   ///< oldest unserved ticket
+    mutable CheckedMutex mutex_{LockRank::kThreadBudget, "ThreadBudget"};
+    CheckedCondVar cv_;
+    unsigned leased_ GESMC_GUARDED_BY(mutex_) = 0;
+    std::uint64_t next_ticket_ GESMC_GUARDED_BY(mutex_) = 0;  ///< issued to each acquire() on entry
+    std::uint64_t now_serving_ GESMC_GUARDED_BY(mutex_) = 0;  ///< oldest unserved ticket
     /// Idle pools kept warm for reuse, keyed by exact width.
-    std::vector<std::unique_ptr<ThreadPool>> idle_pools_;
+    std::vector<std::unique_ptr<ThreadPool>> idle_pools_ GESMC_GUARDED_BY(mutex_);
 };
 
 } // namespace gesmc

@@ -31,7 +31,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         stop_ = true;
         epoch_.fetch_add(1, std::memory_order_release);
     }
@@ -46,7 +46,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
         return;
     }
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         job_ = &fn;
         active_.store(num_threads_ - 1, std::memory_order_relaxed);
         epoch_.fetch_add(1, std::memory_order_release);
@@ -60,7 +60,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
         cpu_relax();
     }
     if (active_.load(std::memory_order_acquire) != 0) {
-        std::unique_lock lock(mutex_);
+        CheckedUniqueLock lock(mutex_);
         cv_done_.wait(lock, [this] { return active_.load(std::memory_order_acquire) == 0; });
     }
     job_ = nullptr;
@@ -80,7 +80,7 @@ void ThreadPool::worker_loop(unsigned tid) {
         }
         const std::function<void(unsigned)>* job = nullptr;
         {
-            std::unique_lock lock(mutex_);
+            CheckedUniqueLock lock(mutex_);
             if (!advanced) {
                 cv_start_.wait(lock, [&] {
                     return epoch_.load(std::memory_order_acquire) != seen_epoch;
@@ -93,7 +93,7 @@ void ThreadPool::worker_loop(unsigned tid) {
         if (job) (*job)(tid);
         if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             // Last worker done: wake the caller if it fell asleep.
-            std::lock_guard lock(mutex_);
+            CheckedLockGuard lock(mutex_);
             cv_done_.notify_one();
         }
     }

@@ -9,11 +9,11 @@
 /// measured without pool overhead.
 #pragma once
 
+#include "check/checked_mutex.hpp"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -72,13 +72,17 @@ private:
     unsigned num_threads_;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable cv_start_;
-    std::condition_variable cv_done_;
+    CheckedMutex mutex_{LockRank::kThreadPool, "ThreadPool"};
+    CheckedCondVar cv_start_;
+    CheckedCondVar cv_done_;
+    /// Deliberately *not* GUARDED_BY(mutex_): run() clears it after the
+    /// fork-join completes, synchronized by the active_ acq_rel handshake
+    /// rather than the mutex (workers only read job_ under the lock, in an
+    /// epoch where run() cannot be clearing it).
     const std::function<void(unsigned)>* job_ = nullptr;
     std::atomic<std::uint64_t> epoch_{0};
     std::atomic<unsigned> active_{0};
-    bool stop_ = false;
+    bool stop_ GESMC_GUARDED_BY(mutex_) = false;
 };
 
 /// Reusable spinning barrier for phase synchronization *inside* a pool job

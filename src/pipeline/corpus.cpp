@@ -1,5 +1,6 @@
 #include "pipeline/corpus.hpp"
 
+#include "check/checked_mutex.hpp"
 #include "gen/corpus.hpp"
 #include "gen/gnp.hpp"
 #include "graph/io.hpp"
@@ -17,7 +18,6 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -147,7 +147,15 @@ std::vector<CorpusInput> expand_glob(const std::string& pattern) {
 std::vector<CorpusInput> expand_manifest(const std::string& manifest_path) {
     std::ifstream is(manifest_path);
     GESMC_CHECK(is.good(), "cannot open corpus-manifest: " + manifest_path);
-    const fs::path base_dir = fs::path(manifest_path).parent_path();
+    return parse_corpus_manifest(is, manifest_path,
+                                 fs::path(manifest_path).parent_path().string());
+}
+
+} // namespace
+
+std::vector<CorpusInput> parse_corpus_manifest(std::istream& is,
+                                               const std::string& manifest_path,
+                                               const std::string& base_dir) {
     std::vector<CorpusInput> graphs;
     std::string line;
     int line_no = 0;
@@ -181,7 +189,7 @@ std::vector<CorpusInput> expand_manifest(const std::string& manifest_path) {
         // Relative entries resolve against the manifest's own directory, so
         // a manifest travels with its data set.
         if (fs::path(path).is_relative() && !base_dir.empty()) {
-            path = (base_dir / path).string();
+            path = (fs::path(base_dir) / path).string();
         }
         if (name.empty()) name = stem_name(path);
         graphs.push_back(CorpusInput{std::move(name), std::move(path)});
@@ -189,6 +197,8 @@ std::vector<CorpusInput> expand_manifest(const std::string& manifest_path) {
     GESMC_CHECK(!graphs.empty(), "corpus-manifest " + manifest_path + " lists no inputs");
     return graphs;
 }
+
+namespace {
 
 std::uint64_t spec_u64(const std::string& spec, const std::string& key,
                        const std::string& value) {
@@ -496,14 +506,14 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
         }
     }
 
-    std::mutex log_mutex;
+    CheckedMutex log_mutex{LockRank::kCorpusLog, "corpus.log"};
     std::size_t finished = 0;
 
     // Streamed rows: one compact JSON line per graph, appended the moment
     // the graph settles — a 10k-graph overnight run is monitorable (tail -f)
     // long before the merged summary exists.
     std::ofstream rows_stream;
-    std::mutex rows_mutex;
+    CheckedMutex rows_mutex{LockRank::kCorpusRowStream, "corpus.rows"};
     if (!plan.base.output_dir.empty()) {
         fs::create_directories(plan.base.output_dir);
         const std::string rows_path =
@@ -566,12 +576,12 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
                 gauges.graphs_done.add(1);
                 gauges.active.add(-1);
                 if (rows_stream.is_open()) {
-                    const std::lock_guard<std::mutex> lock(rows_mutex);
+                    const CheckedLockGuard lock(rows_mutex);
                     rows_stream << corpus_row_ndjson(row) << '\n';
                     rows_stream.flush();
                 }
                 if (log != nullptr) {
-                    const std::lock_guard<std::mutex> lock(log_mutex);
+                    const CheckedLockGuard lock(log_mutex);
                     ++finished;
                     *log << "corpus: graph " << input.name << " "
                          << (row.error.empty() && row.interrupted == 0

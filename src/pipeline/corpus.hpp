@@ -59,6 +59,16 @@ struct CorpusPlan {
     std::vector<CorpusInput> graphs; ///< expansion in seed-index order
 };
 
+/// Parses corpus-manifest text from a stream: one input per line, blank
+/// lines and '#'/'%' comments skipped, optional "path :: name" renaming,
+/// relative paths resolved against `base_dir` (may be empty).
+/// `manifest_path` is used in error messages only.  Throws Error on an
+/// empty manifest or malformed line.  Split out of plan_corpus so the
+/// parser is drivable from memory (fuzz/fuzz_config.cpp).
+[[nodiscard]] std::vector<CorpusInput>
+parse_corpus_manifest(std::istream& is, const std::string& manifest_path,
+                      const std::string& base_dir);
+
 /// Expands a corpus config: resolves the input source (splitting an
 /// explicit list, matching a glob, reading a manifest, or materializing a
 /// synthetic corpus under <output-dir>/corpus-inputs/), derives unique

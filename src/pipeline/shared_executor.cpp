@@ -16,7 +16,7 @@ SharedExecutor::SharedExecutor(unsigned threads) : budget_(threads) {
 
 SharedExecutor::~SharedExecutor() {
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         stopping_ = true;
     }
     work_cv_.notify_all();
@@ -32,7 +32,7 @@ ExecutorStats SharedExecutor::stats() const {
     s.lease_waiters = budget_.waiting();
     s.active_runs = active_runs_.load(std::memory_order_relaxed);
     s.inflight_replicates = inflight_replicates_.load(std::memory_order_relaxed);
-    std::lock_guard lock(mutex_);
+    CheckedLockGuard lock(mutex_);
     for (const auto& queue : active_) s.pending_replicates += queue->pending.size();
     return s;
 }
@@ -63,8 +63,9 @@ void SharedExecutor::worker_loop() {
         std::shared_ptr<RunQueue> queue;
         std::uint64_t replicate = 0;
         {
-            std::unique_lock lock(mutex_);
+            CheckedUniqueLock lock(mutex_);
             work_cv_.wait(lock, [&] {
+                mutex_.assert_held();
                 if (stopping_ && active_.empty()) return true;
                 queue = pick_task_locked(replicate);
                 return queue != nullptr;
@@ -88,7 +89,7 @@ void SharedExecutor::worker_loop() {
             inflight_replicates_.fetch_sub(1, std::memory_order_relaxed);
         }
         {
-            std::lock_guard lock(mutex_);
+            CheckedLockGuard lock(mutex_);
             --queue->inflight;
             if (--queue->remaining == 0) queue->done_cv.notify_all();
         }
@@ -136,7 +137,7 @@ void SharedExecutor::run(std::uint64_t replicates, const ScheduleRequest& reques
     queue->max_inflight = schedule.max_concurrent;
     queue->remaining = replicates;
     queue->fn = &fn;
-    std::unique_lock lock(mutex_);
+    CheckedUniqueLock lock(mutex_);
     GESMC_CHECK(!stopping_, "executor is shutting down");
     active_.push_back(queue);
     work_cv_.notify_all();

@@ -24,17 +24,16 @@
 /// scheduler seam it implements.
 #pragma once
 
+#include "check/checked_mutex.hpp"
 #include "parallel/pool_lease.hpp"
 #include "pipeline/scheduler.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -75,6 +74,9 @@ private:
     /// round-robin over.  Lives in active_ while it still has pending
     /// indices; `inflight` enforces the run's own K cap on top of the
     /// budget's machine-wide one.
+    /// All mutable RunQueue fields are guarded by the *executor's* mutex_
+    /// (not expressible as GUARDED_BY from a nested struct — the runtime
+    /// rank detector and TSan still cover them).
     struct RunQueue {
         std::deque<std::uint64_t> pending;  ///< replicate indices not yet started
         unsigned width = 1;                 ///< T: lease width per replicate
@@ -82,13 +84,14 @@ private:
         unsigned inflight = 0;              ///< replicates currently computing
         std::uint64_t remaining = 0;        ///< not yet *completed* replicates
         const std::function<void(const ReplicateSlot&)>* fn = nullptr;
-        std::condition_variable done_cv;    ///< signalled at remaining == 0
+        CheckedCondVar done_cv;             ///< signalled at remaining == 0
     };
 
     void worker_loop();
     /// Pops the next round-robin task whose run is under its K cap;
-    /// null when nothing is currently runnable.  Requires mutex_.
-    std::shared_ptr<RunQueue> pick_task_locked(std::uint64_t& replicate);
+    /// null when nothing is currently runnable.
+    std::shared_ptr<RunQueue> pick_task_locked(std::uint64_t& replicate)
+        GESMC_REQUIRES(mutex_);
 
     ThreadBudget budget_;  ///< the width-counting admission gate
 
@@ -97,12 +100,12 @@ private:
     std::atomic<std::uint64_t> active_runs_{0};
     std::atomic<std::uint64_t> inflight_replicates_{0};
 
-    mutable std::mutex mutex_;
-    std::condition_variable work_cv_;
+    mutable CheckedMutex mutex_{LockRank::kSharedExecutor, "SharedExecutor"};
+    CheckedCondVar work_cv_;
     /// Round-robin ring of runs with pending replicates: workers pop from
     /// the front and rotate the run to the back.
-    std::list<std::shared_ptr<RunQueue>> active_;
-    bool stopping_ = false;
+    std::list<std::shared_ptr<RunQueue>> active_ GESMC_GUARDED_BY(mutex_);
+    bool stopping_ GESMC_GUARDED_BY(mutex_) = false;
     std::vector<std::thread> workers_;
 };
 

@@ -91,7 +91,7 @@ JobManager::JobManager(unsigned threads, unsigned max_concurrent)
 JobManager::~JobManager() {
     drain();
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -111,7 +111,7 @@ JobManager::submit(const PipelineConfig& config,
     auto job = std::make_shared<Job>();
     job->config = config;
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         GESMC_CHECK(!draining_, "daemon is draining; not accepting jobs");
         job->id = next_job_id_++;
         jobs_.emplace(job->id, job);
@@ -132,7 +132,7 @@ JobManager::submit(const PipelineConfig& config,
             observer = make_observer(job->id);
         } catch (...) {
             {
-                std::lock_guard lock(mutex_);
+                CheckedLockGuard lock(mutex_);
                 if (!is_terminal(job->status)) {
                     job->status = JobStatus::kFailed;
                     job->error = "observer construction failed";
@@ -144,7 +144,7 @@ JobManager::submit(const PipelineConfig& config,
     }
 
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         job->observer = observer;
         // Cancelled (or drained) while the factory ran: already terminal —
         // queueing it would only make a runner skip it.
@@ -192,14 +192,14 @@ JobInfo JobManager::info_locked(const Job& job) const {
 }
 
 std::optional<JobInfo> JobManager::job(std::uint64_t id) const {
-    std::lock_guard lock(mutex_);
+    CheckedLockGuard lock(mutex_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return std::nullopt;
     return info_locked(*it->second);
 }
 
 std::vector<JobInfo> JobManager::jobs() const {
-    std::lock_guard lock(mutex_);
+    CheckedLockGuard lock(mutex_);
     std::vector<JobInfo> out;
     out.reserve(jobs_.size());
     for (const auto& [id, job] : jobs_) out.push_back(info_locked(*job));
@@ -209,7 +209,7 @@ std::vector<JobInfo> JobManager::jobs() const {
 ServiceStats JobManager::stats() const {
     ServiceStats s;
     s.executor = executor_.stats();
-    std::lock_guard lock(mutex_);
+    CheckedLockGuard lock(mutex_);
     s.jobs.reserve(jobs_.size());
     for (const auto& [id, job] : jobs_) {
         s.jobs.push_back(info_locked(*job));
@@ -238,7 +238,7 @@ ServiceStats JobManager::stats() const {
 }
 
 bool JobManager::cancel(std::uint64_t id) {
-    std::lock_guard lock(mutex_);
+    CheckedLockGuard lock(mutex_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return false;
     Job& job = *it->second;
@@ -255,7 +255,7 @@ bool JobManager::cancel(std::uint64_t id) {
 }
 
 JobInfo JobManager::wait(std::uint64_t id) {
-    std::unique_lock lock(mutex_);
+    CheckedUniqueLock lock(mutex_);
     const auto it = jobs_.find(id);
     GESMC_CHECK(it != jobs_.end(), "unknown job id " + std::to_string(id));
     // Own shared_ptr: the job stays valid across the wait even if pruning
@@ -267,7 +267,7 @@ JobInfo JobManager::wait(std::uint64_t id) {
 
 void JobManager::finish_job(Job& job, JobStatus status, std::string error) {
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         job.status = status;
         job.error = std::move(error);
         job.finished = std::chrono::steady_clock::now();
@@ -278,7 +278,7 @@ void JobManager::finish_job(Job& job, JobStatus status, std::string error) {
 }
 
 void JobManager::drain() {
-    std::unique_lock lock(mutex_);
+    CheckedUniqueLock lock(mutex_);
     draining_ = true;
     for (const auto& [id, job] : jobs_) {
         if (job->status == JobStatus::kQueued) {
@@ -294,6 +294,7 @@ void JobManager::drain() {
     }
     cv_.notify_all();
     cv_.wait(lock, [this] {
+        mutex_.assert_held();
         return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& entry) {
             return is_terminal(entry.second->status);
         });
@@ -304,8 +305,11 @@ void JobManager::runner_loop() {
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            CheckedUniqueLock lock(mutex_);
+            cv_.wait(lock, [this] {
+                mutex_.assert_held();
+                return stopping_ || !queue_.empty();
+            });
             if (queue_.empty()) return; // stopping_, nothing left to run
             job = queue_.front();
             queue_.pop_front();
@@ -343,7 +347,7 @@ void JobManager::runner_loop() {
             // the same way — the run is over, so the value is final.
             bool cancel_requested = false;
             {
-                std::lock_guard lock(mutex_);
+                CheckedLockGuard lock(mutex_);
                 cancel_requested = job->cancel_requested;
             }
             if (failed > 0) {

@@ -23,6 +23,7 @@
 ///     restart resumes in-flight jobs from their output directories.
 #pragma once
 
+#include "check/checked_mutex.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
@@ -31,13 +32,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -143,6 +142,10 @@ public:
     [[nodiscard]] unsigned threads() const noexcept;
 
 private:
+    /// Non-atomic Job fields are guarded by the *manager's* mutex_ (not
+    /// expressible as GUARDED_BY from a nested struct — the runtime rank
+    /// detector and TSan still cover them); `interrupt`, `replicates_done`
+    /// and `attempted_switches` are atomics written from pool threads.
     struct Job {
         std::uint64_t id = 0;
         PipelineConfig config;
@@ -161,7 +164,7 @@ private:
         bool has_finished = false;
     };
 
-    JobInfo info_locked(const Job& job) const;
+    JobInfo info_locked(const Job& job) const GESMC_REQUIRES(mutex_);
     void runner_loop();
     void finish_job(Job& job, JobStatus status, std::string error);
 
@@ -169,20 +172,20 @@ private:
     /// long-lived daemon's memory (and its status frames) stay bounded.
     /// Queued/running jobs are never evicted; a blocked wait() survives an
     /// eviction because it holds its own shared_ptr.
-    void prune_terminal_locked();
+    void prune_terminal_locked() GESMC_REQUIRES(mutex_);
 
     /// Terminal jobs kept findable for status/wait after they settle.
     static constexpr std::size_t kTerminalJobRetention = 64;
 
     SharedExecutor executor_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;  ///< queue arrivals + status transitions
-    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  ///< by id (ascending)
-    std::uint64_t next_job_id_ = 1;
-    std::deque<std::shared_ptr<Job>> queue_;
-    bool draining_ = false;
-    bool stopping_ = false;
+    mutable CheckedMutex mutex_{LockRank::kJobManager, "JobManager"};
+    CheckedCondVar cv_;  ///< queue arrivals + status transitions
+    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_ GESMC_GUARDED_BY(mutex_);  ///< by id (ascending)
+    std::uint64_t next_job_id_ GESMC_GUARDED_BY(mutex_) = 1;
+    std::deque<std::shared_ptr<Job>> queue_ GESMC_GUARDED_BY(mutex_);
+    bool draining_ GESMC_GUARDED_BY(mutex_) = false;
+    bool stopping_ GESMC_GUARDED_BY(mutex_) = false;
     std::vector<std::thread> runners_;
 };
 

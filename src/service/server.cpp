@@ -150,7 +150,7 @@ void SocketObserver::send_frame(const std::string& encoded) {
     if (broken()) return;
     bool just_broke = false;
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         if (broken()) return;
         try {
             write_all(fd_, encoded);
@@ -183,7 +183,7 @@ void SocketObserver::send_graph(std::uint64_t replicate, const std::string& path
     bool just_broke = false;
     std::exception_ptr file_error;
     {
-        std::lock_guard lock(mutex_);
+        CheckedLockGuard lock(mutex_);
         if (broken()) return;
         // One mutex hold for the whole transfer: a concurrently finishing
         // replicate must not interleave its frames into this one's chunks.
@@ -297,7 +297,7 @@ ServiceServer::~ServiceServer() {
 void ServiceServer::reap_connections(bool join_all) {
     std::vector<std::thread> joinable;
     {
-        std::lock_guard lock(connections_mutex_);
+        CheckedLockGuard lock(connections_mutex_);
         if (join_all) {
             for (auto& [id, thread] : connection_threads_) {
                 joinable.push_back(std::move(thread));
@@ -326,7 +326,7 @@ void ServiceServer::reap_connections(bool join_all) {
 }
 
 void ServiceServer::unblock_active_connections() {
-    std::lock_guard lock(connections_mutex_);
+    CheckedLockGuard lock(connections_mutex_);
     for (const auto& [id, fd] : active_fds_) ::shutdown(fd, SHUT_RD);
 }
 
@@ -382,7 +382,7 @@ void ServiceServer::serve(std::ostream* log) {
                      sizeof(send_timeout));
         std::uint64_t id = 0;
         {
-            std::lock_guard lock(connections_mutex_);
+            CheckedLockGuard lock(connections_mutex_);
             id = next_connection_++;
             active_fds_.emplace(id, client);
         }
@@ -400,14 +400,14 @@ void ServiceServer::serve(std::ostream* log) {
             // poke the accept loop so the join happens even on an
             // otherwise idle daemon.
             {
-                std::lock_guard lock(connections_mutex_);
+                CheckedLockGuard lock(connections_mutex_);
                 active_fds_.erase(id);
                 finished_connections_.push_back(id);
             }
             wake();
         });
         {
-            std::lock_guard lock(connections_mutex_);
+            CheckedLockGuard lock(connections_mutex_);
             connection_threads_.emplace(id, std::move(worker));
         }
     }

@@ -18,6 +18,7 @@
 /// every connection thread before serve() returns.
 #pragma once
 
+#include "check/checked_mutex.hpp"
 #include "service/job_manager.hpp"
 #include "service/socket.hpp"
 
@@ -25,7 +26,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,9 +77,10 @@ public:
 private:
     /// Encodes and writes under an already-held mutex_; returns false once
     /// the stream broke (sets broken_, defers on_broken_ to the caller).
-    bool send_frame_locked(FrameType type, std::string_view payload);
+    bool send_frame_locked(FrameType type, std::string_view payload)
+        GESMC_REQUIRES(mutex_);
 
-    std::mutex mutex_;
+    CheckedMutex mutex_{LockRank::kSocketObserver, "SocketObserver"};
     int fd_;
     std::uint64_t job_id_;
     std::function<void()> on_broken_;
@@ -135,11 +136,16 @@ private:
     FdHandle wake_write_;
     std::atomic<bool> stop_{false};
 
-    std::mutex connections_mutex_;
-    std::uint64_t next_connection_ = 0;
-    std::map<std::uint64_t, std::thread> connection_threads_;
-    std::map<std::uint64_t, int> active_fds_;  ///< live connections, by id
-    std::vector<std::uint64_t> finished_connections_;  ///< awaiting join
+    CheckedMutex connections_mutex_{LockRank::kServerConnections,
+                                    "ServiceServer.connections"};
+    std::uint64_t next_connection_ GESMC_GUARDED_BY(connections_mutex_) = 0;
+    std::map<std::uint64_t, std::thread> connection_threads_
+        GESMC_GUARDED_BY(connections_mutex_);
+    /// Live connections, by id.
+    std::map<std::uint64_t, int> active_fds_ GESMC_GUARDED_BY(connections_mutex_);
+    /// Awaiting join.
+    std::vector<std::uint64_t> finished_connections_
+        GESMC_GUARDED_BY(connections_mutex_);
 };
 
 } // namespace gesmc

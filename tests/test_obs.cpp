@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -239,6 +240,36 @@ TEST(Trace, EmitsChromeTraceEventJson) {
     EXPECT_TRUE(saw_wait);
 
     // The session ended: a fresh one starts empty.
+    obs::TraceSession::start();
+    EXPECT_EQ(obs::TraceSession::event_count(), 0u);
+    obs::TraceSession::stop();
+}
+
+TEST(Trace, ConcurrentSpansDuringStartStopAreRaceFree) {
+    // Regression for a data race the lock-audit surfaced: TraceSpan
+    // timestamps read the session epoch without the trace mutex while
+    // start() rewrote it under the mutex.  The epoch is an atomic now;
+    // spans racing session restarts must neither tear nor trip TSan
+    // (this test runs in the TSan CI job).
+    ObsFlagsGuard guard;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> spanners;
+    spanners.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        spanners.emplace_back([&stop] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const obs::TraceSpan span("racer", "test", {{"arg", 1}});
+            }
+        });
+    }
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        obs::TraceSession::start();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        obs::TraceSession::stop();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : spanners) t.join();
+    // Sessions stopped with spans in flight: nothing may leak into a new one.
     obs::TraceSession::start();
     EXPECT_EQ(obs::TraceSession::event_count(), 0u);
     obs::TraceSession::stop();

@@ -467,7 +467,7 @@ TEST(ChainFactory, NamesRoundTrip) {
         EXPECT_EQ(chain_algorithm_from_string(name), algo);
         EXPECT_EQ(chain_algorithm_name(algo), name);
     }
-    EXPECT_THROW(chain_algorithm_from_string("quantum-es"), Error);
+    EXPECT_THROW((void)chain_algorithm_from_string("quantum-es"), Error);
 }
 
 // ------------------------------------------------------------ end to end

@@ -20,6 +20,7 @@
 /// budget, merged into a corpus summary (docs/corpus.md).  Every option is
 /// a config key (see src/pipeline/config.hpp); CLI flags override file
 /// entries in command-line order.
+#include "check/checked_mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/config.hpp"
@@ -35,7 +36,6 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -101,7 +101,7 @@ public:
     explicit ProgressPrinter(std::uint64_t replicates) : replicates_(replicates) {}
 
     void on_replicate_done(const ReplicateReport& r) override {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const CheckedLockGuard lock(mutex_);
         ++finished_;
         std::cerr << "pipeline: replicate " << r.index << " "
                   << (r.error.empty() ? "done" : "FAILED") << " in "
@@ -113,7 +113,7 @@ public:
     }
 
 private:
-    std::mutex mutex_;
+    CheckedMutex mutex_{LockRank::kToolProgress, "gesmc_sample.observer"};
     std::uint64_t replicates_;
     std::uint64_t finished_ = 0;
 };
@@ -129,13 +129,13 @@ struct CliEntry {
 /// 130 interrupted with a resume hint).
 int run_corpus_cli(const PipelineConfig& config, bool quiet, bool progress) {
     const CorpusPlan plan = plan_corpus(config);
-    std::mutex progress_mutex;
+    CheckedMutex progress_mutex{LockRank::kToolProgress, "gesmc_sample.progress"};
     std::uint64_t cells_done = 0;
     const std::uint64_t total_cells = plan.graphs.size() * config.replicates;
     CorpusHooks hooks;
     if (progress) {
         hooks.on_replicate_done = [&](std::size_t graph, const ReplicateReport& r) {
-            const std::lock_guard<std::mutex> lock(progress_mutex);
+            const CheckedLockGuard lock(progress_mutex);
             ++cells_done;
             std::cerr << "corpus: " << plan.graphs[graph].name << " replicate "
                       << r.index << (r.error.empty() ? " done" : " FAILED") << " in "

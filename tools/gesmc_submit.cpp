@@ -27,6 +27,7 @@
 /// the merged corpus summary from the shard reports the daemon wrote:
 ///
 ///   gesmc_submit --socket /tmp/gesmc.sock --corpus --config corpus.cfg
+#include "check/checked_mutex.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/corpus.hpp"
 #include "service/corpus_client.hpp"
@@ -40,7 +41,6 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -306,7 +306,7 @@ int corpus_submit_action(const SubmitOptions& options) {
         std::string error; ///< client-side failure (connect, write, ...)
     };
     std::vector<GraphOutcome> outcomes(plan.graphs.size());
-    std::mutex progress_mutex;
+    CheckedMutex progress_mutex{LockRank::kToolProgress, "gesmc_submit.progress"};
     std::size_t finished = 0;
     // A bounded window of in-flight submissions, each on its own
     // connection + consumer thread (every stream needs a live reader so
@@ -336,7 +336,7 @@ int corpus_submit_action(const SubmitOptions& options) {
                 outcomes[i].error = e.what();
             }
             if (!options.quiet) {
-                const std::lock_guard<std::mutex> lock(progress_mutex);
+                const CheckedLockGuard lock(progress_mutex);
                 ++finished;
                 std::cerr << "corpus: graph " << plan.graphs[i].name << " ";
                 if (!outcomes[i].error.empty()) {
