@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format v0.0.4).
+
+Usage:
+    check_prom_exposition.py [FILE]        # default: stdin
+
+Checks the output of `gesmc_submit --prom` / `gesmc_sample --metrics-prom`
+(written by src/obs/timeseries.cpp):
+
+  * every line is a `# HELP`/`# TYPE` comment or a sample
+    `name[{labels}] value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry the gesmc_
+    prefix;
+  * every sample belongs to a family announced by a preceding `# TYPE`
+    with a known type (counter|gauge|summary|histogram|untyped), declared
+    at most once;
+  * sample values parse as floats (NaN/+Inf/-Inf included);
+  * counters are non-negative.
+
+Exits non-zero listing every violation; prints a one-line summary on
+success.  Used by scripts/service_smoke.sh and the CI lint job.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+LABELS_RE = re.compile(
+    r'\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*)?\}$'
+)
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+# A summary family's samples may use these suffixes on the declared name.
+FAMILY_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def parse_value(text):
+    if text in ("NaN", "+Inf", "-Inf", "Inf"):
+        return float(text.replace("Inf", "inf"))
+    return float(text)
+
+
+def family_of(name, types):
+    if name in types:
+        return name
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(lines):
+    errors = []
+    types = {}
+    samples = 0
+
+    def err(lineno, message):
+        errors.append(f"line {lineno}: {message}")
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                err(lineno, f"malformed comment: {line!r}")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                err(lineno, f"bad metric name in comment: {name!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in KNOWN_TYPES:
+                    err(lineno, f"unknown metric type: {line!r}")
+                    continue
+                if name in types:
+                    err(lineno, f"duplicate TYPE for {name}")
+                    continue
+                types[name] = parts[3]
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            err(lineno, f"malformed sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels")
+        if labels and not LABELS_RE.match(labels):
+            err(lineno, f"malformed labels: {labels!r}")
+            continue
+        if not name.startswith("gesmc_"):
+            err(lineno, f"sample without the gesmc_ prefix: {name!r}")
+        family = family_of(name, types)
+        if family is None:
+            err(lineno, f"sample without a preceding # TYPE: {name!r}")
+            continue
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            err(lineno, f"unparseable value: {match.group('value')!r}")
+            continue
+        if types[family] == "counter" and value < 0:
+            err(lineno, f"negative counter: {line!r}")
+        samples += 1
+
+    if not errors and samples == 0:
+        errors.append("no samples found (empty exposition)")
+    return errors, samples, len(types)
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.exit(__doc__.splitlines()[2].strip())
+    if len(sys.argv) == 2 and sys.argv[1] != "-":
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    errors, samples, families = check(lines)
+    for error in errors:
+        print(f"check_prom_exposition: {error}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"check_prom_exposition: OK ({samples} samples, "
+          f"{families} families)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Service smoke test: start gesmc_serve, submit a job with gesmc_submit and
 # byte-compare the streamed replicate graphs against a direct gesmc_sample
-# run with the same config/seed; then SIGTERM the daemon mid-job, assert a
-# clean drain, restart it and resume the interrupted job to byte-identical
-# outputs.  Run from the repo root with the build dir as $1 (default:
-# build).  Used by CI in both the Release and ASan jobs.
+# run with the same config/seed; scrape one Prometheus exposition and
+# validate it, assert the watch stream delivers monotone telemetry ticks
+# through gesmc_top, and check the --telemetry-out NDJSON sink; then
+# SIGTERM the daemon mid-job, assert a clean drain, restart it and resume
+# the interrupted job to byte-identical outputs.  Run from the repo root
+# with the build dir as $1 (default: build).  Used by CI in both the
+# Release and ASan jobs.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -21,6 +24,7 @@ trap cleanup EXIT
 SERVE="$BUILD_DIR/gesmc_serve"
 SUBMIT="$BUILD_DIR/gesmc_submit"
 SAMPLE="$BUILD_DIR/gesmc_sample"
+TOP="$BUILD_DIR/gesmc_top"
 SOCKET="$WORK_DIR/gesmc.sock"
 
 wait_for_socket() {
@@ -33,7 +37,10 @@ wait_for_socket() {
 }
 
 start_daemon() {
-    "$SERVE" --socket "$SOCKET" --threads 2 --max-jobs 2 2> "$WORK_DIR/serve.log" &
+    "$SERVE" --socket "$SOCKET" --threads 2 --max-jobs 2 \
+        --telemetry-interval 50 --telemetry-out "$WORK_DIR/telemetry.ndjson" \
+        --log-file "$WORK_DIR/events.ndjson" \
+        2> "$WORK_DIR/serve.log" &
     SERVE_PID=$!
     wait_for_socket
 }
@@ -71,6 +78,51 @@ test "$count" -eq 4
 echo "service_smoke: OK ($count streamed graphs byte-identical to the direct run)"
 
 # ---------------------------------------------------------------- phase 2
+# Live telemetry against the still-running daemon: a prom scrape must be a
+# valid text exposition, the watch stream must deliver >= 2 ticks with
+# strictly monotone timestamps (through gesmc_top --plain), the NDJSON
+# sink must hold ordered parseable rows, and the event log must have
+# narrated the phase-1 job.
+echo "service_smoke: prom scrape"
+"$SUBMIT" --socket "$SOCKET" --prom > "$WORK_DIR/prom.txt"
+python3 scripts/check_prom_exposition.py "$WORK_DIR/prom.txt"
+
+echo "service_smoke: watch stream via gesmc_top"
+"$TOP" --socket "$SOCKET" --ticks 3 --plain > "$WORK_DIR/ticks.txt"
+python3 - "$WORK_DIR/ticks.txt" <<'PY'
+import sys
+
+prev = -1
+rows = 0
+for line in open(sys.argv[1]):
+    fields = line.split()
+    ts = int(fields[fields.index("ts_ms") + 1])
+    assert ts > prev, f"non-monotone ts_ms: {ts} after {prev}"
+    prev = ts
+    rows += 1
+assert rows >= 2, f"expected >= 2 watch ticks, got {rows}"
+print(f"service_smoke: OK ({rows} watch ticks, strictly monotone ts_ms)")
+PY
+
+python3 - "$WORK_DIR/telemetry.ndjson" <<'PY'
+import json
+import sys
+
+rows = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+assert rows, "no telemetry NDJSON rows"
+seqs = [row["seq"] for row in rows]
+assert seqs == sorted(seqs), "telemetry rows out of order"
+for row in rows:
+    for name, rate in row["rates"].items():
+        assert rate >= 0, f"negative rate {name}={rate}"
+print(f"service_smoke: OK ({len(rows)} telemetry rows, non-negative rates)")
+PY
+
+grep -q '"event": "job_accepted"' "$WORK_DIR/events.ndjson"
+grep -q '"event": "job_done"' "$WORK_DIR/events.ndjson"
+echo "service_smoke: OK (event log narrated the job lifecycle)"
+
+# ---------------------------------------------------------------- phase 3
 # SIGTERM mid-job: the daemon drains (checkpoint + exit 0); a restarted
 # daemon resumes the job to outputs byte-identical to an uninterrupted run.
 cat > "$WORK_DIR/long.cfg" <<EOF

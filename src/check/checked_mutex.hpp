@@ -35,6 +35,8 @@ namespace gesmc {
 /// `kMetricsRegistry < kThreadBudget`.
 enum class LockRank : int {
     kMetricsRegistry = 0,    ///< obs/metrics.cpp registry maps (innermost leaf)
+    kEventLogSink = 5,       ///< obs/log.cpp event-log sink (emits from any layer)
+    kTelemetryRing = 8,      ///< obs/timeseries.cpp sampler ring buffer
     kTraceSession = 10,      ///< obs/trace.cpp event buffer
     kThreadPool = 20,        ///< parallel/thread_pool.cpp fork-join state
     kThreadBudget = 30,      ///< parallel/pool_lease.cpp admission gate

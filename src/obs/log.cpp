@@ -1,0 +1,203 @@
+#include "obs/log.hpp"
+
+#include "check/checked_mutex.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/report.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gesmc::obs {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_has_sink{false};
+std::atomic<bool> g_stderr_sink{false};
+
+/// The sink state.  Leaked singleton like the metrics registry: events can
+/// fire from static destructors of tools, so the sink must never die first.
+struct Sink {
+    CheckedMutex mutex{LockRank::kEventLogSink, "EventLogSink"};
+    std::ofstream file GESMC_GUARDED_BY(mutex);
+    bool file_open GESMC_GUARDED_BY(mutex) = false;
+};
+
+Sink& sink() {
+    static Sink* const s = new Sink();
+    return *s;
+}
+
+void refresh_has_sink(bool file_open) noexcept {
+    g_has_sink.store(file_open || g_stderr_sink.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void append_escaped(std::string& out, std::string_view value) {
+    std::ostringstream os;
+    write_json_escaped(os, std::string(value));
+    out += os.str();
+}
+
+std::uint64_t now_ms() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+const char* to_string(LogLevel level) noexcept {
+    switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    }
+    return "unknown";
+}
+
+bool log_enabled(LogLevel level) noexcept {
+    return g_has_sink.load(std::memory_order_relaxed) &&
+           static_cast<int>(level) >= g_log_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+    g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool set_log_file(const std::string& path) {
+    Sink& s = sink();
+    CheckedLockGuard lock(s.mutex);
+    if (path.empty()) {
+        if (s.file_open) s.file.close();
+        s.file_open = false;
+        refresh_has_sink(false);
+        return true;
+    }
+    std::ofstream next(path, std::ios::app);
+    if (!next.good()) return false;
+    if (s.file_open) s.file.close();
+    s.file = std::move(next);
+    s.file_open = true;
+    refresh_has_sink(true);
+    return true;
+}
+
+void set_log_stderr(bool enabled) noexcept {
+    g_stderr_sink.store(enabled, std::memory_order_relaxed);
+    // file_open is only mutated under the sink mutex; for the cheap flag it
+    // is enough to OR in the stderr state — a racing set_log_file refreshes.
+    g_has_sink.store(enabled || g_has_sink.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    if (!enabled) {
+        Sink& s = sink();
+        CheckedLockGuard lock(s.mutex);
+        refresh_has_sink(s.file_open);
+    }
+}
+
+void close_log_sinks() {
+    g_stderr_sink.store(false, std::memory_order_relaxed);
+    Sink& s = sink();
+    CheckedLockGuard lock(s.mutex);
+    if (s.file_open) s.file.close();
+    s.file_open = false;
+    refresh_has_sink(false);
+}
+
+// ---------------------------------------------------------------- LogEvent
+
+LogEvent::LogEvent(LogLevel level, std::string_view component,
+                   std::string_view event)
+    : live_(log_enabled(level)) {
+    if (!live_) return;
+    line_.reserve(128);
+    line_ += "{\"ts_ms\": ";
+    line_ += std::to_string(now_ms());
+    line_ += ", \"level\": \"";
+    line_ += to_string(level);
+    line_ += "\", \"component\": ";
+    append_escaped(line_, component);
+    line_ += ", \"event\": ";
+    append_escaped(line_, event);
+}
+
+LogEvent& LogEvent::str(std::string_view key, std::string_view value) {
+    if (!live_) return *this;
+    line_ += ", ";
+    append_escaped(line_, key);
+    line_ += ": ";
+    append_escaped(line_, value);
+    return *this;
+}
+
+LogEvent& LogEvent::num(std::string_view key, std::uint64_t value) {
+    if (!live_) return *this;
+    line_ += ", ";
+    append_escaped(line_, key);
+    line_ += ": ";
+    line_ += std::to_string(value);
+    return *this;
+}
+
+LogEvent& LogEvent::snum(std::string_view key, std::int64_t value) {
+    if (!live_) return *this;
+    line_ += ", ";
+    append_escaped(line_, key);
+    line_ += ": ";
+    line_ += std::to_string(value);
+    return *this;
+}
+
+LogEvent& LogEvent::real(std::string_view key, double value) {
+    if (!live_) return *this;
+    line_ += ", ";
+    append_escaped(line_, key);
+    line_ += ": ";
+    if (std::isfinite(value)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        line_ += buf;
+    } else {
+        line_ += "null";
+    }
+    return *this;
+}
+
+LogEvent& LogEvent::flag(std::string_view key, bool value) {
+    if (!live_) return *this;
+    line_ += ", ";
+    append_escaped(line_, key);
+    line_ += ": ";
+    line_ += value ? "true" : "false";
+    return *this;
+}
+
+LogEvent::~LogEvent() {
+    if (!live_) return;
+    line_ += "}\n";
+    if (metrics_enabled()) {
+        struct LogCounters {
+            Counter& lines = MetricsRegistry::instance().counter("obs.log.lines");
+        };
+        static LogCounters& counters = *new LogCounters();
+        counters.lines.add(1);
+    }
+    Sink& s = sink();
+    CheckedLockGuard lock(s.mutex);
+    if (s.file_open) {
+        s.file.write(line_.data(), static_cast<std::streamsize>(line_.size()));
+        s.file.flush();  // `tail -f`-able: one complete line per event
+    }
+    if (g_stderr_sink.load(std::memory_order_relaxed)) {
+        std::fwrite(line_.data(), 1, line_.size(), stderr);
+    }
+}
+
+} // namespace gesmc::obs

@@ -160,6 +160,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
                 b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
             h.buckets.push_back({upper, buckets[b]});
         }
+        h.p50 = histogram_quantile(h, 0.50);
+        h.p90 = histogram_quantile(h, 0.90);
+        h.p99 = histogram_quantile(h, 0.99);
         snap.histograms.push_back(std::move(h));
     }
     return snap;
@@ -171,6 +174,36 @@ void MetricsRegistry::reset() noexcept {
     for (auto& [name, counter] : i.counters) counter->reset();
     for (auto& [name, gauge] : i.gauges) gauge->value_.store(0, std::memory_order_relaxed);
     for (auto& [name, histogram] : i.histograms) histogram->reset();
+}
+
+// --------------------------------------------------------------- quantiles
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+    if (h.count == 0 || h.buckets.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile among `count` samples, 1-based.
+    const double rank = q * static_cast<double>(h.count);
+    double cumulative = 0.0;
+    for (const HistogramSnapshot::Bucket& b : h.buckets) {
+        const double before = cumulative;
+        cumulative += static_cast<double>(b.count);
+        if (cumulative < rank) continue;
+        // Linear interpolation inside [lower, upper].  Bucket with upper
+        // bound 2^k - 1 admits [2^(k-1), 2^k); the zero bucket is exact.
+        if (b.upper_bound == 0) return 0.0;
+        const double upper = static_cast<double>(b.upper_bound);
+        const double lower = b.upper_bound == ~std::uint64_t{0}
+                                 ? upper / 2.0 + 1.0
+                                 : static_cast<double>((b.upper_bound >> 1) + 1);
+        const double fraction =
+            (rank - before) / static_cast<double>(b.count);
+        const double estimate = lower + (upper - lower) * fraction;
+        // Never report beyond the observed maximum — the top bucket's
+        // upper bound can overshoot it by almost 2x.
+        return h.max > 0 ? std::min(estimate, static_cast<double>(h.max))
+                         : estimate;
+    }
+    return static_cast<double>(h.max);
 }
 
 // -------------------------------------------------------------------- JSON
@@ -185,9 +218,14 @@ void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
     w.key("gauges");
     w.begin_object();
     for (const auto& [name, value] : snapshot.gauges) {
-        // JsonWriter has no signed overload; gauges here are occupancy-like
-        // and non-negative, but clamp defensively rather than wrap.
-        w.kv(name, static_cast<std::uint64_t>(std::max<std::int64_t>(value, 0)));
+        // JsonWriter has no signed overload; negative gauges (analysis
+        // z-scores, assortativity fixed-point) go through the double path,
+        // which is exact far beyond any gauge magnitude here.
+        if (value >= 0) {
+            w.kv(name, static_cast<std::uint64_t>(value));
+        } else {
+            w.kv(name, static_cast<double>(value));
+        }
     }
     w.end_object();
     w.key("histograms");
@@ -200,6 +238,9 @@ void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
         w.kv("max", h.max);
         if (h.count > 0) {
             w.kv("mean", static_cast<double>(h.sum) / static_cast<double>(h.count));
+            w.kv("p50", h.p50);
+            w.kv("p90", h.p90);
+            w.kv("p99", h.p99);
         }
         w.key("buckets");
         w.begin_array();

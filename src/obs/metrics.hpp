@@ -131,7 +131,19 @@ struct HistogramSnapshot {
         std::uint64_t count = 0;
     };
     std::vector<Bucket> buckets;
+    /// Interpolated quantile estimates from the log2 buckets (0 when
+    /// count == 0).  Exact only up to bucket resolution: the true quantile
+    /// lies within the reported value's bucket.
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
 };
+
+/// Interpolated quantile estimate (q in [0, 1]) from a snapshot's log2
+/// buckets: walks the cumulative counts to the bucket containing rank
+/// q * count and interpolates linearly inside it.  Returns 0 for an empty
+/// histogram.  Shared by the JSON, Prometheus and time-series emitters.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& h, double q);
 
 /// One coherent read of every registered metric, name-sorted.
 struct MetricsSnapshot {

@@ -1,9 +1,11 @@
 #include "pipeline/corpus.hpp"
 
+#include "analysis/gauges.hpp"
 #include "check/checked_mutex.hpp"
 #include "gen/corpus.hpp"
 #include "gen/gnp.hpp"
 #include "graph/io.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/seeds.hpp"
 #include "pipeline/shared_executor.hpp"
@@ -562,6 +564,10 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
                     exec.interrupt = interrupt;
                     const RunReport run = run_pipeline(shard, nullptr, &observer, exec);
                     row = corpus_row_from_report(input, run);
+                    // Replicate z-scores of the finished shard as live
+                    // gauges (analysis/gauges.hpp): how far the shard's
+                    // most extreme replicate sits from its siblings.
+                    publish_corpus_z_gauges(run);
                     if (hooks.on_graph_done != nullptr) hooks.on_graph_done(i, run);
                 } catch (const std::exception& e) {
                     // A shard-level failure (unreadable input, bad resume
@@ -572,6 +578,21 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
                     row.replicates = shard.replicates;
                     row.failed = shard.replicates;
                     row.error = e.what();
+                }
+                if (!row.error.empty()) {
+                    GESMC_LOG_EVENT(Error, "corpus", "graph_failed")
+                        .str("graph", input.name)
+                        .num("failed", row.failed)
+                        .str("error", row.error);
+                } else if (row.interrupted > 0) {
+                    GESMC_LOG_EVENT(Warn, "corpus", "graph_interrupted")
+                        .str("graph", input.name)
+                        .num("interrupted", row.interrupted);
+                } else {
+                    GESMC_LOG_EVENT(Info, "corpus", "graph_done")
+                        .str("graph", input.name)
+                        .num("replicates", row.replicates)
+                        .real("seconds", row.seconds);
                 }
                 gauges.graphs_done.add(1);
                 gauges.active.add(-1);
@@ -602,14 +623,18 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
         if (!parent.empty()) fs::create_directories(parent);
         write_corpus_json_file(plan.base.report_path, report);
     }
+    std::uint64_t total_failed = 0;
+    for (const CorpusGraphRow& row : report.rows) total_failed += row.failed;
     if (log != nullptr) {
-        std::uint64_t failed = 0;
-        for (const CorpusGraphRow& row : report.rows) failed += row.failed;
         *log << "corpus: done in " << fmt_seconds(report.total_seconds) << " ("
              << report.rows.size() << " graphs";
-        if (failed > 0) *log << ", " << failed << " replicate(s) FAILED";
+        if (total_failed > 0) *log << ", " << total_failed << " replicate(s) FAILED";
         *log << ")\n";
     }
+    GESMC_LOG_EVENT(Info, "corpus", "run_done")
+        .num("graphs", static_cast<std::uint64_t>(report.rows.size()))
+        .num("failed", total_failed)
+        .real("seconds", report.total_seconds);
     return report;
 }
 

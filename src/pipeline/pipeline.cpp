@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.hpp"
 
+#include "analysis/gauges.hpp"
 #include "core/chain.hpp"
 #include "gen/configuration_model.hpp"
 #include "gen/corpus.hpp"
@@ -9,6 +10,7 @@
 #include "graph/degree_sequence.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool_lease.hpp"
@@ -192,6 +194,13 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
              << " threads (" << schedule.max_concurrent << " x "
              << schedule.chain_threads << ")\n";
     }
+    GESMC_LOG_EVENT(Info, "pipeline", "run_started")
+        .str("algorithm", config.algorithm)
+        .num("replicates", config.replicates)
+        .num("supersteps", config.supersteps)
+        .num("nodes", initial.num_nodes())
+        .num("edges", initial.num_edges())
+        .num("threads", report.threads);
 
     if (!config.output_dir.empty()) {
         std::filesystem::create_directories(config.output_dir);
@@ -235,10 +244,26 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
         } else if (log != nullptr) {
             *log << "pipeline: resuming from " << config.resume_from << "/checkpoints\n";
         }
+        GESMC_LOG_EVENT(Info, "pipeline", "resume")
+            .str("from", config.resume_from)
+            .flag("checkpoints", any_checkpoint);
     }
 
     report.replicates.resize(config.replicates);
     const std::vector<std::uint32_t> initial_degrees = initial.degrees();
+
+    // Live mixing telemetry: when the run both computes metrics and the
+    // registry is on, interpose the analysis-layer observer so each
+    // replicate's supersteps feed an autocorrelation tracker whose verdict
+    // lands in the analysis.* gauges (and through them the telemetry
+    // sampler / watch stream).  Pure decoration — `observer` still sees
+    // every callback unchanged.
+    std::optional<MixingGaugeObserver> mixing;
+    RunObserver* effective_observer = observer;
+    if (config.metrics && obs::metrics_enabled()) {
+        mixing.emplace(config.replicates, config.supersteps, observer);
+        effective_observer = &*mixing;
+    }
 
     executor->run(config.replicates, request,
                   [&](const ReplicateSlot& slot) {
@@ -305,8 +330,9 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                                 checkpoint_path(config.output_dir, config, slot.index);
                             if (!std::filesystem::exists(here)) {
                                 write_chain_state_file_atomic(here, state);
-                                if (observer != nullptr) {
-                                    observer->on_checkpoint(slot.index, state, here);
+                                if (effective_observer != nullptr) {
+                                    effective_observer->on_checkpoint(slot.index, state,
+                                                                      here);
                                 }
                             }
                         }
@@ -323,7 +349,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                 // Snapshots are exact at superstep boundaries; the final
                 // one marks the replicate finished so a resume can skip it.
                 run_checkpointed(*chain, config.supersteps, config.checkpoint_every,
-                                 observer, slot.index, [&] {
+                                 effective_observer, slot.index, [&] {
                     if (config.checkpoint_every == 0) return;
                     const std::string path =
                         checkpoint_path(config.output_dir, config, slot.index);
@@ -333,8 +359,8 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                         {{"replicate", slot.index},
                          {"superstep", state.stats.supersteps}});
                     write_chain_state_file_atomic(path, state);
-                    if (observer != nullptr) {
-                        observer->on_checkpoint(slot.index, state, path);
+                    if (effective_observer != nullptr) {
+                        effective_observer->on_checkpoint(slot.index, state, path);
                     }
                     // Drain/cancel: the state just persisted is exactly the
                     // resume point — stop here instead of running to the
@@ -377,12 +403,23 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                             : std::string(kInterruptPrefix) + "stopped at superstep " +
                                   std::to_string(stop.superstep) +
                                   " (checkpointed; a resume-from run continues it)";
+            GESMC_LOG_EVENT(Warn, "pipeline", "replicate_interrupted")
+                .num("replicate", slot.index)
+                .num("superstep", stop.superstep);
         } catch (const std::exception& e) {
             // Exceptions must not cross the pool boundary (scheduler.hpp);
             // record and let the remaining replicates run.
             out.error = e.what();
+            GESMC_LOG_EVENT(Error, "pipeline", "replicate_failed")
+                .num("replicate", slot.index)
+                .str("error", out.error);
         }
         out.seconds = timer.elapsed_s();
+        if (out.error.empty()) {
+            GESMC_LOG_EVENT(Debug, "pipeline", "replicate_done")
+                .num("replicate", slot.index)
+                .real("seconds", out.seconds);
+        }
         if (obs::metrics_enabled()) {
             struct PipelineCounters {
                 obs::Counter& completed = obs::MetricsRegistry::instance().counter(
@@ -395,7 +432,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
         }
         // Streamed completion: the replicate's graph is already on disk
         // here — consumers need not wait for the assembled RunReport.
-        if (observer != nullptr) observer->on_replicate_done(out);
+        if (effective_observer != nullptr) effective_observer->on_replicate_done(out);
     });
 
     report.chain_name = to_string(algo);
@@ -433,16 +470,21 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
         write_json_report_file(config.report_path, report);
     }
 
+    std::uint64_t failed = 0;
+    for (const ReplicateReport& r : report.replicates) {
+        if (!r.error.empty()) ++failed;
+    }
     if (log != nullptr) {
-        std::uint64_t failed = 0;
-        for (const ReplicateReport& r : report.replicates) {
-            if (!r.error.empty()) ++failed;
-        }
         *log << "pipeline: done in " << fmt_seconds(report.total_seconds) << " ("
              << fmt_si(report.switches_per_second()) << " switches/s";
         if (failed > 0) *log << ", " << failed << " replicate(s) FAILED";
         *log << ")\n";
     }
+    GESMC_LOG_EVENT(Info, "pipeline", "run_done")
+        .num("replicates", config.replicates)
+        .num("failed", failed)
+        .real("seconds", report.total_seconds)
+        .real("switches_per_second", report.switches_per_second());
     return report;
 }
 

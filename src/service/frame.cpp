@@ -151,6 +151,10 @@ std::string to_string(RequestKind kind) {
         return "cancel";
     case RequestKind::kMetrics:
         return "metrics";
+    case RequestKind::kWatch:
+        return "watch";
+    case RequestKind::kProm:
+        return "prom";
     case RequestKind::kShutdown:
         return "shutdown";
     }
@@ -184,6 +188,10 @@ Request parse_request(const std::string& json_line) {
         request.has_job = true;
     } else if (type == "metrics") {
         request.kind = RequestKind::kMetrics;
+    } else if (type == "watch") {
+        request.kind = RequestKind::kWatch;
+    } else if (type == "prom") {
+        request.kind = RequestKind::kProm;
     } else if (type == "shutdown") {
         request.kind = RequestKind::kShutdown;
     } else {

@@ -131,6 +131,8 @@ enum class RequestKind {
     kStatus,    ///< report all jobs (or one, when a job id is given)
     kCancel,    ///< stop a queued or running job
     kMetrics,   ///< snapshot executor load + observability counters
+    kWatch,     ///< subscribe: one telemetry 'J' frame per sampler tick
+    kProm,      ///< Prometheus text exposition of the metrics registry
     kShutdown,  ///< drain all jobs and exit the daemon
 };
 

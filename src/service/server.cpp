@@ -1,6 +1,8 @@
 #include "service/server.hpp"
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/config.hpp"
 #include "util/check.hpp"
@@ -267,8 +269,24 @@ void SocketObserver::on_replicate_done(const ReplicateReport& report) {
 
 // ---------------------------------------------------------- ServiceServer
 
+namespace {
+
+/// The daemon's sampler configuration: registry + executor occupancy at the
+/// configured tick, optionally mirrored to an NDJSON file.
+obs::TelemetrySamplerConfig sampler_config(const ServerConfig& config,
+                                           JobManager& manager) {
+    obs::TelemetrySamplerConfig out;
+    out.interval = config.telemetry_interval;
+    out.ndjson_path = config.telemetry_out;
+    out.executor_stats = [&manager] { return manager.stats().executor; };
+    return out;
+}
+
+} // namespace
+
 ServiceServer::ServiceServer(const ServerConfig& config)
-    : config_(config), manager_(config.threads, std::max(1u, config.max_jobs)) {
+    : config_(config), manager_(config.threads, std::max(1u, config.max_jobs)),
+      sampler_(sampler_config(config_, manager_)) {
     GESMC_CHECK(!config_.socket_path.empty(), "service: socket path is required");
     listen_fd_ = listen_unix(config_.socket_path);
     int pipe_fds[2];
@@ -284,6 +302,7 @@ ServiceServer::ServiceServer(const ServerConfig& config)
         GESMC_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
                     std::string("fcntl(wake pipe): ") + std::strerror(errno));
     }
+    sampler_.start();
 }
 
 ServiceServer::~ServiceServer() {
@@ -415,10 +434,13 @@ void ServiceServer::serve(std::ostream* log) {
     if (log != nullptr) {
         *log << "gesmc_serve: draining (running jobs finish or checkpoint)\n";
     }
+    GESMC_LOG_EVENT(Info, "service", "draining");
     // Order matters: drain settles jobs (submit connections wake from
-    // wait() and flush their done frames), then the read-side shutdown
-    // frees threads parked on idle control connections, then join.
+    // wait() and flush their done frames), then the sampler stop wakes
+    // `watch` subscribers, then the read-side shutdown frees threads parked
+    // on idle control connections, then join.
     manager_.drain();
+    sampler_.stop();
     unblock_active_connections();
     reap_connections(/*join_all=*/true);
     std::error_code ec;
@@ -435,6 +457,7 @@ void ServiceServer::handle_connection(int fd, std::ostream* log) {
     try {
         request = parse_request(line);
     } catch (const std::exception& e) {
+        GESMC_LOG_EVENT(Warn, "service", "bad_request").str("error", e.what());
         write_all(fd,
                   json_event_frame("{\"event\": \"error\", \"message\": " +
                                    json_quote(e.what()) + "}"));
@@ -470,8 +493,37 @@ void ServiceServer::handle_connection(int fd, std::ostream* log) {
     case RequestKind::kMetrics:
         write_all(fd, json_event_frame(metrics_event_body(manager_.stats())));
         return;
+    case RequestKind::kProm: {
+        // The registry plus the daemon's live executor occupancy as
+        // synthetic gauges — a scrape is useful even when collection is off.
+        obs::MetricsSnapshot snapshot = obs::MetricsRegistry::instance().snapshot();
+        const ExecutorStats exec = manager_.stats().executor;
+        snapshot.gauges.emplace_back("executor.threads",
+                                     static_cast<std::int64_t>(exec.threads));
+        snapshot.gauges.emplace_back("executor.leased",
+                                     static_cast<std::int64_t>(exec.leased));
+        snapshot.gauges.emplace_back("executor.lease_waiters",
+                                     static_cast<std::int64_t>(exec.lease_waiters));
+        snapshot.gauges.emplace_back("executor.active_runs",
+                                     static_cast<std::int64_t>(exec.active_runs));
+        snapshot.gauges.emplace_back(
+            "executor.pending_replicates",
+            static_cast<std::int64_t>(exec.pending_replicates));
+        snapshot.gauges.emplace_back(
+            "executor.inflight_replicates",
+            static_cast<std::int64_t>(exec.inflight_replicates));
+        std::ostringstream os;
+        obs::write_metrics_prometheus(os, snapshot);
+        write_all(fd, json_event_frame("{\"event\": \"prom\", \"exposition\": " +
+                                       json_quote(os.str()) + "}"));
+        return;
+    }
+    case RequestKind::kWatch:
+        stream_telemetry(fd);
+        return;
     case RequestKind::kShutdown:
         write_all(fd, json_event_frame("{\"event\": \"shutting-down\"}"));
+        GESMC_LOG_EVENT(Info, "service", "shutdown_requested");
         request_stop();
         return;
     case RequestKind::kSubmit:
@@ -507,6 +559,7 @@ void ServiceServer::handle_connection(int fd, std::ostream* log) {
     if (log != nullptr) {
         *log << "gesmc_serve: job " << id << " accepted\n";
     }
+    GESMC_LOG_EVENT(Info, "service", "job_accepted").num("job", id);
 
     const JobInfo info = manager_.wait(id);
     std::string body = "{\"event\": \"done\", \"job\": " + std::to_string(id) +
@@ -518,6 +571,46 @@ void ServiceServer::handle_connection(int fd, std::ostream* log) {
     observer->send_frame(json_event_frame(body));
     if (log != nullptr) {
         *log << "gesmc_serve: job " << id << " " << to_string(info.status) << "\n";
+    }
+    GESMC_LOG_EVENT(Info, "service", "job_done")
+        .num("job", id)
+        .str("status", to_string(info.status))
+        .num("replicates_done", info.replicates_done)
+        .str("error", info.error);
+}
+
+void ServiceServer::stream_telemetry(int fd) {
+    GESMC_LOG_EVENT(Info, "service", "watch_subscribed");
+    // Start from the latest tick so a new subscriber sees data on its very
+    // next tick instead of replaying the whole ring.
+    std::uint64_t last = 0;
+    if (const auto tick = sampler_.latest(); tick.has_value()) {
+        last = tick->sequence;
+        try {
+            write_all(fd, json_event_frame(obs::telemetry_tick_frame_body(*tick)));
+        } catch (const std::exception&) {
+            return; // client gone before the first frame
+        }
+    }
+    while (!stop_.load(std::memory_order_relaxed)) {
+        // Bounded wait so daemon stop is noticed even between ticks; a
+        // stopped sampler returns nullopt immediately and the stop_ check
+        // ends the loop on the next pass.
+        const std::optional<obs::TelemetryTick> tick =
+            sampler_.wait_for_tick(last, std::chrono::milliseconds(500));
+        if (!tick.has_value()) continue; // timeout (or sampler stopping —
+                                         // stop_ ends the loop next pass)
+        last = tick->sequence;
+        try {
+            write_all(fd, json_event_frame(obs::telemetry_tick_frame_body(*tick)));
+            if (obs::metrics_enabled()) {
+                WireCounters& c = wire_counters();
+                c.frames.add(1);
+            }
+        } catch (const std::exception&) {
+            GESMC_LOG_EVENT(Info, "service", "watch_disconnected");
+            return; // client disconnected
+        }
     }
 }
 

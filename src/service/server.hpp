@@ -19,10 +19,12 @@
 #pragma once
 
 #include "check/checked_mutex.hpp"
+#include "obs/timeseries.hpp"
 #include "service/job_manager.hpp"
 #include "service/socket.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -36,6 +38,10 @@ struct ServerConfig {
     std::string socket_path;   ///< Unix-domain socket to listen on
     unsigned threads = 0;      ///< shared executor width (0 = hardware)
     unsigned max_jobs = 2;     ///< jobs running concurrently; others queue
+    /// Telemetry sampler tick; `watch` subscribers get one frame per tick.
+    std::chrono::milliseconds telemetry_interval{1000};
+    /// Optional NDJSON time-series sink (one row per tick, tail -f-able).
+    std::string telemetry_out;
 };
 
 /// RunObserver streaming one job's pipeline events over one connection.
@@ -115,6 +121,11 @@ private:
     /// Serves one connection; `fd` stays owned (and open) by the caller.
     void handle_connection(int fd, std::ostream* log);
 
+    /// The `watch` subscription loop: pushes one telemetry 'J' frame per
+    /// sampler tick until the client disconnects (failed write) or the
+    /// daemon stops.  Runs on the connection's own thread.
+    void stream_telemetry(int fd);
+
     /// Joins connection threads that announced completion (each accept-loop
     /// wakeup — exiting threads poke the wake pipe, so an idle daemon never
     /// retains dead-but-unjoined threads); `join_all` additionally blocks
@@ -146,6 +157,11 @@ private:
     /// Awaiting join.
     std::vector<std::uint64_t> finished_connections_
         GESMC_GUARDED_BY(connections_mutex_);
+
+    /// Live-telemetry sampler feeding `watch` subscribers and the optional
+    /// NDJSON sink.  Declared last: its destructor joins the sampler thread
+    /// (which reads manager_ stats) before any other member dies.
+    obs::TelemetrySampler sampler_;
 };
 
 } // namespace gesmc

@@ -1,9 +1,13 @@
 // Tests for the observability subsystem: the sharded metrics registry
 // (exact sums under a concurrent hammer — run under TSan in CI), the
 // disabled-by-default contract, histogram bucketing, metrics JSON
-// round-trips, Chrome trace_event emission, and the headline guarantee
-// that instrumentation never changes sampled bytes.
+// round-trips, Chrome trace_event emission, the telemetry sampler (ring
+// wraparound, counter-delta rate math, Prometheus exposition, a concurrent
+// sample-vs-record hammer), the structured event log, and the headline
+// guarantee that instrumentation never changes sampled bytes.
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/pipeline.hpp"
@@ -27,11 +31,14 @@ namespace {
 namespace fs = std::filesystem;
 
 /// Every test leaves the process flags as it found them (off): the tests in
-/// this binary share the global registry and the trace singleton.
+/// this binary share the global registry, the trace singleton and the event
+/// log sink.
 struct ObsFlagsGuard {
     ~ObsFlagsGuard() {
         obs::set_metrics_enabled(false);
         obs::TraceSession::stop();
+        obs::close_log_sinks();
+        obs::set_log_level(obs::LogLevel::kInfo);
     }
 };
 
@@ -275,12 +282,273 @@ TEST(Trace, ConcurrentSpansDuringStartStopAreRaceFree) {
     obs::TraceSession::stop();
 }
 
+// ---------------------------------------------------------------- telemetry
+
+TEST(Telemetry, QuantileInterpolatesWithinLog2Buckets) {
+    obs::HistogramSnapshot h;
+    h.count = 10;
+    h.max = 7;
+    h.buckets = {{0, 2}, {1, 3}, {7, 5}};
+    // rank(0.5) = 5 lands in the [1, 1] bucket: exact, no interpolation.
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 1.0);
+    // rank(0.9) = 9 lands in [4, 7] with 4 of its 5 ranks consumed:
+    // 4 + (7 - 4) * (9 - 5) / 5 = 6.4.
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.9), 6.4);
+    // The zero bucket reports exactly zero.
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.1), 0.0);
+    // The estimate never exceeds the observed maximum.
+    h.max = 5;
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 1.0), 5.0);
+
+    const obs::HistogramSnapshot empty;
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+}
+
+TEST(Telemetry, DiffSnapshotsComputesRatesAndClampsResets) {
+    obs::MetricsSnapshot prev;
+    obs::MetricsSnapshot cur;
+    prev.enabled = cur.enabled = true;
+    prev.counters = {{"steady", 100}, {"was_reset", 50}};
+    cur.counters = {{"fresh", 30}, {"steady", 300}, {"was_reset", 10}};
+    cur.gauges = {{"assortativity_milli", -42}, {"occupancy", 5}};
+    obs::HistogramSnapshot ph;
+    ph.name = "wait";
+    ph.count = 2;
+    ph.sum = 2;
+    ph.max = 1;
+    ph.buckets = {{1, 2}};
+    obs::HistogramSnapshot ch = ph;
+    ch.count = 6;
+    ch.sum = 22;
+    ch.max = 7;
+    ch.buckets = {{1, 2}, {7, 4}};
+    prev.histograms = {ph};
+    cur.histograms = {ch};
+
+    const obs::TelemetryTick tick = obs::diff_snapshots(prev, cur, 2.0);
+
+    ASSERT_EQ(tick.counter_rates.size(), 3u);
+    EXPECT_EQ(tick.counter_rates[0].first, "fresh");
+    EXPECT_DOUBLE_EQ(tick.counter_rates[0].second, 15.0); // implicit previous 0
+    EXPECT_EQ(tick.counter_rates[1].first, "steady");
+    EXPECT_DOUBLE_EQ(tick.counter_rates[1].second, 100.0); // (300-100)/2s
+    EXPECT_EQ(tick.counter_rates[2].first, "was_reset");
+    EXPECT_DOUBLE_EQ(tick.counter_rates[2].second, 0.0); // reset clamps, not -20
+
+    // Gauges pass through as point-in-time values, sign preserved.
+    ASSERT_EQ(tick.gauges.size(), 2u);
+    EXPECT_EQ(tick.gauges[0].second, -42);
+
+    // The histogram window holds only the interval's 4 new samples (all in
+    // [4, 7]); quantiles interpolate the *delta* buckets.
+    ASSERT_EQ(tick.histograms.size(), 1u);
+    EXPECT_EQ(tick.histograms[0].count, 4u);
+    EXPECT_DOUBLE_EQ(tick.histograms[0].rate, 2.0);
+    EXPECT_DOUBLE_EQ(tick.histograms[0].p50, 5.5); // 4 + 3 * (2/4)
+    EXPECT_DOUBLE_EQ(tick.histograms[0].p90, 6.7); // 4 + 3 * (3.6/4)
+    EXPECT_EQ(tick.histograms[0].max, 7u);         // cumulative max
+
+    // The NDJSON row round-trips through the service parser with the same
+    // numbers — including the negative gauge (the double emission path).
+    // …and it is genuinely one line (the NDJSON contract).
+    EXPECT_EQ(telemetry_tick_ndjson(tick).find('\n'), std::string::npos);
+    const JsonValue row = parse_json(telemetry_tick_ndjson(tick));
+    EXPECT_DOUBLE_EQ(row.find("rates")->find("steady")->number_value, 100.0);
+    EXPECT_DOUBLE_EQ(row.find("gauges")->find("assortativity_milli")->number_value,
+                     -42.0);
+    EXPECT_EQ(row.find("histograms")->find("wait")->uint_member("count"), 4u);
+    EXPECT_DOUBLE_EQ(row.find("interval_s")->number_value, 2.0);
+
+    // A zero interval (first-ever sample) must not divide by zero.
+    const obs::TelemetryTick first = obs::diff_snapshots({}, cur, 0.0);
+    for (const auto& [name, rate] : first.counter_rates) {
+        EXPECT_DOUBLE_EQ(rate, 0.0) << name;
+    }
+}
+
+TEST(Telemetry, RingWrapsKeepingTheNewestTicks) {
+    ObsFlagsGuard guard;
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+    obs::TelemetrySamplerConfig config;
+    config.ring_capacity = 4;
+    config.executor_stats = [] {
+        ExecutorStats stats;
+        stats.threads = 8;
+        stats.leased = 3;
+        return stats;
+    };
+    obs::TelemetrySampler sampler(config);
+    for (int i = 0; i < 10; ++i) (void)sampler.sample_now();
+
+    EXPECT_EQ(sampler.ticks(), 10u);
+    ASSERT_TRUE(sampler.latest().has_value());
+    EXPECT_EQ(sampler.latest()->sequence, 10u);
+    EXPECT_EQ(sampler.latest()->executor.threads, 8u);
+    EXPECT_EQ(sampler.latest()->executor.leased, 3u);
+
+    // Only the newest `ring_capacity` ticks survive, oldest first.
+    const std::vector<obs::TelemetryTick> all = sampler.since(0);
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all.front().sequence, 7u);
+    EXPECT_EQ(all.back().sequence, 10u);
+
+    const std::vector<obs::TelemetryTick> tail = sampler.since(8);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].sequence, 9u);
+    EXPECT_EQ(tail[1].sequence, 10u);
+
+    EXPECT_TRUE(sampler.since(10).empty());
+
+    // wait_for_tick returns an already-buffered tick without blocking and
+    // times out (nullopt) when nothing newer arrives.
+    const auto buffered = sampler.wait_for_tick(8, std::chrono::milliseconds(0));
+    ASSERT_TRUE(buffered.has_value());
+    EXPECT_EQ(buffered->sequence, 9u);
+    EXPECT_FALSE(sampler.wait_for_tick(10, std::chrono::milliseconds(1)).has_value());
+}
+
+TEST(Telemetry, ConcurrentSampleAndRecordIsRaceFree) {
+    // The sampler only ever reads shared state; writers hammering counters
+    // and histograms while ticks fire must be race-free (TSan in CI) and
+    // rates must come out non-negative.
+    ObsFlagsGuard guard;
+    obs::set_metrics_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+    obs::Counter& counter =
+        obs::MetricsRegistry::instance().counter("test.telemetry.hammer");
+    obs::Histogram& hist =
+        obs::MetricsRegistry::instance().histogram("test.telemetry.hammer.hist");
+
+    obs::TelemetrySamplerConfig config;
+    config.interval = std::chrono::milliseconds(1);
+    config.ring_capacity = 8;
+    obs::TelemetrySampler sampler(config);
+    sampler.start(); // background thread ticks while we also sample inline
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&counter, &hist, &stop] {
+            std::uint64_t i = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                counter.add(1);
+                hist.record(i++ & 255);
+            }
+        });
+    }
+    // The writers must actually have started before the inline sampling
+    // burst, or all 50 ticks could race past an unscheduled thread.
+    while (counter.total() == 0) std::this_thread::yield();
+    obs::TelemetryTick last;
+    for (int i = 0; i < 50; ++i) last = sampler.sample_now();
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& w : writers) w.join();
+    sampler.stop();
+
+    EXPECT_GE(sampler.ticks(), 50u);
+    for (const auto& [name, rate] : last.counter_rates) {
+        EXPECT_GE(rate, 0.0) << name;
+    }
+    bool found = false;
+    for (const auto& [name, total] : last.counter_totals) {
+        if (name == "test.telemetry.hammer") found = total > 0;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Telemetry, PrometheusExpositionIsWellFormed) {
+    obs::MetricsSnapshot snapshot;
+    snapshot.enabled = true;
+    snapshot.counters = {{"chain.switches.attempted", 12345}};
+    snapshot.gauges = {{"analysis.replicate.assortativity_milli", -250}};
+    obs::HistogramSnapshot h;
+    h.name = "executor.lease.wait_us";
+    h.count = 3;
+    h.sum = 10;
+    h.max = 5;
+    h.buckets = {{1, 1}, {7, 2}};
+    h.p50 = obs::histogram_quantile(h, 0.50);
+    h.p90 = obs::histogram_quantile(h, 0.90);
+    h.p99 = obs::histogram_quantile(h, 0.99);
+    snapshot.histograms = {h};
+
+    std::ostringstream os;
+    obs::write_metrics_prometheus(os, snapshot);
+    const std::string text = os.str();
+
+    // Names are sanitized to the Prometheus charset ('.' -> '_', gesmc_
+    // prefix); every family carries HELP + TYPE.
+    EXPECT_NE(text.find("# TYPE gesmc_chain_switches_attempted counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("gesmc_chain_switches_attempted 12345\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE gesmc_analysis_replicate_assortativity_milli gauge\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("gesmc_analysis_replicate_assortativity_milli -250\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE gesmc_executor_lease_wait_us summary\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("gesmc_executor_lease_wait_us{quantile=\"0.5\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("gesmc_executor_lease_wait_us_sum 10\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("gesmc_executor_lease_wait_us_count 3\n"),
+              std::string::npos);
+    // No sample line carries an unsanitized metric name (HELP text may
+    // mention the dotted registry name; sample lines must not).
+    EXPECT_EQ(text.find("\nchain."), std::string::npos);
+    EXPECT_EQ(text.find("\nexecutor."), std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+// ---------------------------------------------------------------- event log
+
+TEST(EventLog, EmitsParseableLeveledJsonLines) {
+    ObsFlagsGuard guard;
+    const fs::path log_path =
+        fs::path(testing::TempDir()) / "gesmc_obs_events.ndjson";
+    fs::remove(log_path);
+    ASSERT_TRUE(obs::set_log_file(log_path.string()));
+    obs::set_log_level(obs::LogLevel::kInfo);
+
+    EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kWarn));
+    EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kDebug));
+
+    GESMC_LOG_EVENT(Info, "test", "lifecycle")
+        .str("phase", "start \"quoted\"")
+        .num("replicates", 8)
+        .snum("z_milli", -1250)
+        .real("seconds", 0.25)
+        .flag("resumed", false);
+    GESMC_LOG_EVENT(Debug, "test", "filtered").num("never", 1);
+    obs::close_log_sinks();
+
+    std::ifstream is(log_path);
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    const JsonValue doc = parse_json(line);
+    EXPECT_EQ(doc.string_member("level"), "info");
+    EXPECT_EQ(doc.string_member("component"), "test");
+    EXPECT_EQ(doc.string_member("event"), "lifecycle");
+    EXPECT_EQ(doc.string_member("phase"), "start \"quoted\"");
+    EXPECT_EQ(doc.uint_member("replicates"), 8u);
+    EXPECT_DOUBLE_EQ(doc.find("z_milli")->number_value, -1250.0);
+    EXPECT_DOUBLE_EQ(doc.find("seconds")->number_value, 0.25);
+    EXPECT_FALSE(doc.find("resumed")->bool_value);
+    EXPECT_GT(doc.uint_member("ts_ms"), 0u);
+    // The debug event was filtered: exactly one line in the file.
+    EXPECT_FALSE(std::getline(is, line));
+}
+
 // ----------------------------------------------- instrumented-run identity
 
 TEST(Obs, InstrumentationNeverChangesSampledBytes) {
     // The headline contract (and the reason every record path is gated on
-    // one flag): a fully instrumented run — metrics AND tracing on — emits
-    // replicate graphs byte-identical to a bare run of the same config.
+    // one flag): a fully instrumented run — metrics, tracing, the telemetry
+    // sampler AND the event log all on — emits replicate graphs
+    // byte-identical to a bare run of the same config.
     ObsFlagsGuard guard;
     const fs::path base_dir =
         fs::path(testing::TempDir()) / "gesmc_obs_identity";
@@ -310,7 +578,20 @@ TEST(Obs, InstrumentationNeverChangesSampledBytes) {
     obs::set_metrics_enabled(true);
     obs::MetricsRegistry::instance().reset();
     obs::TraceSession::start();
+    fs::create_directories(base_dir);
+    const fs::path events_path = base_dir / "events.ndjson";
+    ASSERT_TRUE(obs::set_log_file(events_path.string()));
+    obs::set_log_level(obs::LogLevel::kDebug);
+    obs::TelemetrySamplerConfig sampler_config;
+    sampler_config.interval = std::chrono::milliseconds(5);
+    sampler_config.ndjson_path = (base_dir / "telemetry.ndjson").string();
+    obs::TelemetrySampler sampler(sampler_config);
+    sampler.start();
     const RunReport instrumented = run_pipeline(config_for("instrumented"));
+    (void)sampler.sample_now();
+    sampler.stop();
+    obs::close_log_sinks();
+    obs::set_log_level(obs::LogLevel::kInfo);
     const std::string trace_json = obs::TraceSession::stop_to_string();
     obs::set_metrics_enabled(false);
     ASSERT_TRUE(all_succeeded(instrumented));
@@ -335,6 +616,34 @@ TEST(Obs, InstrumentationNeverChangesSampledBytes) {
     }
     EXPECT_TRUE(saw_replicate);
     EXPECT_TRUE(saw_superstep);
+
+    // The sampler ticked (50ms+ of run on a 5ms interval, plus the final
+    // synchronous flush) with monotone sequence/timestamps and non-negative
+    // rates; the NDJSON sink holds one parseable row per tick.
+    EXPECT_GE(sampler.ticks(), 1u);
+    std::uint64_t prev_seq = 0;
+    for (const obs::TelemetryTick& tick : sampler.since(0)) {
+        EXPECT_GT(tick.sequence, prev_seq);
+        prev_seq = tick.sequence;
+        for (const auto& [name, rate] : tick.counter_rates) {
+            EXPECT_GE(rate, 0.0) << name;
+        }
+    }
+    std::ifstream rows(sampler_config.ndjson_path);
+    std::string row_line;
+    std::size_t rows_seen = 0;
+    while (std::getline(rows, row_line)) {
+        const JsonValue row = parse_json(row_line);
+        EXPECT_GT(row.uint_member("seq"), 0u);
+        ++rows_seen;
+    }
+    EXPECT_GE(rows_seen, 1u);
+
+    // The event log narrated the run's lifecycle.
+    const std::string events = slurp(events_path.string());
+    EXPECT_NE(events.find("\"event\": \"run_started\""), std::string::npos);
+    EXPECT_NE(events.find("\"event\": \"run_done\""), std::string::npos);
+    EXPECT_NE(events.find("\"event\": \"replicate_done\""), std::string::npos);
 }
 
 } // namespace

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -321,6 +322,18 @@ TEST(ServiceRequests, RoundTripThroughTheWireFormat) {
     const Request metrics_back =
         parse_request(metrics_line.substr(0, metrics_line.size() - 1));
     EXPECT_EQ(metrics_back.kind, RequestKind::kMetrics);
+
+    Request watch;
+    watch.kind = RequestKind::kWatch;
+    const std::string watch_line = make_request_line(watch);
+    EXPECT_EQ(parse_request(watch_line.substr(0, watch_line.size() - 1)).kind,
+              RequestKind::kWatch);
+
+    Request prom;
+    prom.kind = RequestKind::kProm;
+    const std::string prom_line = make_request_line(prom);
+    EXPECT_EQ(parse_request(prom_line.substr(0, prom_line.size() - 1)).kind,
+              RequestKind::kProm);
 }
 
 TEST(ServiceRequests, RejectsUnknownAndIncompleteRequests) {
@@ -858,6 +871,9 @@ TEST(ServiceServer, SubmitStreamsFramesByteIdenticalToADirectRun) {
     server_config.socket_path = socket_path;
     server_config.threads = 2;
     server_config.max_jobs = 2;
+    // Fast sampler ticks so the watch subscription below sees several
+    // telemetry frames without stalling the test.
+    server_config.telemetry_interval = std::chrono::milliseconds(25);
     ServiceServer server(server_config);
     std::thread server_thread([&server] { server.serve(nullptr); });
     // An assertion failure must not leave server_thread joinable (that
@@ -1025,6 +1041,58 @@ TEST(ServiceServer, SubmitStreamsFramesByteIdenticalToADirectRun) {
         // The test process never called set_metrics_enabled (that's
         // gesmc_serve's startup), so the registry reports itself disabled.
         EXPECT_FALSE(metrics.find("registry")->find("enabled")->bool_value);
+    }
+
+    // A prom request answers with one frame wrapping the Prometheus text
+    // exposition (the payload is JSON because decode_frame only admits the
+    // three frame types; clients print the "exposition" member).
+    {
+        const FdHandle fd = connect_unix(socket_path);
+        Request request;
+        request.kind = RequestKind::kProm;
+        write_all(fd.get(), make_request_line(request));
+        FrameReader reader;
+        const auto frame = read_frame(fd.get(), reader);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_EQ(frame->type, FrameType::kJson);
+        const JsonValue prom = parse_json(frame->payload);
+        EXPECT_EQ(prom.string_member("event"), "prom");
+        const JsonValue* exposition = prom.find("exposition");
+        ASSERT_TRUE(exposition != nullptr && exposition->is_string());
+        // The test process never enabled metrics collection, but the daemon
+        // always exports its executor occupancy as gauges.
+        EXPECT_NE(exposition->string_value.find("gesmc_executor_threads"),
+                  std::string::npos)
+            << exposition->string_value;
+        EXPECT_NE(exposition->string_value.find("# TYPE"), std::string::npos);
+    }
+
+    // A watch subscription streams one telemetry frame per sampler tick
+    // with strictly monotone sequence numbers until the client hangs up.
+    {
+        const FdHandle fd = connect_unix(socket_path);
+        Request request;
+        request.kind = RequestKind::kWatch;
+        write_all(fd.get(), make_request_line(request));
+        FrameReader reader;
+        std::uint64_t last_seq = 0;
+        unsigned ticks = 0;
+        while (ticks < 3) {
+            const auto frame = read_frame(fd.get(), reader);
+            ASSERT_TRUE(frame.has_value()) << "watch stream ended early";
+            ASSERT_EQ(frame->type, FrameType::kJson);
+            const JsonValue tick = parse_json(frame->payload);
+            if (tick.string_member("event") != "telemetry") continue;
+            const std::uint64_t seq = tick.uint_member("seq");
+            EXPECT_GT(seq, last_seq);
+            last_seq = seq;
+            ASSERT_NE(tick.find("executor"), nullptr);
+            EXPECT_EQ(tick.find("executor")->uint_member("threads"), 2u);
+            ASSERT_NE(tick.find("rates"), nullptr);
+            ++ticks;
+        }
+        // Dropping the connection (fd closes here) unsubscribes; the daemon
+        // keeps serving — the requests below still work.
     }
 
     // Malformed control data answers with an error frame, not a hangup.

@@ -22,6 +22,7 @@
 /// entries in command-line order.
 #include "check/checked_mutex.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/corpus.hpp"
@@ -34,6 +35,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -87,6 +89,14 @@ Observability (docs/observability.md):
   --metrics           collect runtime counters (switch outcomes, lease waits,
                       probe lengths); embedded as "obs_metrics" in the report
   --metrics-out FILE  write the metrics snapshot to FILE (implies --metrics)
+  --metrics-prom FILE write the final metrics snapshot as a Prometheus text
+                      exposition (v0.0.4) to FILE (implies --metrics) — for
+                      node_exporter's textfile collector
+  --telemetry-out FILE
+                      run a background telemetry sampler during the run and
+                      append one NDJSON time-series row per second to FILE
+                      (implies --metrics; tail -f-able; schema in
+                      docs/observability.md)
   --trace FILE        record a Chrome trace_event timeline (supersteps,
                       lease waits, checkpoints) to FILE — load it in
                       chrome://tracing or Perfetto
@@ -221,6 +231,13 @@ void write_metrics_snapshot_file(const std::string& path) {
     GESMC_CHECK(os.good(), "writing metrics output failed: " + path);
 }
 
+void write_metrics_prometheus_file(const std::string& path) {
+    std::ofstream os(path);
+    GESMC_CHECK(os.good(), "cannot open Prometheus output for writing: " + path);
+    obs::write_metrics_prometheus(os, obs::MetricsRegistry::instance().snapshot());
+    GESMC_CHECK(os.good(), "writing Prometheus output failed: " + path);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +246,8 @@ int main(int argc, char** argv) {
     std::string resume_dir;
     std::string trace_path;
     std::string metrics_out;
+    std::string metrics_prom;
+    std::string telemetry_out;
     bool metrics = false;
     bool quiet = false;
     bool progress = false;
@@ -275,6 +294,18 @@ int main(int argc, char** argv) {
         if (arg == "--metrics-out") {
             if (!(v = need_value(i))) return 2;
             metrics_out = v;
+            metrics = true;
+            continue;
+        }
+        if (arg == "--metrics-prom") {
+            if (!(v = need_value(i))) return 2;
+            metrics_prom = v;
+            metrics = true;
+            continue;
+        }
+        if (arg == "--telemetry-out") {
+            if (!(v = need_value(i))) return 2;
+            telemetry_out = v;
             metrics = true;
             continue;
         }
@@ -347,14 +378,43 @@ int main(int argc, char** argv) {
         }
         if (metrics) obs::set_metrics_enabled(true);
         if (!trace_path.empty()) obs::TraceSession::start();
+        // --telemetry-out: a background sampler ticks once a second for the
+        // whole run, appending rows to the NDJSON sink.  Destroyed (joined)
+        // after the run on every path — including the exception path, where
+        // stack unwinding stops it.
+        std::optional<obs::TelemetrySampler> sampler;
+        if (!telemetry_out.empty()) {
+            // The sink truncates-on-open before the pipeline creates
+            // output-dir, so a sibling path would fail silently; make the
+            // parent directory and refuse to run with a dead sink.
+            const auto parent = std::filesystem::path(telemetry_out).parent_path();
+            if (!parent.empty()) {
+                std::error_code ec;
+                std::filesystem::create_directories(parent, ec);
+            }
+            obs::TelemetrySamplerConfig sampler_config;
+            sampler_config.ndjson_path = telemetry_out;
+            sampler.emplace(std::move(sampler_config));
+            if (!sampler->ndjson_ok()) {
+                std::cerr << "cannot open --telemetry-out for writing: "
+                          << telemetry_out << "\n";
+                return 2;
+            }
+            sampler->start();
+        }
         const int code = is_corpus_config(config)
                              ? run_corpus_cli(config, quiet, progress)
                              : run_single_cli(config, quiet, progress);
         // Observability outputs are written on every completion path —
         // an interrupted (130) or partially failed (1) run's timeline is
         // exactly the one worth looking at.
+        if (sampler.has_value()) {
+            (void)sampler->sample_now(); // final row covers the run's tail
+            sampler->stop();
+        }
         if (!trace_path.empty()) obs::TraceSession::stop_and_write(trace_path);
         if (!metrics_out.empty()) write_metrics_snapshot_file(metrics_out);
+        if (!metrics_prom.empty()) write_metrics_prometheus_file(metrics_prom);
         return code;
     } catch (const std::exception& e) {
         obs::TraceSession::stop();

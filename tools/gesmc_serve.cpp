@@ -15,13 +15,17 @@
 /// their next checkpoint boundary (resumable after a restart via
 /// resume-from), uncheckpointed jobs finish, queued jobs are cancelled,
 /// then the daemon exits 0.
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "service/server.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -39,11 +43,23 @@ Options:
   --max-jobs N    jobs running concurrently; others queue       [2]
   --no-metrics    disable runtime metrics collection (on by default;
                   query with gesmc_submit --metrics)
+  --telemetry-interval MS
+                  sampler tick: how often counters/gauges/executor
+                  stats are snapshotted into the telemetry ring that
+                  feeds `watch` subscribers (gesmc_top)        [1000]
+  --telemetry-out FILE
+                  append one NDJSON time-series row per tick to FILE
+                  (truncated at startup; tail -f-able)
+  --log-file FILE structured JSON-lines event log (appended);
+                  schema in docs/observability.md
+  --log-level L   minimum event level: debug|info|warn|error   [info]
   --quiet         suppress progress logging
   --help          this text
 
 Submit jobs with gesmc_submit; frame layout in docs/service_protocol.md.
-SIGTERM drains: running jobs finish or checkpoint, then the daemon exits.
+Watch live telemetry with gesmc_top; scrape Prometheus text with
+gesmc_submit --prom.  SIGTERM drains: running jobs finish or
+checkpoint, then the daemon exits.
 )";
 
 std::atomic<ServiceServer*> g_server{nullptr};
@@ -67,6 +83,8 @@ int main(int argc, char** argv) {
     ServerConfig config;
     bool quiet = false;
     bool metrics = true;
+    std::string log_file;
+    std::string log_level;
 
     auto need_value = [&](int& i) -> const char* {
         if (i + 1 >= argc) {
@@ -98,6 +116,23 @@ int main(int argc, char** argv) {
                 std::cerr << "--max-jobs must be >= 1\n";
                 return 2;
             }
+        } else if (arg == "--telemetry-interval") {
+            if (!(v = need_value(i))) return 2;
+            const unsigned long ms = std::strtoul(v, nullptr, 10);
+            if (ms == 0) {
+                std::cerr << "--telemetry-interval must be >= 1 ms\n";
+                return 2;
+            }
+            config.telemetry_interval = std::chrono::milliseconds(ms);
+        } else if (arg == "--telemetry-out") {
+            if (!(v = need_value(i))) return 2;
+            config.telemetry_out = v;
+        } else if (arg == "--log-file") {
+            if (!(v = need_value(i))) return 2;
+            log_file = v;
+        } else if (arg == "--log-level") {
+            if (!(v = need_value(i))) return 2;
+            log_level = v;
         } else {
             std::cerr << "unknown option: " << arg << "\n" << kUsage;
             return 2;
@@ -112,6 +147,38 @@ int main(int argc, char** argv) {
     // request is never an empty answer (~1ns per counter hit; batch tools
     // stay opt-in instead).
     obs::set_metrics_enabled(metrics);
+
+    if (!log_level.empty()) {
+        if (log_level == "debug") obs::set_log_level(obs::LogLevel::kDebug);
+        else if (log_level == "info") obs::set_log_level(obs::LogLevel::kInfo);
+        else if (log_level == "warn") obs::set_log_level(obs::LogLevel::kWarn);
+        else if (log_level == "error") obs::set_log_level(obs::LogLevel::kError);
+        else {
+            std::cerr << "--log-level must be debug|info|warn|error\n";
+            return 2;
+        }
+    }
+    if (!log_file.empty() && !obs::set_log_file(log_file)) {
+        std::cerr << "cannot open --log-file for appending: " << log_file << "\n";
+        return 2;
+    }
+    if (!config.telemetry_out.empty()) {
+        // The sampler truncates-on-open inside ServiceServer and would
+        // otherwise fail silently; make the parent directory and prove the
+        // sink writable up front.
+        const auto parent =
+            std::filesystem::path(config.telemetry_out).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+        std::ofstream probe(config.telemetry_out, std::ios::trunc);
+        if (!probe.good()) {
+            std::cerr << "cannot open --telemetry-out for writing: "
+                      << config.telemetry_out << "\n";
+            return 2;
+        }
+    }
 
     try {
         ServiceServer server(config);

@@ -36,6 +36,7 @@
 #include "service/socket.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -46,6 +47,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <poll.h>
 
 using namespace gesmc;
 
@@ -75,6 +78,12 @@ Control actions:
   --metrics         print the daemon's metrics snapshot JSON (executor
                     occupancy, queue depth, per-job throughput; see
                     docs/observability.md)
+  --watch SECS      subscribe to the daemon's telemetry stream and print
+                    one JSON line per sampler tick for SECS seconds
+                    (per-interval rates, executor occupancy; implies
+                    --metrics; live dashboard: gesmc_top)
+  --prom            print a Prometheus text exposition (v0.0.4) of the
+                    daemon's metrics registry to stdout
   --shutdown        drain and stop the daemon
 
 Exit code: the job's outcome (0 = succeeded), 2 = usage error.
@@ -102,6 +111,61 @@ int control_action(const std::string& socket_path, const Request& request) {
     const JsonValue* ok = doc.find("ok");
     if (ok != nullptr && ok->is_bool() && !ok->bool_value) return 1;
     return 0;
+}
+
+/// --prom: one-shot scrape.  The daemon wraps the Prometheus text in a 'J'
+/// frame ({"event":"prom","exposition":"..."}); print the unwrapped text so
+/// stdout is directly scrapeable / pipeable into promtool.
+int prom_action(const std::string& socket_path) {
+    const FdHandle fd = connect_unix(socket_path);
+    Request request;
+    request.kind = RequestKind::kProm;
+    write_all(fd.get(), make_request_line(request));
+    FrameReader reader;
+    const std::optional<Frame> frame = read_frame(fd.get(), reader);
+    if (!frame.has_value()) {
+        std::cerr << "error: daemon closed the connection without answering\n";
+        return 1;
+    }
+    const JsonValue doc = parse_json(frame->payload);
+    std::cout << doc.string_member("exposition");
+    return 0;
+}
+
+/// --watch SECS: subscribe and stream one telemetry JSON line per sampler
+/// tick until the deadline (or the daemon stops).  Exit 0 iff at least one
+/// tick arrived — a daemon that never ticks within SECS is a failure a
+/// monitoring script should see.
+int watch_action(const std::string& socket_path, double seconds) {
+    const FdHandle fd = connect_unix(socket_path);
+    Request request;
+    request.kind = RequestKind::kWatch;
+    write_all(fd.get(), make_request_line(request));
+    FrameReader reader;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    std::uint64_t ticks = 0;
+    for (;;) {
+        const auto remaining = deadline - std::chrono::steady_clock::now();
+        if (remaining <= std::chrono::steady_clock::duration::zero()) break;
+        struct pollfd pfd;
+        pfd.fd = fd.get();
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const auto remaining_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count() + 1;
+        const int ready = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+        if (ready == 0) break; // deadline with no pending frame
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        const std::optional<Frame> frame = read_frame(fd.get(), reader);
+        if (!frame.has_value()) break; // daemon stopped
+        std::cout << frame->payload << "\n" << std::flush;
+        ++ticks;
+    }
+    return ticks > 0 ? 0 : 1;
 }
 
 struct SubmitOptions {
@@ -417,10 +481,11 @@ int corpus_submit_action(const SubmitOptions& options) {
 int main(int argc, char** argv) {
     std::string socket_path;
     SubmitOptions submit;
-    enum class Action { kSubmit, kStatus, kCancel, kMetrics, kShutdown };
+    enum class Action { kSubmit, kStatus, kCancel, kMetrics, kWatch, kProm, kShutdown };
     Action action = Action::kSubmit;
     std::uint64_t job = 0;
     bool has_job = false;
+    double watch_seconds = 0;
 
     auto need_value = [&](int& i) -> const char* {
         if (i + 1 >= argc) {
@@ -463,7 +528,17 @@ int main(int argc, char** argv) {
             job = std::strtoull(v, nullptr, 10);
             has_job = true;
         } else if (arg == "--metrics") {
-            action = Action::kMetrics;
+            if (action != Action::kWatch) action = Action::kMetrics;
+        } else if (arg == "--watch") {
+            if (!(v = need_value(i))) return 2;
+            watch_seconds = std::strtod(v, nullptr);
+            if (!(watch_seconds > 0)) {
+                std::cerr << "--watch expects a positive duration in seconds\n";
+                return 2;
+            }
+            action = Action::kWatch;
+        } else if (arg == "--prom") {
+            action = Action::kProm;
         } else if (arg == "--shutdown") {
             action = Action::kShutdown;
         } else {
@@ -500,6 +575,10 @@ int main(int argc, char** argv) {
             request.kind = RequestKind::kMetrics;
             return control_action(socket_path, request);
         }
+        case Action::kWatch:
+            return watch_action(socket_path, watch_seconds);
+        case Action::kProm:
+            return prom_action(socket_path);
         case Action::kShutdown: {
             Request request;
             request.kind = RequestKind::kShutdown;
