@@ -16,6 +16,13 @@ docs/static_analysis.md for the rationale behind each):
                 locking goes through CheckedMutex so the Clang
                 thread-safety analysis and the lock-rank detector see it.
 
+  spinlock      `std::atomic_flag` is banned outside src/check/ and
+                src/hashing/: it is the raw material of hand-rolled
+                spinlocks that neither the thread-safety analysis nor the
+                lock-rank detector can see.  The hashing layer's bucket
+                words embed their own spin protocols (audited there); any
+                other spinning belongs behind a CheckedMutex.
+
   iostream      `#include <iostream>` is banned in library code (src/
                 except src/bench_util): it drags in static constructors
                 and tempts ad-hoc stderr chatter in hot paths.  Tools own
@@ -46,6 +53,8 @@ RAW_MUTEX_PATTERN = re.compile(
     r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock)\b")
 
+SPINLOCK_PATTERN = re.compile(r"\bstd::atomic_flag\b")
+
 IOSTREAM_PATTERN = re.compile(r"^\s*#\s*include\s*<iostream>")
 
 ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)")
@@ -65,6 +74,7 @@ def check_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
     rel = path.relative_to(root).as_posix()
     in_deterministic = rel.startswith(DETERMINISTIC_DIRS)
     in_check = rel.startswith("src/check/")
+    in_hashing = rel.startswith("src/hashing/")
     in_bench_util = rel.startswith("src/bench_util/")
     in_library = rel.startswith("src/")
 
@@ -86,6 +96,14 @@ def check_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
                 (rel, lineno, "raw-mutex",
                  "use CheckedMutex/CheckedLockGuard (src/check/): "
                  + raw.strip()))
+
+        if not in_check and not in_hashing \
+                and SPINLOCK_PATTERN.search(line) \
+                and not suppressed(raw, "spinlock"):
+            findings.append(
+                (rel, lineno, "spinlock",
+                 "std::atomic_flag spinlocks are invisible to the lock "
+                 "checkers; use CheckedMutex (src/check/): " + raw.strip()))
 
         if in_library and not in_bench_util \
                 and IOSTREAM_PATTERN.search(line) \

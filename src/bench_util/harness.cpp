@@ -139,6 +139,12 @@ void write_bench_json(std::ostream& os, const BenchSuite& suite) {
         w.kv("median_seconds", r.median_seconds);
         if (r.items_per_second > 0) w.kv("items_per_second", r.items_per_second);
         w.kv("repetitions", r.repetitions);
+        if (!r.counters.empty()) {
+            w.key("counters");
+            w.begin_object();
+            for (const auto& [name, value] : r.counters) w.kv(name, value);
+            w.end_object();
+        }
         w.end_object();
     }
     w.end_array();

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gesmc {
@@ -57,6 +58,12 @@ struct BenchResult {
     double median_seconds = 0;   ///< median per-iteration wall time
     double items_per_second = 0; ///< median items/sec counter (0 = no counter)
     std::uint64_t repetitions = 0;
+
+    /// Optional named counters emitted as a "counters" object (insertion
+    /// order preserved) — e.g. the pinned hashset comparison's per-op probe
+    /// steps, CAS retries and max PSL.  The regression gate ignores them;
+    /// they exist so a reader can explain a timing delta from the JSON.
+    std::vector<std::pair<std::string, double>> counters;
 };
 
 /// Identifies the machine class a bench ran on.  `fingerprint` is the

@@ -1,0 +1,58 @@
+#include "bench_util/pinned_rig.hpp"
+
+#include "bench_util/thread_pinner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace gesmc {
+
+PinnedRunResult run_pinned(unsigned num_threads,
+                           const std::function<void(unsigned tid)>& work) {
+    if (num_threads == 0) num_threads = 1;
+
+    PinnedRunResult result;
+    result.threads.resize(num_threads);
+
+    // Spin barrier: workers pin + install their stats scope first, then
+    // count in and busy-wait, so the timed region excludes thread start-up
+    // and begins within a cache miss of simultaneous on every core.
+    std::atomic<unsigned> arrived{0};
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+        workers.emplace_back([&, tid] {
+            PinnedThreadStats& mine = result.threads[tid];
+            mine.tid = tid;
+            mine.pinned = pin_current_thread(tid);
+            EdgeSetStatsScope scope(mine.ops);
+
+            arrived.fetch_add(1, std::memory_order_acq_rel);
+            while (arrived.load(std::memory_order_acquire) < num_threads) {
+                // spin: the wait is microseconds and a yield would unpin
+                // the measurement start from the other workers
+            }
+
+            const auto t0 = std::chrono::steady_clock::now();
+            const std::uint64_t c0 = thread_cycle_counter();
+            work(tid);
+            const std::uint64_t c1 = thread_cycle_counter();
+            const auto t1 = std::chrono::steady_clock::now();
+
+            mine.cycles = c1 - c0;
+            mine.seconds = std::chrono::duration<double>(t1 - t0).count();
+        });
+    }
+    for (auto& worker : workers) worker.join();
+
+    result.all_pinned = true;
+    for (const PinnedThreadStats& t : result.threads) {
+        if (!t.pinned) result.all_pinned = false;
+        if (t.seconds > result.seconds) result.seconds = t.seconds;
+        result.ops.merge(t.ops);
+    }
+    return result;
+}
+
+} // namespace gesmc

@@ -1,0 +1,46 @@
+/// \file pinned_rig.hpp
+/// \brief Pinned-thread measurement rig for data-structure microbenches.
+///
+/// run_pinned() runs one workload closure on T worker threads, each pinned
+/// to its own CPU, released together through a spin barrier so the timed
+/// region starts simultaneously on every core.  While a worker runs, an
+/// EdgeSetStatsScope is installed on it, so every ConcurrentEdgeSet
+/// operation the closure performs feeds that thread's private
+/// EdgeSetOpStats (probe steps, CAS retries, max PSL, ...) without any
+/// shared-counter traffic polluting the measurement.  The result carries
+/// per-thread wall time, cycle-counter deltas and counters plus the merged
+/// totals — the raw material of the gesmc-bench-v1 "counters" objects the
+/// hashset backend comparison emits.
+#pragma once
+
+#include "hashing/edge_set_stats.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gesmc {
+
+/// One worker's share of a pinned run.
+struct PinnedThreadStats {
+    unsigned tid = 0;
+    bool pinned = false;        ///< affinity call succeeded on this worker
+    double seconds = 0;         ///< barrier release -> closure return
+    std::uint64_t cycles = 0;   ///< cycle-counter delta (0 when unavailable)
+    EdgeSetOpStats ops;         ///< edge-set counters this worker generated
+};
+
+/// Aggregate of one pinned run.
+struct PinnedRunResult {
+    double seconds = 0;         ///< slowest worker (the measurement)
+    bool all_pinned = false;    ///< every worker's affinity call succeeded
+    EdgeSetOpStats ops;         ///< merged over workers (psl_max = max)
+    std::vector<PinnedThreadStats> threads;
+};
+
+/// Runs `work(tid)` for tid in [0, num_threads), one pinned thread each,
+/// started together.  Blocks until every worker returns.
+PinnedRunResult run_pinned(unsigned num_threads,
+                           const std::function<void(unsigned tid)>& work);
+
+} // namespace gesmc

@@ -1,0 +1,42 @@
+#include "bench_util/thread_pinner.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace gesmc {
+
+bool pin_current_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+    const unsigned count = std::thread::hardware_concurrency();
+    if (count == 0) return false;
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    CPU_SET(static_cast<int>(cpu % count), &mask);
+    return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+std::uint64_t thread_cycle_counter() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+    return __rdtsc();
+#elif defined(__aarch64__)
+    std::uint64_t v;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
+#else
+    return 0;
+#endif
+}
+
+} // namespace gesmc

@@ -1,0 +1,27 @@
+/// \file thread_pinner.hpp
+/// \brief CPU affinity + cycle counter for the pinned micro-bench rig.
+///
+/// Scaling microbenches are meaningless when the scheduler migrates the
+/// worker threads mid-measurement: per-thread counters smear across cores
+/// and cache-residency effects vanish.  pin_current_thread() nails the
+/// calling thread to one CPU; callers record whether it succeeded (it can
+/// fail inside restrictive containers) so results can be labelled honestly
+/// instead of silently degrading.
+#pragma once
+
+#include <cstdint>
+
+namespace gesmc {
+
+/// Pins the calling thread to `cpu` (modulo the machine's CPU count).
+/// Returns false when the platform has no affinity API or the call is
+/// rejected (e.g. a cpuset-restricted container); the thread then keeps
+/// its inherited mask and the caller should mark the run as unpinned.
+bool pin_current_thread(unsigned cpu) noexcept;
+
+/// Monotonic per-thread cycle counter: rdtsc on x86-64, the virtual
+/// counter on aarch64, 0 elsewhere.  Only deltas on the *same pinned
+/// thread* are meaningful — which is exactly what the rig takes.
+[[nodiscard]] std::uint64_t thread_cycle_counter() noexcept;
+
+} // namespace gesmc

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "graph/edge_list.hpp"
+#include "hashing/edge_set_backend.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -63,6 +64,12 @@ struct ChainConfig {
     /// plain Algorithm 3). The produced graphs are identical either way
     /// (sequential execution is what the superstep reproduces).
     std::uint64_t small_graph_cutoff = 0;
+
+    /// Which ConcurrentEdgeSet implementation the parallel chains probe
+    /// (sequential chains ignore it).  A pure runtime/perf knob: exact
+    /// chains are byte-identical on either backend, so it is not part of
+    /// ChainState and may change across a resume.
+    EdgeSetBackend edge_set_backend = EdgeSetBackend::kLocked;
 };
 
 /// Counters accumulated while running a chain.

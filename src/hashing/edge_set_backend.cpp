@@ -1,0 +1,24 @@
+#include "hashing/edge_set_backend.hpp"
+
+namespace gesmc {
+
+std::string to_string(EdgeSetBackend backend) {
+    switch (backend) {
+    case EdgeSetBackend::kLocked: return "locked";
+    case EdgeSetBackend::kLockFree: return "lockfree";
+    }
+    return "locked";
+}
+
+std::optional<EdgeSetBackend> edge_set_backend_from_string(std::string_view name) {
+    if (name == "locked") return EdgeSetBackend::kLocked;
+    if (name == "lockfree") return EdgeSetBackend::kLockFree;
+    return std::nullopt;
+}
+
+const std::vector<std::string>& edge_set_backend_names() {
+    static const std::vector<std::string> names = {"locked", "lockfree"};
+    return names;
+}
+
+} // namespace gesmc

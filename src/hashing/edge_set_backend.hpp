@@ -1,0 +1,41 @@
+/// \file edge_set_backend.hpp
+/// \brief Selection enum shared by the two ConcurrentEdgeSet backends.
+///
+/// `ConcurrentEdgeSet` is a facade over two interchangeable tables with the
+/// same 56-bit key / 8-bit owner bucket layout (docs/hashing.md):
+///
+///   * kLocked   — per-bucket CAS + striped same-key locks (the seed
+///                 implementation, LockedEdgeSet);
+///   * kLockFree — linear probing over cache-line-aligned buckets with a
+///                 bounded probe-sequence length and epoch-reclaimed
+///                 rebuilds (LockFreeEdgeSet).
+///
+/// The backend is a pure runtime knob: exact chains produce byte-identical
+/// trajectories on either table, so it never enters ChainState.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gesmc {
+
+enum class EdgeSetBackend {
+    kLocked,
+    kLockFree,
+};
+
+/// Result of try_insert_and_lock on either backend.
+enum class EdgeSetInsertLock { kInserted, kExists, kExistsLocked };
+
+[[nodiscard]] std::string to_string(EdgeSetBackend backend);
+
+/// Parses "locked" / "lockfree"; nullopt for anything else.
+[[nodiscard]] std::optional<EdgeSetBackend>
+edge_set_backend_from_string(std::string_view name);
+
+/// All valid config spellings, in enum order (for error messages / docs).
+[[nodiscard]] const std::vector<std::string>& edge_set_backend_names();
+
+} // namespace gesmc

@@ -1,0 +1,8 @@
+#include "hashing/edge_set_stats.hpp"
+
+namespace gesmc::detail {
+
+thread_local EdgeSetOpStats* t_edge_set_stats = nullptr;
+std::atomic<unsigned> g_edge_set_stats_scopes{0};
+
+} // namespace gesmc::detail

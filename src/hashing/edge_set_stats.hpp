@@ -1,0 +1,78 @@
+/// \file edge_set_stats.hpp
+/// \brief Per-thread operation counters for the edge-set backends.
+///
+/// The pinned-thread microbench rig (src/bench_util/pinned_rig.hpp) needs
+/// *per-thread* probe/CAS/PSL counts, which the sharded process-wide
+/// `hashset.*` metrics cannot provide.  A worker installs an
+/// EdgeSetStatsScope around its measured loop; both backends then add their
+/// per-call counts to the installed struct as well as to the obs counters.
+///
+/// Cost contract: when no scope is installed anywhere in the process and
+/// metrics are disabled, every backend hot path decides with
+/// `edge_set_measuring()` — two relaxed loads of process-global atomics and
+/// one predictable branch, the same "disabled means absent" bar the obs
+/// layer holds itself to (docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gesmc {
+
+/// Counts accumulated by one thread across edge-set calls.
+struct EdgeSetOpStats {
+    std::uint64_t lookups = 0;      ///< contains() calls
+    std::uint64_t probe_steps = 0;  ///< buckets examined across all ops
+    std::uint64_t inserts = 0;      ///< successful inserts
+    std::uint64_t erases = 0;       ///< successful erases
+    std::uint64_t cas_retries = 0;  ///< failed bucket/stripe CAS attempts
+    std::uint64_t psl_max = 0;      ///< largest placement distance observed
+
+    void merge(const EdgeSetOpStats& o) noexcept {
+        lookups += o.lookups;
+        probe_steps += o.probe_steps;
+        inserts += o.inserts;
+        erases += o.erases;
+        cas_retries += o.cas_retries;
+        if (o.psl_max > psl_max) psl_max = o.psl_max;
+    }
+};
+
+namespace detail {
+extern thread_local EdgeSetOpStats* t_edge_set_stats;
+extern std::atomic<unsigned> g_edge_set_stats_scopes;
+} // namespace detail
+
+/// True when any thread wants per-op accounting (obs metrics are checked
+/// separately by the backends; this only covers the thread-local hook).
+[[nodiscard]] inline bool edge_set_stats_active() noexcept {
+    return detail::g_edge_set_stats_scopes.load(std::memory_order_relaxed) != 0;
+}
+
+/// The calling thread's installed sink, or nullptr.
+[[nodiscard]] inline EdgeSetOpStats* edge_set_thread_stats() noexcept {
+    return detail::t_edge_set_stats;
+}
+
+/// RAII: routes this thread's edge-set counts into `sink` for the scope's
+/// lifetime.  Scopes do not nest (the previous sink is restored on exit,
+/// but counts are not split).
+class EdgeSetStatsScope {
+public:
+    explicit EdgeSetStatsScope(EdgeSetOpStats& sink) noexcept
+        : previous_(detail::t_edge_set_stats) {
+        detail::t_edge_set_stats = &sink;
+        detail::g_edge_set_stats_scopes.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~EdgeSetStatsScope() {
+        detail::g_edge_set_stats_scopes.fetch_sub(1, std::memory_order_relaxed);
+        detail::t_edge_set_stats = previous_;
+    }
+    EdgeSetStatsScope(const EdgeSetStatsScope&) = delete;
+    EdgeSetStatsScope& operator=(const EdgeSetStatsScope&) = delete;
+
+private:
+    EdgeSetOpStats* previous_;
+};
+
+} // namespace gesmc

@@ -1,0 +1,108 @@
+#include "hashing/epoch.hpp"
+
+#include "util/check.hpp"
+
+#include <limits>
+
+namespace gesmc {
+
+/// One reader's pin state, padded so pin/unpin never share a cache line
+/// with another reader.  Slots live until the domain dies and are recycled
+/// across guards via the in_use flag.
+struct alignas(64) EpochDomain::ReaderSlot {
+    std::atomic<std::uint64_t> epoch{0}; ///< 0 = not pinned
+    std::atomic<bool> in_use{false};
+    ReaderSlot* next = nullptr; ///< immutable after publication
+};
+
+EpochDomain::Guard::Guard(EpochDomain& domain) : slot_(nullptr) {
+    // Claim a free slot; append a fresh one when every slot is pinned.
+    for (auto* s = static_cast<ReaderSlot*>(domain.slots_.load(std::memory_order_acquire));
+         s != nullptr; s = s->next) {
+        bool expected = false;
+        if (s->in_use.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+            slot_ = s;
+            break;
+        }
+    }
+    if (slot_ == nullptr) {
+        auto* fresh = new ReaderSlot();
+        fresh->in_use.store(true, std::memory_order_relaxed);
+        void* head = domain.slots_.load(std::memory_order_relaxed);
+        do {
+            fresh->next = static_cast<ReaderSlot*>(head);
+        } while (!domain.slots_.compare_exchange_weak(head, fresh,
+                                                      std::memory_order_acq_rel));
+        slot_ = fresh;
+    }
+    // Pin: publish the observed global epoch, then re-check it so a retire
+    // racing with the pin can never be missed by both sides.
+    std::uint64_t e = domain.global_epoch_.load(std::memory_order_acquire);
+    for (;;) {
+        slot_->epoch.store(e, std::memory_order_seq_cst);
+        const std::uint64_t e2 = domain.global_epoch_.load(std::memory_order_seq_cst);
+        if (e2 == e) break;
+        e = e2;
+    }
+}
+
+EpochDomain::Guard::~Guard() {
+    slot_->epoch.store(0, std::memory_order_release);
+    slot_->in_use.store(false, std::memory_order_release);
+}
+
+void EpochDomain::retire(void* p, void (*deleter)(void*)) {
+    GESMC_CHECK(p != nullptr && deleter != nullptr, "retire needs a pointer and deleter");
+    {
+        CheckedLockGuard lock(limbo_mutex_);
+        limbo_.push_back({p, deleter, global_epoch_.load(std::memory_order_relaxed)});
+    }
+    // Advance after stamping: readers pinning from here on are provably
+    // past the retired pointer and never delay its reclamation.
+    global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void EpochDomain::collect() {
+    std::uint64_t min_active = std::numeric_limits<std::uint64_t>::max();
+    for (auto* s = static_cast<ReaderSlot*>(slots_.load(std::memory_order_acquire));
+         s != nullptr; s = s->next) {
+        const std::uint64_t e = s->epoch.load(std::memory_order_seq_cst);
+        if (e != 0 && e < min_active) min_active = e;
+    }
+    std::vector<Retired> to_free;
+    {
+        CheckedLockGuard lock(limbo_mutex_);
+        auto it = limbo_.begin();
+        while (it != limbo_.end()) {
+            if (it->epoch < min_active) {
+                to_free.push_back(*it);
+                it = limbo_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const Retired& r : to_free) r.deleter(r.ptr);
+}
+
+std::size_t EpochDomain::retired_count() const {
+    CheckedLockGuard lock(limbo_mutex_);
+    return limbo_.size();
+}
+
+EpochDomain::~EpochDomain() {
+    // No guard may outlive the domain; every limbo entry is now safe.
+    {
+        CheckedLockGuard lock(limbo_mutex_);
+        for (const Retired& r : limbo_) r.deleter(r.ptr);
+        limbo_.clear();
+    }
+    auto* s = static_cast<ReaderSlot*>(slots_.load(std::memory_order_acquire));
+    while (s != nullptr) {
+        ReaderSlot* next = s->next;
+        delete s;
+        s = next;
+    }
+}
+
+} // namespace gesmc

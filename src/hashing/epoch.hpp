@@ -1,0 +1,87 @@
+/// \file epoch.hpp
+/// \brief Minimal epoch-based reclamation for the lock-free edge set.
+///
+/// LockFreeEdgeSet::rebuild() swaps the whole bucket table behind an
+/// atomic pointer.  Readers that may overlap a rebuild pin the current
+/// epoch with an EpochDomain::Guard before touching the table; the retired
+/// table sits in a limbo list until every guard that could still reference
+/// it has unpinned.  Readers therefore never block — a rebuild costs them
+/// nothing but the pin (two atomic ops on a private cache line).
+///
+/// Lifecycle (docs/hashing.md has the full walk-through):
+///
+///   pin:     slot.epoch = global_epoch   (the guard's "I am reading" stamp)
+///   retire:  limbo.push({ptr, global_epoch}); ++global_epoch
+///   collect: free every limbo entry whose stamp < min(active slot epochs)
+///
+/// A reader pinned at epoch e blocks exactly the retirements stamped >= e —
+/// i.e. every table it could possibly have loaded — and nothing older.
+///
+/// Guards are intended for rebuild-overlapping readers only; chain hot
+/// paths skip them because chains rebuild exclusively at quiescent points
+/// (see ConcurrentEdgeSet's thread-safety contract).
+#pragma once
+
+#include "check/checked_mutex.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gesmc {
+
+class EpochDomain {
+public:
+    EpochDomain() = default;
+    /// Frees every retired pointer and all reader slots.  By contract no
+    /// guard is alive when the domain dies (same rule as the set itself).
+    ~EpochDomain();
+
+    EpochDomain(const EpochDomain&) = delete;
+    EpochDomain& operator=(const EpochDomain&) = delete;
+
+    struct ReaderSlot; ///< one reader's pin state (defined in epoch.cpp)
+
+    /// RAII pin: while alive, nothing retired at or after construction is
+    /// freed.  Cheap enough for test/bench readers; not meant for the
+    /// chain's per-switch hot path.
+    class Guard {
+    public:
+        explicit Guard(EpochDomain& domain);
+        ~Guard();
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+    private:
+        ReaderSlot* slot_;
+    };
+
+    /// Hands `p` to the domain; `deleter(p)` runs once no pinned reader can
+    /// still observe it (at some later collect() or at destruction).
+    void retire(void* p, void (*deleter)(void*));
+
+    /// Frees every limbo entry older than the oldest active pin (all of
+    /// them when nobody is pinned).  Called from quiescent points.
+    void collect();
+
+    /// Entries still waiting in limbo (tests observe the deferral).
+    [[nodiscard]] std::size_t retired_count() const;
+
+private:
+    std::atomic<std::uint64_t> global_epoch_{1};
+    /// Lock-free push-only list of reader slots; slots are claimed by CAS
+    /// on an in_use flag and released on guard destruction, so the list
+    /// length tracks the high-water mark of concurrent guards.
+    std::atomic<void*> slots_{nullptr};
+
+    struct Retired {
+        void* ptr;
+        void (*deleter)(void*);
+        std::uint64_t epoch;
+    };
+    mutable CheckedMutex limbo_mutex_{LockRank::kEpochLimbo, "epoch-limbo"};
+    std::vector<Retired> limbo_ GESMC_GUARDED_BY(limbo_mutex_);
+};
+
+} // namespace gesmc

@@ -21,6 +21,8 @@
 /// Every key has a sane default; see the struct fields below.
 #pragma once
 
+#include "hashing/edge_set_backend.hpp"
+
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -109,6 +111,11 @@ struct PipelineConfig {
     double pl = 1e-3;                        ///< key: pl
     bool prefetch = true;                    ///< key: prefetch (true|false)
     std::uint64_t small_graph_cutoff = 0;    ///< key: small-cutoff
+
+    /// ConcurrentEdgeSet implementation for the parallel chains; sequential
+    /// chains ignore it.  Exact chains are byte-identical across backends
+    /// (docs/hashing.md).           key: edge-set-backend (locked|lockfree)
+    EdgeSetBackend edge_set_backend = EdgeSetBackend::kLocked;
 
     // ------------------------------------------------------------- batch
     std::uint64_t replicates = 8;                       ///< key: replicates

@@ -2,7 +2,9 @@
 // set, concurrent edge set (incl. ticket semantics), dependency table.
 #include "hashing/concurrent_edge_set.hpp"
 #include "hashing/dependency_table.hpp"
+#include "hashing/edge_set_backend.hpp"
 #include "hashing/hash.hpp"
+#include "hashing/lockfree_edge_set.hpp"
 #include "hashing/robin_set.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/bounded.hpp"
@@ -14,6 +16,8 @@
 #include <atomic>
 #include <cstdint>
 #include <set>
+#include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -157,9 +161,30 @@ TEST(RobinSet, ClearEmptiesTheSet) {
 }
 
 // --------------------------------------------------- concurrent edge set
+//
+// Every behavioral test runs against BOTH backends (locked striped-CAS and
+// lock-free bounded-PSL): the backend is a pure performance knob, so any
+// observable divergence is a bug.  Backend-specific mechanics (PSL bound,
+// epoch reclamation) have their own tests below the fixture.
 
-TEST(ConcurrentEdgeSet, SequentialSemantics) {
-    ConcurrentEdgeSet set(1024);
+class ConcurrentEdgeSetBackends
+    : public ::testing::TestWithParam<EdgeSetBackend> {
+protected:
+    [[nodiscard]] ConcurrentEdgeSet make_set(std::uint64_t max_live) const {
+        return ConcurrentEdgeSet(max_live, GetParam());
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ConcurrentEdgeSetBackends,
+    ::testing::Values(EdgeSetBackend::kLocked, EdgeSetBackend::kLockFree),
+    [](const ::testing::TestParamInfo<EdgeSetBackend>& info) {
+        return to_string(info.param);
+    });
+
+TEST_P(ConcurrentEdgeSetBackends, SequentialSemantics) {
+    auto set = make_set(1024);
+    EXPECT_EQ(set.backend(), GetParam());
     EXPECT_TRUE(set.insert(5));
     EXPECT_FALSE(set.insert(5));
     EXPECT_TRUE(set.contains(5));
@@ -169,19 +194,19 @@ TEST(ConcurrentEdgeSet, SequentialSemantics) {
     EXPECT_EQ(set.size(), 0u);
 }
 
-TEST(ConcurrentEdgeSet, RejectsOutOfDomainKeys) {
-    ConcurrentEdgeSet set(16);
+TEST_P(ConcurrentEdgeSetBackends, RejectsOutOfDomainKeys) {
+    auto set = make_set(16);
     EXPECT_THROW(set.insert(0), Error);
     EXPECT_THROW(set.insert(ConcurrentEdgeSet::kTomb), Error);
     EXPECT_THROW(set.insert(1ULL << 60), Error);
 }
 
-TEST(ConcurrentEdgeSet, TombstoneRecyclingKeepsProbesBounded) {
-    ConcurrentEdgeSet set(256);
+TEST_P(ConcurrentEdgeSetBackends, TombstoneChurnKeepsProbesBounded) {
+    auto set = make_set(256);
     Mt19937_64 gen(9);
     std::unordered_set<std::uint64_t> ref;
     // Long insert/erase churn at constant live size; without tombstone
-    // recycling + rebuild this would exhaust the table.
+    // reclamation via rebuild this would exhaust the table.
     for (int round = 0; round < 30000; ++round) {
         const std::uint64_t key = 1 + uniform_below(gen, 1024);
         if (ref.count(key)) {
@@ -197,8 +222,8 @@ TEST(ConcurrentEdgeSet, TombstoneRecyclingKeepsProbesBounded) {
     for (const auto key : ref) EXPECT_TRUE(set.contains(key));
 }
 
-TEST(ConcurrentEdgeSet, ForEachEnumeratesExactlyLiveKeys) {
-    ConcurrentEdgeSet set(64);
+TEST_P(ConcurrentEdgeSetBackends, ForEachEnumeratesExactlyLiveKeys) {
+    auto set = make_set(64);
     std::set<std::uint64_t> expect;
     for (std::uint64_t k = 10; k < 50; ++k) {
         set.insert(k);
@@ -213,8 +238,8 @@ TEST(ConcurrentEdgeSet, ForEachEnumeratesExactlyLiveKeys) {
     EXPECT_EQ(got, expect);
 }
 
-TEST(ConcurrentEdgeSet, SampleUniformChiSquare) {
-    ConcurrentEdgeSet set(64);
+TEST_P(ConcurrentEdgeSetBackends, SampleUniformChiSquare) {
+    auto set = make_set(64);
     for (std::uint64_t k = 1; k <= 10; ++k) set.insert(k);
     Mt19937_64 gen(10);
     std::vector<int> counts(11, 0);
@@ -227,10 +252,42 @@ TEST(ConcurrentEdgeSet, SampleUniformChiSquare) {
     EXPECT_LT(chi2, 27.9); // 9 dof, 99.9%
 }
 
-TEST(ConcurrentEdgeSet, ConcurrentDistinctKeyInsertsAllLand) {
+/// URBG wrapper counting invocations — the regression instrument for the
+/// sample_uniform probe cap.
+struct CountingGen {
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    Mt19937_64 inner{123};
+    std::uint64_t calls = 0;
+    result_type operator()() {
+        ++calls;
+        return inner();
+    }
+};
+
+TEST_P(ConcurrentEdgeSetBackends, SampleUniformBoundedWorkUnderTombstoneFlood) {
+    // 255 of 256 keys erased with rebuild deliberately deferred: random
+    // bucket draws hit the one live key with p = 1/1024.  The unbounded
+    // rejection sampler needed ~2000 RNG calls per draw here; the capped
+    // sampler must stay under kMaxSampleDraws + the fallback's one index
+    // draw (with a small rejection-sampling allowance).
+    auto set = make_set(256);
+    for (std::uint64_t k = 1; k <= 256; ++k) ASSERT_TRUE(set.insert(k));
+    for (std::uint64_t k = 1; k <= 255; ++k) ASSERT_TRUE(set.erase(k));
+    ASSERT_EQ(set.size(), 1u);
+    CountingGen gen;
+    constexpr int kSamples = 50;
+    for (int i = 0; i < kSamples; ++i) {
+        EXPECT_EQ(set.sample_uniform(gen), 256u);
+    }
+    EXPECT_LT(gen.calls, kSamples * 200u);
+}
+
+TEST_P(ConcurrentEdgeSetBackends, ConcurrentDistinctKeyInsertsAllLand) {
     constexpr unsigned p = 4;
     constexpr std::uint64_t per_thread = 20000;
-    ConcurrentEdgeSet set(p * per_thread);
+    auto set = make_set(p * per_thread);
     ThreadPool pool(p);
     pool.run([&](unsigned tid) {
         for (std::uint64_t i = 0; i < per_thread; ++i) {
@@ -241,11 +298,11 @@ TEST(ConcurrentEdgeSet, ConcurrentDistinctKeyInsertsAllLand) {
     for (std::uint64_t k = 1; k <= p * per_thread; ++k) ASSERT_TRUE(set.contains(k));
 }
 
-TEST(ConcurrentEdgeSet, ConcurrentSameKeyInsertsNeverDuplicate) {
-    // All threads hammer the same small key set with striped-lock inserts;
+TEST_P(ConcurrentEdgeSetBackends, ConcurrentSameKeyInsertsNeverDuplicate) {
+    // All threads hammer the same small key set with contended inserts;
     // exactly one insert per key must win per round.
     constexpr unsigned p = 4;
-    ConcurrentEdgeSet set(512);
+    auto set = make_set(512);
     ThreadPool pool(p);
     for (int round = 0; round < 200; ++round) {
         std::atomic<int> winners{0};
@@ -268,8 +325,8 @@ TEST(ConcurrentEdgeSet, ConcurrentSameKeyInsertsNeverDuplicate) {
     }
 }
 
-TEST(ConcurrentEdgeSet, TicketLockingProtocol) {
-    ConcurrentEdgeSet set(64);
+TEST_P(ConcurrentEdgeSetBackends, TicketLockingProtocol) {
+    auto set = make_set(64);
     set.insert(100);
     auto slot = set.try_lock(100, /*tid=*/0);
     ASSERT_TRUE(slot.has_value());
@@ -285,13 +342,13 @@ TEST(ConcurrentEdgeSet, TicketLockingProtocol) {
     EXPECT_EQ(set.size(), 0u);
 }
 
-TEST(ConcurrentEdgeSet, TryLockAbsentKeyFails) {
-    ConcurrentEdgeSet set(64);
+TEST_P(ConcurrentEdgeSetBackends, TryLockAbsentKeyFails) {
+    auto set = make_set(64);
     EXPECT_FALSE(set.try_lock(7, 0).has_value());
 }
 
-TEST(ConcurrentEdgeSet, InsertAndLockSemantics) {
-    ConcurrentEdgeSet set(64);
+TEST_P(ConcurrentEdgeSetBackends, InsertAndLockSemantics) {
+    auto set = make_set(64);
     std::uint64_t slot = 0;
     EXPECT_EQ(set.try_insert_and_lock(9, 0, slot), ConcurrentEdgeSet::InsertLock::kInserted);
     // Inserted-and-locked: visible, but not lockable by others.
@@ -304,11 +361,11 @@ TEST(ConcurrentEdgeSet, InsertAndLockSemantics) {
     EXPECT_EQ(set.try_insert_and_lock(9, 1, other), ConcurrentEdgeSet::InsertLock::kExists);
 }
 
-TEST(ConcurrentEdgeSet, ConcurrentTicketContention) {
+TEST_P(ConcurrentEdgeSetBackends, ConcurrentTicketContention) {
     // p threads repeatedly try to grab the ticket for one key, mutate a
     // guarded counter, and release. The counter must never tear.
     constexpr unsigned p = 4;
-    ConcurrentEdgeSet set(64);
+    auto set = make_set(64);
     set.insert(5);
     ThreadPool pool(p);
     std::uint64_t guarded = 0; // protected by the key-5 ticket
@@ -330,30 +387,168 @@ TEST(ConcurrentEdgeSet, ConcurrentTicketContention) {
     EXPECT_EQ(guarded, 4 * 20000u);
 }
 
-TEST(ConcurrentEdgeSet, ParallelInsertEraseChurnDistinctRanges) {
+TEST_P(ConcurrentEdgeSetBackends, ParallelInsertEraseChurnDistinctRanges) {
     // Each thread owns a disjoint key range and churns inserts/erases with
-    // the unique (lock-free) API; sizes must reconcile at the end.
+    // the unique API; sizes must reconcile at the end.  Rounds mirror chain
+    // supersteps: the lock-free backend reclaims tombstones only through a
+    // quiescent rebuild, so unbounded churn without maybe_rebuild() is
+    // outside both backends' contract.
     constexpr unsigned p = 4;
-    ConcurrentEdgeSet set(4 * 4096);
+    auto set = make_set(4 * 4096);
     ThreadPool pool(p);
-    pool.run([&](unsigned tid) {
-        Mt19937_64 gen(tid);
-        std::vector<bool> present(4096, false);
-        const std::uint64_t base = 1 + tid * 4096;
-        for (int op = 0; op < 100000; ++op) {
-            const std::uint64_t off = uniform_below(gen, 4096);
-            if (present[off]) {
-                ASSERT_TRUE(set.erase_unique(base + off));
-                present[off] = false;
-            } else {
-                ASSERT_TRUE(set.insert_unique(base + off));
-                present[off] = true;
+    std::vector<std::vector<bool>> present(p, std::vector<bool>(4096, false));
+    std::vector<Mt19937_64> gens;
+    for (unsigned tid = 0; tid < p; ++tid) gens.emplace_back(tid);
+    for (int round = 0; round < 40; ++round) {
+        pool.run([&](unsigned tid) {
+            auto& mine = present[tid];
+            auto& gen = gens[tid];
+            const std::uint64_t base = 1 + tid * 4096;
+            for (int op = 0; op < 2500; ++op) {
+                const std::uint64_t off = uniform_below(gen, 4096);
+                if (mine[off]) {
+                    ASSERT_TRUE(set.erase_unique(base + off));
+                    mine[off] = false;
+                } else {
+                    ASSERT_TRUE(set.insert_unique(base + off));
+                    mine[off] = true;
+                }
             }
-        }
+        });
+        set.maybe_rebuild();
+    }
+    for (unsigned tid = 0; tid < p; ++tid) {
+        const std::uint64_t base = 1 + tid * 4096;
         for (std::uint64_t off = 0; off < 4096; ++off) {
-            ASSERT_EQ(set.contains(base + off), present[off]);
+            ASSERT_EQ(set.contains(base + off), present[tid][off]);
         }
-    });
+    }
+}
+
+TEST_P(ConcurrentEdgeSetBackends, MultiWriterHammer) {
+    // TSan workhorse: p threads mix contended inserts, erases, lookups and
+    // ticket ops over one small key universe.  The only invariant a racy
+    // history must preserve: size() equals successful inserts minus
+    // successful erases.  Rounds are separated by pool.run barriers so the
+    // main thread can rebuild at quiescent points, like a chain superstep.
+    constexpr unsigned p = 4;
+    auto set = make_set(512);
+    ThreadPool pool(p);
+    std::atomic<std::int64_t> net{0};
+    for (int round = 0; round < 40; ++round) {
+        pool.run([&](unsigned tid) {
+            Mt19937_64 gen(round * p + tid);
+            for (int op = 0; op < 300; ++op) {
+                const std::uint64_t key = 1 + uniform_below(gen, 512);
+                switch (uniform_below(gen, 4)) {
+                case 0:
+                    if (set.insert(key)) net.fetch_add(1);
+                    break;
+                case 1:
+                    if (set.erase(key)) net.fetch_sub(1);
+                    break;
+                case 2: {
+                    auto slot = set.try_lock(key, tid);
+                    if (slot) {
+                        if (op % 2 == 0) {
+                            set.erase_locked(*slot);
+                            net.fetch_sub(1);
+                        } else {
+                            set.unlock(*slot);
+                        }
+                    }
+                    break;
+                }
+                default: {
+                    const bool hit = set.contains(key);
+                    (void)hit;
+                }
+                }
+            }
+        });
+        ASSERT_EQ(set.size(), static_cast<std::uint64_t>(net.load()))
+            << "round " << round;
+        set.maybe_rebuild();
+    }
+}
+
+// ------------------------------------------ lock-free backend mechanics
+
+TEST(LockFreeEdgeSet, PslBoundEnforcedAndRestoredByRebuild) {
+    // 80 keys whose home buckets all land in [0, 8) of a 256-bucket table:
+    // placements pile past home + kMaxPsl, which must raise the probe
+    // limit (keeping every key findable) and flip needs_rebuild(), and the
+    // rebuild must restore the bound.
+    ConcurrentEdgeSet set(64, EdgeSetBackend::kLockFree);
+    ASSERT_EQ(set.bucket_count(), 256u);
+    const unsigned shift = 56; // 64 - log2(256): the table's home shift
+    std::vector<std::uint64_t> clustered;
+    for (std::uint64_t k = 1; clustered.size() < 80; ++k) {
+        if ((edge_hash(k) >> shift) < 8) clustered.push_back(k);
+    }
+    for (const auto k : clustered) ASSERT_TRUE(set.insert(k));
+
+    auto* lockfree = set.lockfree_backend();
+    ASSERT_NE(lockfree, nullptr);
+    EXPECT_TRUE(lockfree->psl_overflowed());
+    EXPECT_TRUE(set.needs_rebuild());
+    EXPECT_GE(set.max_psl(), LockFreeEdgeSet::kMaxPsl);
+    // Overflow mode is slow, not wrong: every key stays reachable.
+    for (const auto k : clustered) ASSERT_TRUE(set.contains(k));
+
+    set.rebuild();
+    EXPECT_FALSE(lockfree->psl_overflowed());
+    EXPECT_FALSE(set.needs_rebuild());
+    EXPECT_EQ(set.size(), clustered.size());
+    for (const auto k : clustered) ASSERT_TRUE(set.contains(k));
+    // Post-rebuild placements honor the bound again (psl_max restarts at
+    // the rebuild and only tracks new placements).
+    ASSERT_TRUE(set.insert(1ULL << 40));
+    EXPECT_LT(set.max_psl(), LockFreeEdgeSet::kMaxPsl);
+}
+
+TEST(LockFreeEdgeSet, EpochReclamationLetsGuardedReadersOutliveRebuilds) {
+    // Readers hold ReadGuards across continuous table churn + rebuilds.
+    // Keys 1..512 are immortal — a reader observing one missing means it
+    // raced a table swap wrongly; ASan/TSan additionally catch any
+    // use-after-free of a retired table.  After the readers leave, a
+    // collect() must be able to free every retired table.
+    ConcurrentEdgeSet set(1024, EdgeSetBackend::kLockFree);
+    for (std::uint64_t k = 1; k <= 1024; ++k) ASSERT_TRUE(set.insert(k));
+    auto* lockfree = set.lockfree_backend();
+    ASSERT_NE(lockfree, nullptr);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&, r] {
+            Mt19937_64 gen(77 + r);
+            while (!stop.load(std::memory_order_relaxed)) {
+                ConcurrentEdgeSet::ReadGuard guard(set);
+                for (int i = 0; i < 64; ++i) {
+                    const std::uint64_t key = 1 + uniform_below(gen, 512);
+                    EXPECT_TRUE(set.contains(key)) << key;
+                }
+            }
+        });
+    }
+
+    // Churn the mortal half and force a rebuild every round.
+    for (int round = 0; round < 50; ++round) {
+        for (std::uint64_t k = 513; k <= 1024; ++k) {
+            ASSERT_TRUE(set.erase(k));
+        }
+        for (std::uint64_t k = 513; k <= 1024; ++k) {
+            ASSERT_TRUE(set.insert(k));
+        }
+        set.rebuild();
+    }
+
+    stop.store(true);
+    for (auto& t : readers) t.join();
+    lockfree->epochs().collect();
+    EXPECT_EQ(lockfree->retired_tables(), 0u);
+    for (std::uint64_t k = 1; k <= 1024; ++k) ASSERT_TRUE(set.contains(k));
 }
 
 // ------------------------------------------------------ dependency table

@@ -565,6 +565,11 @@ TEST(Obs, InstrumentationNeverChangesSampledBytes) {
         c.seed = 99;
         c.threads = 2;
         c.checkpoint_every = 2; // exercise the checkpoint + superstep spans
+        // The lock-free backend has the denser metrics hooks (CAS retry and
+        // PSL accounting); locked-vs-lockfree identity itself is asserted
+        // in test_pipeline, so instrumenting the lock-free path here keeps
+        // both contracts covered.
+        c.edge_set_backend = EdgeSetBackend::kLockFree;
         c.metrics = false;
         c.output_dir = (base_dir / tag).string();
         c.output_format = OutputFormat::kBinary;
@@ -608,6 +613,14 @@ TEST(Obs, InstrumentationNeverChangesSampledBytes) {
     const obs::MetricsSnapshot snapshot =
         obs::MetricsRegistry::instance().snapshot();
     EXPECT_GT(counter_value(snapshot, "chain.switches.attempted"), 0u);
+    // Per-backend hashset labels: the run used lockfree, so its family
+    // moved — and the locked family, never touched, was never registered
+    // ("idle layer contributes nothing").
+    EXPECT_GT(counter_value(snapshot, "hashset.lockfree.lookups"), 0u);
+    for (const auto& [name, value] : snapshot.counters) {
+        EXPECT_TRUE(name.rfind("hashset.locked.", 0) != 0)
+            << name << " = " << value;
+    }
     const JsonValue trace = parse_json(trace_json);
     bool saw_replicate = false, saw_superstep = false;
     for (const JsonValue& event : trace.find("traceEvents")->array_items) {
