@@ -1,0 +1,177 @@
+/// \file bench_adaptive.cpp
+/// \brief Adaptive superstep budget vs the fixed budget it replaces.
+///
+/// The adaptive mode's whole pitch (docs/adaptive.md) is "stop paying for
+/// supersteps a mixed chain does not need".  This bench quantifies that on
+/// two generator classes — a fast-mixing G(n,p) where the ESS target is hit
+/// long before the cap, and a skewed power-law graph where mixing is slower
+/// — by running the same replicate batch twice: once with a fixed budget of
+/// `max` supersteps, once adaptively under the identical cap.  Per cell it
+/// prints wall seconds, the supersteps actually executed, and the realized
+/// saving; the adaptive cell also prints the final ESS / stop reason so a
+/// "saving" from a misfiring verdict would be visible immediately.
+///
+/// `--bench-json=FILE` writes the gesmc-bench-v1 aggregate (suite
+/// "adaptive") the CI regression gate diffs against
+/// bench/baselines/BENCH_adaptive.json: one result per (mode, class) cell,
+/// median wall seconds over `--repetitions` runs, with the executed
+/// superstep count and saved-vs-cap fraction carried as counters.
+#include "bench_util/harness.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace gesmc;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct GraphClass {
+    const char* name;
+    const char* generator;
+    std::uint64_t gen_n;
+    std::uint64_t gen_m;     ///< gnp only
+    double gen_gamma;        ///< powerlaw only
+};
+
+constexpr GraphClass kClasses[] = {
+    {"gnp", "gnp", 2000, 8000, 0.0},
+    {"powerlaw", "powerlaw", 2000, 0, 2.2},
+};
+
+constexpr std::uint64_t kMaxSupersteps = 200;
+constexpr std::uint64_t kReplicates = 4;
+
+PipelineConfig cell_config(const GraphClass& cls, bool adaptive,
+                           const fs::path& out_dir) {
+    PipelineConfig c;
+    c.input_kind = InputKind::kGenerator;
+    c.generator = cls.generator;
+    c.gen_n = cls.gen_n;
+    c.gen_m = cls.gen_m;
+    c.gen_gamma = cls.gen_gamma;
+    c.algorithm = "par-global-es";
+    c.replicates = kReplicates;
+    c.seed = 7;
+    c.metrics = false; // time the sampling, not the analysis metrics
+    c.output_dir = out_dir.string();
+    if (adaptive) {
+        c.adaptive = true;
+        c.max_supersteps = kMaxSupersteps;
+        // The defaults of docs/adaptive.md: ess-target 32, mixing-tau 0.2,
+        // min 8, check-every 2 — what a user gets from `supersteps = adaptive`.
+    } else {
+        c.supersteps = kMaxSupersteps;
+    }
+    return c;
+}
+
+struct CellResult {
+    double seconds = 0;
+    std::uint64_t supersteps = 0; ///< executed across all replicates
+    double ess = 0;               ///< last replicate's final estimate (adaptive)
+    std::string stop_reason;      ///< adaptive only
+};
+
+CellResult run_cell(const GraphClass& cls, bool adaptive, const fs::path& scratch) {
+    const fs::path out = scratch / (std::string(cls.name) + (adaptive ? "_a" : "_f"));
+    fs::remove_all(out);
+    fs::create_directories(out);
+    const PipelineConfig config = cell_config(cls, adaptive, out);
+    Timer timer;
+    const RunReport report = run_pipeline(config, nullptr);
+    CellResult cell;
+    cell.seconds = timer.elapsed_s();
+    if (!all_succeeded(report)) {
+        std::cerr << "bench run failed (" << cls.name << ")\n";
+        std::exit(1);
+    }
+    for (const ReplicateReport& r : report.replicates) {
+        cell.supersteps += r.stats.supersteps;
+        if (r.has_adaptive) {
+            cell.ess = r.ess;
+            cell.stop_reason = r.stop_reason;
+        }
+    }
+    fs::remove_all(out);
+    return cell;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::uint64_t repetitions = 3;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--bench-json=", 0) == 0) {
+            json_path = arg.substr(13);
+        } else if (arg.rfind("--repetitions=", 0) == 0) {
+            repetitions = std::strtoull(arg.c_str() + 14, nullptr, 10);
+        } else {
+            std::cerr << "usage: bench_adaptive [--bench-json=FILE]"
+                         " [--repetitions=N]\n";
+            return 2;
+        }
+    }
+    if (repetitions == 0) repetitions = 1;
+
+    print_bench_header("adaptive vs fixed superstep budget",
+                       "convergence-aware stopping (docs/adaptive.md)");
+    const fs::path scratch = fs::temp_directory_path() / "gesmc_bench_adaptive";
+    fs::create_directories(scratch);
+
+    BenchSuite suite;
+    suite.bench = "adaptive";
+    suite.host = bench_host_info();
+
+    const std::uint64_t cap_total = kMaxSupersteps * kReplicates;
+    TextTable table({"class", "mode", "seconds", "supersteps", "saved", "verdict"});
+    for (const GraphClass& cls : kClasses) {
+        for (const bool adaptive : {false, true}) {
+            std::vector<double> seconds;
+            CellResult last;
+            for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+                last = run_cell(cls, adaptive, scratch);
+                seconds.push_back(last.seconds);
+            }
+            const double saved_frac =
+                1.0 - static_cast<double>(last.supersteps) /
+                          static_cast<double>(cap_total);
+            table.add_row(
+                {cls.name, adaptive ? "adaptive" : "fixed",
+                 fmt_double(median_of(seconds), 3), std::to_string(last.supersteps),
+                 adaptive ? fmt_double(100 * saved_frac, 1) + "%" : "-",
+                 adaptive ? last.stop_reason + " ess=" + fmt_double(last.ess, 1)
+                          : "fixed budget"});
+
+            BenchResult result;
+            result.name = std::string("BM_Pipeline_") +
+                          (adaptive ? "Adaptive/" : "Fixed/") + cls.name;
+            result.median_seconds = median_of(seconds);
+            result.repetitions = repetitions;
+            result.counters.emplace_back("supersteps",
+                                         static_cast<double>(last.supersteps));
+            result.counters.emplace_back("saved_frac", adaptive ? saved_frac : 0.0);
+            suite.results.push_back(result);
+        }
+    }
+    table.print(std::cout);
+    fs::remove_all(scratch);
+
+    if (!json_path.empty()) {
+        write_bench_json_file(json_path, suite);
+        std::cout << "\nwrote " << json_path << "\n";
+    }
+    return 0;
+}

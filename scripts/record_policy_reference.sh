@@ -7,6 +7,12 @@
 # on a >= 8-core box to capture the real replicate- vs intra-chain vs
 # hybrid spread the ROADMAP asks for; run from the repo root with the
 # build dir as $1 (default: build).
+#
+# While on that box, also refresh bench/baselines/BENCH_adaptive.json
+# (build/bench_adaptive --repetitions=3 --bench-json=...): the committed
+# adaptive-vs-fixed medians come from the same 1-hw-thread CI container as
+# kReference, so the fixed/adaptive wall-clock ratio at real parallelism is
+# still unrecorded.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"

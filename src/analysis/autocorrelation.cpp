@@ -1,10 +1,34 @@
 #include "analysis/autocorrelation.hpp"
 
+#include "obs/metrics.hpp"
+#include "util/binio.hpp"
 #include "util/check.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
 namespace gesmc {
+
+namespace {
+
+/// Preamble of the serialized observer: shared magic with the estimator
+/// sidecar family ("GESA" = gesmc analysis), section tag 'T' (thinning),
+/// version byte.  Bump the version on any layout change.
+constexpr char kAutocorrMagic[4] = {'G', 'E', 'S', 'A'};
+constexpr char kAutocorrTag = 'T';
+constexpr int kAutocorrVersion = 1;
+
+void publish_bytes_gauge(std::size_t bytes) {
+    if (!obs::metrics_enabled()) return;
+    static obs::Gauge& g =
+        obs::MetricsRegistry::instance().gauge("analysis.autocorr.bytes");
+    g.set(static_cast<std::int64_t>(bytes));
+}
+
+} // namespace
 
 std::vector<std::uint32_t> default_thinning_values(std::uint32_t max_k) {
     // Smooth ladder of small-divisor values: 1, 2, 3, 4, 6, 8, 12, 16, ...
@@ -35,6 +59,8 @@ ThinningAutocorrelation::ThinningAutocorrelation(const Chain& chain,
             }
         }
     }
+    // The dominant allocation: a dense |thinning| x |tracked| matrix (see
+    // the header note).  One assign, no incremental growth.
     counts_.assign(thinning_.size() * tracked_.size(), EdgeCounts{});
     // Superstep-0 states seed `prev` for every thinning.
     for (std::size_t ki = 0; ki < thinning_.size(); ++ki) {
@@ -43,6 +69,80 @@ ThinningAutocorrelation::ThinningAutocorrelation(const Chain& chain,
             row[e].prev = chain.has_edge(tracked_[e]) ? 1 : 0;
         }
     }
+    publish_bytes_gauge(memory_bytes());
+}
+
+std::size_t ThinningAutocorrelation::memory_bytes() const noexcept {
+    return counts_.capacity() * sizeof(EdgeCounts) +
+           tracked_.capacity() * sizeof(edge_key_t) +
+           thinning_.capacity() * sizeof(std::uint32_t);
+}
+
+void ThinningAutocorrelation::save(std::ostream& os) const {
+    os.write(kAutocorrMagic, sizeof(kAutocorrMagic));
+    os.put(kAutocorrTag);
+    os.put(static_cast<char>(kAutocorrVersion));
+    binio::write_varint(os, thinning_.size());
+    for (const std::uint32_t k : thinning_) binio::write_varint(os, k);
+    binio::write_varint(os, tracked_.size());
+    for (const edge_key_t key : tracked_) binio::write_varint(os, key);
+    binio::write_varint(os, step_);
+    for (const EdgeCounts& c : counts_) {
+        binio::write_varint(os, c.n[0][0]);
+        binio::write_varint(os, c.n[0][1]);
+        binio::write_varint(os, c.n[1][0]);
+        binio::write_varint(os, c.n[1][1]);
+        os.put(static_cast<char>(c.prev));
+    }
+    GESMC_CHECK(os.good(), "autocorrelation state write failed");
+}
+
+ThinningAutocorrelation ThinningAutocorrelation::restore(std::istream& is) {
+    static constexpr const char* kWhat = "autocorrelation state";
+    char preamble[6] = {};
+    is.read(preamble, sizeof(preamble));
+    GESMC_CHECK(is.gcount() == sizeof(preamble) &&
+                    std::memcmp(preamble, kAutocorrMagic, 4) == 0 &&
+                    preamble[4] == kAutocorrTag,
+                "not a serialized autocorrelation state");
+    GESMC_CHECK(preamble[5] == kAutocorrVersion,
+                "unsupported autocorrelation state version");
+    ThinningAutocorrelation out;
+    const std::uint64_t nk = binio::read_varint(is, kWhat);
+    GESMC_CHECK(nk >= 1 && nk <= 4096, "autocorrelation state: bad thinning count");
+    out.thinning_.reserve(nk);
+    for (std::uint64_t i = 0; i < nk; ++i) {
+        const std::uint64_t k = binio::read_varint(is, kWhat);
+        GESMC_CHECK(k >= 1 && k <= UINT32_MAX,
+                    "autocorrelation state: bad thinning value");
+        out.thinning_.push_back(static_cast<std::uint32_t>(k));
+    }
+    const std::uint64_t ne = binio::read_varint(is, kWhat);
+    // Same distrust of header counts as graph/io: cap the upfront reserve
+    // so a corrupt length fails as "truncated", not as a huge allocation.
+    out.tracked_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(ne, 1u << 20)));
+    for (std::uint64_t i = 0; i < ne; ++i) {
+        out.tracked_.push_back(binio::read_varint(is, kWhat));
+    }
+    out.step_ = binio::read_varint(is, kWhat);
+    out.counts_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(nk * ne, 1u << 22)));
+    for (std::uint64_t i = 0; i < nk * ne; ++i) {
+        EdgeCounts c;
+        for (int a = 0; a < 2; ++a) {
+            for (int b = 0; b < 2; ++b) {
+                const std::uint64_t v = binio::read_varint(is, kWhat);
+                GESMC_CHECK(v <= UINT32_MAX, "autocorrelation state: count overflow");
+                c.n[a][b] = static_cast<std::uint32_t>(v);
+            }
+        }
+        const int prev = is.get();
+        GESMC_CHECK(prev == 0 || prev == 1, "autocorrelation state: bad prev bit");
+        c.prev = static_cast<std::uint8_t>(prev);
+        out.counts_.push_back(c);
+    }
+    publish_bytes_gauge(out.memory_bytes());
+    return out;
 }
 
 void ThinningAutocorrelation::observe(const Chain& chain) {

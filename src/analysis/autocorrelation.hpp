@@ -27,6 +27,7 @@
 #include "core/chain.hpp"
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace gesmc {
@@ -55,6 +56,25 @@ public:
         return thinning_;
     }
 
+    /// The edge keys whose binary series are tracked (superstep-0 order).
+    [[nodiscard]] const std::vector<edge_key_t>& tracked() const noexcept {
+        return tracked_;
+    }
+
+    /// Bytes held by the dense counts matrix plus the tracked-key vector —
+    /// the price of streaming the test.  In kInitialEdges mode this is
+    /// Theta(|thinning| * m); published as the analysis.autocorr.bytes
+    /// gauge when metrics are enabled so adaptive mode's overhead shows up
+    /// in telemetry.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+    /// Serializes the complete observer state (thinning ladder, tracked
+    /// keys, step count, per-edge transition counts).  restore() rebuilds
+    /// an observer that continues the identical stream — used by the
+    /// adaptive estimator's checkpoint sidecar (analysis/ess.*).
+    void save(std::ostream& os) const;
+    static ThinningAutocorrelation restore(std::istream& is);
+
     /// Fraction of tracked edges whose k-thinned series the BIC still
     /// considers first-order Markov (non-independent), for thinning_[ki].
     [[nodiscard]] double non_independent_fraction(std::size_t ki) const;
@@ -68,9 +88,16 @@ private:
         std::uint8_t prev = 0;                    ///< last retained state
     };
 
+    ThinningAutocorrelation() = default; ///< for restore() only
+
     std::vector<std::uint32_t> thinning_;
     std::vector<edge_key_t> tracked_;
-    /// counts_[ki * tracked_.size() + e]
+    /// counts_[ki * tracked_.size() + e].  Dense on purpose: every tracked
+    /// edge is touched at every retained step, so a |thinning| x |tracked|
+    /// matrix of 17-byte cells (padded to 20) is the compact layout — but
+    /// on large graphs it is the dominant cost of running the test (about
+    /// 20 * |thinning| bytes per edge; ~1.6 MiB for m = 10^4 with the
+    /// default 8-value ladder).  memory_bytes() exposes the realized size.
     std::vector<EdgeCounts> counts_;
     std::uint64_t step_ = 0;
 };

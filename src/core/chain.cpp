@@ -179,4 +179,54 @@ void run_checkpointed(Chain& chain, std::uint64_t target, std::uint64_t checkpoi
     if (obs::metrics_enabled()) count_chain_progress(before, chain.stats());
 }
 
+void run_adaptive_checkpointed(Chain& chain, std::uint64_t max_target,
+                               std::uint64_t min_supersteps, std::uint64_t check_every,
+                               std::uint64_t checkpoint_every, RunObserver* observer,
+                               std::uint64_t replicate,
+                               const std::function<bool()>& should_stop,
+                               const std::function<void()>& on_checkpoint_boundary) {
+    GESMC_CHECK(should_stop != nullptr, "null stop predicate");
+    GESMC_CHECK(on_checkpoint_boundary != nullptr, "null checkpoint boundary");
+    GESMC_CHECK(check_every >= 1, "check-every must be >= 1");
+    std::uint64_t done = chain.stats().supersteps;
+    GESMC_CHECK(done <= max_target, "chain is already past the adaptive budget");
+    const ChainStats before = chain.stats();
+    // Smallest check step strictly after s — chunks end exactly on check
+    // steps so the chain never overruns a stop verdict (overrunning would
+    // make the realized superstep count depend on chunk sizes).
+    const auto next_check = [&](std::uint64_t s) {
+        std::uint64_t t = std::max(s + 1, min_supersteps);
+        if (t % check_every != 0) t += check_every - t % check_every;
+        return t;
+    };
+    while (done < max_target && !should_stop()) {
+        std::uint64_t next = std::min(max_target, next_check(done));
+        if (checkpoint_every > 0) {
+            next = std::min(next, done + checkpoint_every - done % checkpoint_every);
+        }
+        const std::uint64_t chunk = next - done;
+        if (obs::trace_enabled()) {
+            // Same per-superstep span splitting as run_checkpointed; the
+            // trajectory is split-invariant either way.
+            for (std::uint64_t s = 0; s < chunk; ++s) {
+                obs::TraceSpan span("superstep", "core",
+                                    {{"replicate", replicate}, {"superstep", done + s}});
+                chain.run_supersteps(1, observer, replicate);
+            }
+        } else {
+            chain.run_supersteps(chunk, observer, replicate);
+        }
+        done = next;
+        // Mid-run checkpoints only on absolute multiples of the cadence —
+        // never on a plain check step — so the set of boundary points a
+        // resumed run sees matches the uninterrupted run's.
+        const bool finished = done == max_target || should_stop();
+        if (!finished && checkpoint_every > 0 && done % checkpoint_every == 0) {
+            on_checkpoint_boundary();
+        }
+    }
+    on_checkpoint_boundary(); // completion boundary: the finished marker
+    if (obs::metrics_enabled()) count_chain_progress(before, chain.stats());
+}
+
 } // namespace gesmc

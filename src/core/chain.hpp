@@ -251,4 +251,21 @@ void run_checkpointed(Chain& chain, std::uint64_t target, std::uint64_t checkpoi
                       RunObserver* observer, std::uint64_t replicate,
                       const std::function<void()>& on_checkpoint_boundary);
 
+/// Adaptive-budget variant of run_checkpointed: drives `chain` until
+/// `should_stop()` returns true or `max_target` total supersteps, whichever
+/// comes first.  `should_stop` is polled only at *absolute check steps*
+/// (s >= min_supersteps and s % check_every == 0) and at max_target — and
+/// the chain is advanced in chunks that end exactly on those steps, so the
+/// realized stopping point is a pure function of the superstep stream,
+/// never of chunking, checkpoint cadence or resume position.  Checkpoints
+/// land on absolute multiples of checkpoint_every for the same reason.
+/// `on_checkpoint_boundary` always runs once more at completion (the
+/// finished marker), exactly like run_checkpointed.
+void run_adaptive_checkpointed(Chain& chain, std::uint64_t max_target,
+                               std::uint64_t min_supersteps, std::uint64_t check_every,
+                               std::uint64_t checkpoint_every, RunObserver* observer,
+                               std::uint64_t replicate,
+                               const std::function<bool()>& should_stop,
+                               const std::function<void()>& on_checkpoint_boundary);
+
 } // namespace gesmc

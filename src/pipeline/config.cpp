@@ -138,7 +138,22 @@ void apply_config_entry(PipelineConfig& config, const std::string& raw_key,
     } else if (key == "algorithm") {
         config.algorithm = value;
     } else if (key == "supersteps") {
-        config.supersteps = parse_u64(key, value);
+        if (value == "adaptive") {
+            config.adaptive = true;
+        } else {
+            config.adaptive = false;
+            config.supersteps = parse_u64(key, value);
+        }
+    } else if (key == "ess-target") {
+        config.ess_target = parse_double(key, value);
+    } else if (key == "mixing-tau") {
+        config.mixing_tau = parse_double(key, value);
+    } else if (key == "min-supersteps") {
+        config.min_supersteps = parse_u64(key, value);
+    } else if (key == "max-supersteps") {
+        config.max_supersteps = parse_u64(key, value);
+    } else if (key == "check-every") {
+        config.check_every = parse_u64(key, value);
     } else if (key == "pl") {
         config.pl = parse_double(key, value);
     } else if (key == "prefetch") {
@@ -276,7 +291,28 @@ std::string pipeline_config_to_string(const PipelineConfig& config) {
     if (config.gen_cols != defaults.gen_cols) put_u64("gen-cols", config.gen_cols);
     if (config.gen_degree != defaults.gen_degree) put_u64("gen-degree", config.gen_degree);
     if (config.algorithm != defaults.algorithm) put("algorithm", config.algorithm);
-    if (config.supersteps != defaults.supersteps) put_u64("supersteps", config.supersteps);
+    if (config.adaptive) {
+        // "supersteps = adaptive" plus the non-default stopping knobs; the
+        // numeric supersteps value is meaningless in this mode.
+        put("supersteps", "adaptive");
+        if (config.ess_target != defaults.ess_target) {
+            put_double("ess-target", config.ess_target);
+        }
+        if (config.mixing_tau != defaults.mixing_tau) {
+            put_double("mixing-tau", config.mixing_tau);
+        }
+        if (config.min_supersteps != defaults.min_supersteps) {
+            put_u64("min-supersteps", config.min_supersteps);
+        }
+        if (config.max_supersteps != defaults.max_supersteps) {
+            put_u64("max-supersteps", config.max_supersteps);
+        }
+        if (config.check_every != defaults.check_every) {
+            put_u64("check-every", config.check_every);
+        }
+    } else if (config.supersteps != defaults.supersteps) {
+        put_u64("supersteps", config.supersteps);
+    }
     if (config.pl != defaults.pl) put_double("pl", config.pl);
     if (config.prefetch != defaults.prefetch) put_bool("prefetch", config.prefetch);
     if (config.edge_set_backend != defaults.edge_set_backend) {
@@ -396,6 +432,15 @@ void validate(const PipelineConfig& config) {
                 "graphs only)");
     GESMC_CHECK(config.replicates > 0, "replicates must be >= 1");
     GESMC_CHECK(config.supersteps > 0, "supersteps must be >= 1");
+    if (config.adaptive) {
+        GESMC_CHECK(config.min_supersteps >= 1, "min-supersteps must be >= 1");
+        GESMC_CHECK(config.max_supersteps >= config.min_supersteps,
+                    "max-supersteps must be >= min-supersteps");
+        GESMC_CHECK(config.check_every >= 1, "check-every must be >= 1");
+        GESMC_CHECK(config.ess_target > 0, "ess-target must be > 0");
+        GESMC_CHECK(config.mixing_tau >= 0 && config.mixing_tau <= 1,
+                    "mixing-tau must be in [0, 1]");
+    }
     GESMC_CHECK(config.pl > 0 && config.pl < 1, "pl must be in (0, 1)");
     if (config.input_kind == InputKind::kGenerator) {
         GESMC_CHECK(!config.generator.empty(),

@@ -107,7 +107,27 @@ struct PipelineConfig {
 
     // ------------------------------------------------------------- chain
     std::string algorithm = "par-global-es"; ///< key: algorithm (chain name)
-    std::uint64_t supersteps = 20;           ///< key: supersteps
+
+    /// Superstep budget per replicate.  `supersteps = adaptive` switches to
+    /// the convergence-aware mode below instead of a fixed count (the
+    /// numeric value is then unused; max-supersteps is the budget).
+    ///                                              key: supersteps
+    std::uint64_t supersteps = 20;
+
+    // ----------------------------------------------------------- adaptive
+    // Convergence-aware stopping (docs/adaptive.md): each replicate runs
+    // until a streaming ESS / G2-BIC mixing test says it is mixed — or
+    // until max-supersteps.  Verdicts are deterministic functions of the
+    // superstep stream, so adaptive runs stay byte-reproducible and
+    // resume-safe.
+
+    bool adaptive = false;          ///< key: supersteps = adaptive
+    double ess_target = 32.0;       ///< key: ess-target
+    double mixing_tau = 0.2;        ///< key: mixing-tau
+    std::uint64_t min_supersteps = 8;   ///< key: min-supersteps
+    std::uint64_t max_supersteps = 200; ///< key: max-supersteps
+    std::uint64_t check_every = 2;      ///< key: check-every
+
     double pl = 1e-3;                        ///< key: pl
     bool prefetch = true;                    ///< key: prefetch (true|false)
     std::uint64_t small_graph_cutoff = 0;    ///< key: small-cutoff

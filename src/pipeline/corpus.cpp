@@ -406,11 +406,16 @@ CorpusGraphRow corpus_row_from_report(const CorpusInput& input,
     row.seconds = report.total_seconds;
     row.switches_per_second = report.switches_per_second();
 
-    std::uint64_t attempted = 0, accepted = 0, with_metrics = 0;
+    std::uint64_t attempted = 0, accepted = 0, with_metrics = 0, with_adaptive = 0;
     double triangles = 0, clustering = 0, assortativity = 0, components = 0;
+    double realized = 0;
     for (const ReplicateReport& r : report.replicates) {
         attempted += r.stats.attempted;
         accepted += r.stats.accepted;
+        if (r.has_adaptive) {
+            ++with_adaptive;
+            realized += static_cast<double>(r.realized_supersteps);
+        }
         if (!r.error.empty()) {
             if (is_interrupt_error(r.error)) {
                 ++row.interrupted;
@@ -438,6 +443,11 @@ CorpusGraphRow corpus_row_from_report(const CorpusInput& input,
         row.mean_assortativity = assortativity / n;
         row.mean_components = components / n;
     }
+    if (with_adaptive > 0) {
+        row.has_adaptive = true;
+        row.configured_supersteps = report.config.max_supersteps;
+        row.mean_realized_supersteps = realized / static_cast<double>(with_adaptive);
+    }
     return row;
 }
 
@@ -456,6 +466,46 @@ bool was_interrupted(const CorpusReport& report) {
 }
 
 namespace {
+
+/// Size of the first replicate wave of the two-phase early-stop, or 0 when
+/// the shard runs single-phase.  Two-phase needs adaptive mode (the feature
+/// it exists to amortize), per-replicate metrics (the stability signal) and
+/// enough replicates that skipping the second wave actually saves work.
+std::uint64_t two_phase_window(const PipelineConfig& shard) {
+    if (!shard.adaptive || !shard.metrics || shard.replicates < 4) return 0;
+    const std::uint64_t window =
+        std::max<std::uint64_t>(3, (shard.replicates + 1) / 2);
+    return window < shard.replicates ? window : 0;
+}
+
+/// Deterministic stability verdict over the first wave: every replicate
+/// succeeded with metrics, and the triangle counts agree — coefficient of
+/// variation <= 0.2 and every z-score within 3 sigma.  A constant series is
+/// stable (sd == 0 is the strongest possible agreement).
+bool phase1_stable(const RunReport& run, std::uint64_t window) {
+    std::vector<double> xs;
+    xs.reserve(window);
+    double sum = 0, sumsq = 0;
+    for (std::uint64_t i = 0; i < window; ++i) {
+        const ReplicateReport& r = run.replicates[i];
+        if (!r.error.empty() || !r.has_metrics) return false;
+        const double x = static_cast<double>(r.triangles);
+        xs.push_back(x);
+        sum += x;
+        sumsq += x * x;
+    }
+    const double n = static_cast<double>(window);
+    const double mean = sum / n;
+    const double var = std::max(0.0, sumsq / n - mean * mean);
+    const double sd = std::sqrt(var);
+    if (sd == 0.0) return true;
+    if (std::abs(mean) < 1e-12) return false;
+    if (sd / std::abs(mean) > 0.2) return false;
+    for (const double x : xs) {
+        if (std::abs((x - mean) / sd) > 3.0) return false;
+    }
+    return true;
+}
 
 /// Forwards one shard's replicate completions to the corpus hooks with the
 /// member's plan index attached.
@@ -541,6 +591,8 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
             obs::MetricsRegistry::instance().gauge("corpus.coordinators_active");
         obs::Counter& graphs_done =
             obs::MetricsRegistry::instance().counter("corpus.graphs.done");
+        obs::Counter& stopped_early =
+            obs::MetricsRegistry::instance().counter("corpus.graphs.stopped_early");
     };
     static CorpusGauges& gauges = *new CorpusGauges();
     gauges.cap.set(static_cast<std::int64_t>(coordinator_cap));
@@ -562,8 +614,50 @@ CorpusReport run_corpus(const CorpusPlan& plan, std::ostream* log,
                     PipelineExec exec;
                     exec.executor = &executor;
                     exec.interrupt = interrupt;
-                    const RunReport run = run_pipeline(shard, nullptr, &observer, exec);
+                    RunReport run;
+                    bool stopped_early = false;
+                    const std::uint64_t window = two_phase_window(shard);
+                    if (window > 0) {
+                        // Two-phase early-stop (adaptive runs only): run the
+                        // first wave of replicates, and skip the rest when
+                        // their z-scores already agree — the per-graph
+                        // analogue of the per-chain adaptive stop.  Both
+                        // phases are partial-range runs, so the coordinator
+                        // owns the shard's finalization (report.json,
+                        // checkpoint cleanup) after assembling the report.
+                        PipelineExec phase1 = exec;
+                        phase1.replicate_end = window;
+                        run = run_pipeline(shard, nullptr, &observer, phase1);
+                        if (phase1_stable(run, window) && !was_interrupted(run)) {
+                            stopped_early = true;
+                            run.replicates.resize(window);
+                        } else {
+                            // Not stable (or draining): the second wave runs
+                            // — or, under an interrupt, records its
+                            // replicates as interrupted without running, the
+                            // same outcome a single-phase run produces.
+                            PipelineExec phase2 = exec;
+                            phase2.replicate_begin = window;
+                            RunReport rest =
+                                run_pipeline(shard, nullptr, &observer, phase2);
+                            for (std::uint64_t r = window; r < shard.replicates; ++r) {
+                                run.replicates[r] = std::move(rest.replicates[r]);
+                            }
+                            run.total_seconds += rest.total_seconds;
+                        }
+                        if (shard.checkpoint_every > 0 && !shard.keep_checkpoints &&
+                            all_succeeded(run)) {
+                            remove_run_checkpoints(shard);
+                        }
+                        if (!shard.report_path.empty()) {
+                            write_json_report_file(shard.report_path, run);
+                        }
+                    } else {
+                        run = run_pipeline(shard, nullptr, &observer, exec);
+                    }
                     row = corpus_row_from_report(input, run);
+                    row.stopped_early = stopped_early;
+                    if (stopped_early) gauges.stopped_early.add(1);
                     // Replicate z-scores of the finished shard as live
                     // gauges (analysis/gauges.hpp): how far the shard's
                     // most extreme replicate sits from its siblings.
@@ -681,7 +775,12 @@ void write_corpus_json(std::ostream& os, const CorpusReport& report) {
     w.kv("graphs", static_cast<std::uint64_t>(report.rows.size()));
     w.kv("seed", report.config.seed);
     w.kv("algorithm", report.config.algorithm);
-    w.kv("supersteps", report.config.supersteps);
+    if (report.config.adaptive) {
+        w.kv("supersteps", "adaptive");
+        w.kv("max_supersteps", report.config.max_supersteps);
+    } else {
+        w.kv("supersteps", report.config.supersteps);
+    }
     w.kv("replicates_per_graph", report.config.replicates);
     w.kv("policy", to_string(report.config.policy));
     w.kv("requested_threads", report.config.threads);
@@ -718,6 +817,11 @@ void write_corpus_json(std::ostream& os, const CorpusReport& report) {
         w.kv("seconds", row.seconds);
         w.kv("switches_per_second", row.switches_per_second);
         w.kv("acceptance_rate", row.acceptance_rate);
+        if (row.has_adaptive) {
+            w.kv("stopped_early", row.stopped_early);
+            w.kv("configured_supersteps", row.configured_supersteps);
+            w.kv("mean_realized_supersteps", row.mean_realized_supersteps);
+        }
         if (!row.error.empty()) w.kv("error", row.error);
         if (row.has_metrics) {
             w.key("metrics");
@@ -785,6 +889,13 @@ std::string corpus_row_ndjson(const CorpusGraphRow& row) {
     out += ", \"seconds\": " + ndjson_double(row.seconds);
     out += ", \"switches_per_second\": " + ndjson_double(row.switches_per_second);
     out += ", \"acceptance_rate\": " + ndjson_double(row.acceptance_rate);
+    if (row.has_adaptive) {
+        out += std::string(", \"stopped_early\": ") +
+               (row.stopped_early ? "true" : "false");
+        out += ", \"configured_supersteps\": " + std::to_string(row.configured_supersteps);
+        out += ", \"mean_realized_supersteps\": " +
+               ndjson_double(row.mean_realized_supersteps);
+    }
     if (!row.error.empty()) out += ", \"error\": " + ndjson_quote(row.error);
     if (row.has_metrics) {
         out += ", \"metrics\": {\"mean_triangles\": " + ndjson_double(row.mean_triangles);

@@ -106,6 +106,14 @@ struct CorpusGraphRow {
     double mean_clustering = 0;
     double mean_assortativity = 0;
     double mean_components = 0;
+    /// Adaptive-budget runs (docs/adaptive.md): realized vs configured
+    /// superstep budget, and whether the coordinator's two-phase early-stop
+    /// skipped the graph's remaining replicates once the first wave's
+    /// z-scores stabilized.  Emitted only when has_adaptive.
+    bool has_adaptive = false;
+    bool stopped_early = false;
+    std::uint64_t configured_supersteps = 0;  ///< the adaptive cap (max-supersteps)
+    double mean_realized_supersteps = 0;      ///< over the replicates that ran
     std::string error; ///< first genuine error ("" = none)
 };
 

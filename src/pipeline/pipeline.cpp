@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.hpp"
 
+#include "analysis/ess.hpp"
 #include "analysis/gauges.hpp"
 #include "core/chain.hpp"
 #include "gen/configuration_model.hpp"
@@ -22,6 +23,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -97,6 +99,89 @@ std::string checkpoint_path(const std::string& run_dir, const PipelineConfig& co
         .string();
 }
 
+/// The adaptive estimator's sidecar next to a replicate's .gesc: same stem,
+/// .gesa extension ("GESA" preamble, analysis/ess.hpp).
+std::string estimator_path(const std::string& run_dir, const PipelineConfig& config,
+                           std::uint64_t index) {
+    return (std::filesystem::path(run_dir) / "checkpoints" /
+            (config.output_prefix + "_" + padded_index(config, index) + ".gesa"))
+        .string();
+}
+
+AdaptiveStopConfig adaptive_stop_config(const PipelineConfig& config) {
+    AdaptiveStopConfig out;
+    out.ess_target = config.ess_target;
+    out.mixing_tau = config.mixing_tau;
+    out.min_supersteps = config.min_supersteps;
+    out.max_supersteps = config.max_supersteps;
+    out.check_every = config.check_every;
+    return out;
+}
+
+/// Same atomic write protocol as the .gesc files (graph/io): tmp + rename,
+/// so a crash never leaves a torn sidecar shadowing a good checkpoint.
+void write_estimator_file_atomic(const std::string& path, const EssEstimator& est) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        GESMC_CHECK(os.good(), "cannot open for writing: " + tmp);
+        est.save(os);
+        os.close();
+        GESMC_CHECK(os.good(), "estimator sidecar write failed: " + tmp);
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+/// Restores the estimator sidecar belonging to a restored chain state, or
+/// nullopt when it is missing, unreadable, recorded under different knobs,
+/// or out of step with the chain — the callers then rerun the replicate
+/// from superstep 0 (byte-identical, just recomputing).
+std::optional<EssEstimator> try_restore_estimator(const std::string& path,
+                                                  const AdaptiveStopConfig& stop_config,
+                                                  std::uint64_t chain_supersteps) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) return std::nullopt;
+    try {
+        EssEstimator est = EssEstimator::restore(is, stop_config);
+        if (est.supersteps() != chain_supersteps) return std::nullopt;
+        return est;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+/// Per-replicate decorator feeding the replicate's superstep stream into
+/// its estimator before forwarding to the run's observer chain.
+class EssFeed final : public RunObserver {
+public:
+    EssFeed(EssEstimator* estimator, RunObserver* inner) noexcept
+        : estimator_(estimator), inner_(inner) {}
+
+    void on_superstep(std::uint64_t replicate, const Chain& chain) override {
+        estimator_->observe(chain);
+        if (inner_ != nullptr) inner_->on_superstep(replicate, chain);
+    }
+
+    void on_checkpoint(std::uint64_t replicate, const ChainState& state,
+                       const std::string& path) override {
+        if (inner_ != nullptr) inner_->on_checkpoint(replicate, state, path);
+    }
+
+    void on_replicate_done(const ReplicateReport& report) override {
+        if (inner_ != nullptr) inner_->on_replicate_done(report);
+    }
+
+private:
+    EssEstimator* estimator_;
+    RunObserver* inner_;
+};
+
+obs::Counter& supersteps_saved_counter() {
+    static obs::Counter& c =
+        obs::MetricsRegistry::instance().counter("pipeline.supersteps.saved");
+    return c;
+}
+
 } // namespace
 
 EdgeList materialize_input(const PipelineConfig& config) {
@@ -121,6 +206,23 @@ bool all_succeeded(const RunReport& report) {
         if (!r.error.empty()) return false;
     }
     return true;
+}
+
+std::uint64_t remove_run_checkpoints(const PipelineConfig& config) {
+    std::uint64_t removed = 0;
+    for (std::uint64_t r = 0; r < config.replicates; ++r) {
+        std::error_code ec;
+        if (std::filesystem::remove(checkpoint_path(config.output_dir, config, r), ec)) {
+            ++removed;
+        }
+        // Adaptive estimator sidecars live and die with their .gesc.
+        std::filesystem::remove(estimator_path(config.output_dir, config, r), ec);
+    }
+    std::error_code ec;
+    const std::filesystem::path dir =
+        std::filesystem::path(config.output_dir) / "checkpoints";
+    if (std::filesystem::is_empty(dir, ec) && !ec) std::filesystem::remove(dir, ec);
+    return removed;
 }
 
 bool is_interrupt_error(const std::string& error) {
@@ -172,9 +274,22 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
         return exec.interrupt != nullptr &&
                exec.interrupt->load(std::memory_order_relaxed);
     };
+    // Replicate range: everything by default; the corpus coordinator's
+    // two-phase early-stop runs partial ranges (PipelineExec doc).
+    const std::uint64_t range_begin = std::min(exec.replicate_begin, config.replicates);
+    const std::uint64_t range_end =
+        std::min(exec.replicate_end, config.replicates);
+    GESMC_CHECK(range_begin <= range_end, "replicate range is inverted");
+    const std::uint64_t range_count = range_end - range_begin;
+    const bool full_range = range_begin == 0 && range_end == config.replicates;
     const ScheduleRequest request{config.policy, config.chain_threads,
                                   config.max_concurrent};
-    const ResolvedSchedule schedule = executor->resolve(config.replicates, request);
+    const ResolvedSchedule schedule = executor->resolve(range_count, request);
+    // The effective per-replicate budget: fixed supersteps, or the adaptive
+    // cap (each replicate may stop earlier on its own verdict).
+    const std::uint64_t target_supersteps =
+        config.adaptive ? config.max_supersteps : config.supersteps;
+    const AdaptiveStopConfig stop_config = adaptive_stop_config(config);
     report.threads = executor->threads();
     report.resolved_policy = schedule.policy;
     report.chain_threads = schedule.chain_threads;
@@ -189,8 +304,13 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     if (log != nullptr) {
         *log << "pipeline: n = " << initial.num_nodes() << ", m = " << initial.num_edges()
              << ", max degree = " << report.input_max_degree << "\n"
-             << "pipeline: " << config.replicates << " x " << config.algorithm << " x "
-             << config.supersteps << " supersteps, policy = "
+             << "pipeline: " << config.replicates << " x " << config.algorithm << " x ";
+        if (config.adaptive) {
+            *log << "adaptive (<= " << config.max_supersteps << ")";
+        } else {
+            *log << config.supersteps;
+        }
+        *log << " supersteps, policy = "
              << to_string(report.resolved_policy) << ", budget = " << report.threads
              << " threads (" << schedule.max_concurrent << " x "
              << schedule.chain_threads << ")\n";
@@ -198,7 +318,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     GESMC_LOG_EVENT(Info, "pipeline", "run_started")
         .str("algorithm", config.algorithm)
         .num("replicates", config.replicates)
-        .num("supersteps", config.supersteps)
+        .num("supersteps", target_supersteps)
         .num("nodes", initial.num_nodes())
         .num("edges", initial.num_edges())
         .num("threads", report.threads);
@@ -212,7 +332,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     }
     if (!config.resume_from.empty()) {
         bool any_checkpoint = false;
-        for (std::uint64_t r = 0; r < config.replicates && !any_checkpoint; ++r) {
+        for (std::uint64_t r = range_begin; r < range_end && !any_checkpoint; ++r) {
             any_checkpoint =
                 std::filesystem::exists(checkpoint_path(config.resume_from, config, r));
         }
@@ -227,7 +347,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
             // count's digit width) would silently discard the compute the
             // resume exists to save.
             bool outputs_complete = true;
-            for (std::uint64_t r = 0; r < config.replicates && outputs_complete; ++r) {
+            for (std::uint64_t r = range_begin; r < range_end && outputs_complete; ++r) {
                 PipelineConfig prev = config;
                 prev.output_dir = config.resume_from;
                 outputs_complete = std::filesystem::exists(replicate_output_path(prev, r));
@@ -262,18 +382,21 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     std::optional<MixingGaugeObserver> mixing;
     RunObserver* effective_observer = observer;
     if (config.metrics && obs::metrics_enabled()) {
-        mixing.emplace(config.replicates, config.supersteps, observer);
+        mixing.emplace(config.replicates, target_supersteps, observer);
         effective_observer = &*mixing;
     }
 
-    executor->run(config.replicates, request,
+    executor->run(range_count, request,
                   [&](const ReplicateSlot& slot) {
-        ReplicateReport& out = report.replicates[slot.index];
-        out.index = slot.index;
-        out.seed = replicate_seed(config.seed, slot.index);
+        // Absolute replicate index: seeds and file names come from it, so a
+        // partial-range run reproduces the full run's bytes per replicate.
+        const std::uint64_t index = range_begin + slot.index;
+        ReplicateReport& out = report.replicates[index];
+        out.index = index;
+        out.seed = replicate_seed(config.seed, index);
         const obs::TraceSpan replicate_span(
             "replicate", "pipeline",
-            {{"replicate", slot.index}, {"width", slot.chain_threads}});
+            {{"replicate", index}, {"width", slot.chain_threads}});
         Timer timer;
         try {
             // Drain/cancel: a replicate that has not started is not worth
@@ -294,11 +417,12 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
             // when one exists.  A finished replicate is not re-run — its
             // output is re-emitted from the final snapshot.
             std::unique_ptr<Chain> chain;
+            std::optional<EssEstimator> estimator; // adaptive mode only
             EdgeList finished_graph;
             bool finished_from_checkpoint = false;
             if (!config.resume_from.empty()) {
                 const std::string prev =
-                    checkpoint_path(config.resume_from, config, slot.index);
+                    checkpoint_path(config.resume_from, config, index);
                 if (std::filesystem::exists(prev)) {
                     ChainState state = read_chain_state_file(prev);
                     GESMC_CHECK(state.algorithm == algo,
@@ -318,22 +442,46 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                                 "checkpoint " + prev + " was written with pl = " +
                                     std::to_string(state.pl) +
                                     ", not the configured pl");
-                    GESMC_CHECK(state.stats.supersteps <= config.supersteps,
+                    GESMC_CHECK(state.stats.supersteps <= target_supersteps,
                                 "checkpoint " + prev +
                                     " is ahead of the configured supersteps");
-                    out.resumed_supersteps = state.stats.supersteps;
-                    if (state.stats.supersteps == config.supersteps) {
+                    // Adaptive resumes additionally need the estimator
+                    // sidecar — the stop verdict is a function of the whole
+                    // stream, so a chain state alone cannot continue it.  A
+                    // missing/mismatched sidecar falls back to a fresh run
+                    // from superstep 0: byte-identical, just recomputed.
+                    bool usable = true;
+                    if (config.adaptive) {
+                        estimator = try_restore_estimator(
+                            estimator_path(config.resume_from, config, index),
+                            stop_config, state.stats.supersteps);
+                        usable = estimator.has_value();
+                    }
+                    const bool finished =
+                        usable &&
+                        (state.stats.supersteps == target_supersteps ||
+                         (config.adaptive && estimator->stopped() &&
+                          *estimator->stop_superstep() == state.stats.supersteps));
+                    if (!usable) {
+                        // fall through to the fresh path below
+                    } else if (finished) {
+                        out.resumed_supersteps = state.stats.supersteps;
                         out.stats = state.stats;
                         if (config.checkpoint_every > 0) {
                             // Resuming into a different directory: carry the
                             // finished marker over, or a later resume from
                             // *this* run would re-run the replicate.
                             const std::string here =
-                                checkpoint_path(config.output_dir, config, slot.index);
+                                checkpoint_path(config.output_dir, config, index);
                             if (!std::filesystem::exists(here)) {
                                 write_chain_state_file_atomic(here, state);
+                                if (config.adaptive) {
+                                    write_estimator_file_atomic(
+                                        estimator_path(config.output_dir, config, index),
+                                        *estimator);
+                                }
                                 if (effective_observer != nullptr) {
-                                    effective_observer->on_checkpoint(slot.index, state,
+                                    effective_observer->on_checkpoint(index, state,
                                                                       here);
                                 }
                             }
@@ -342,37 +490,88 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                             EdgeList::from_keys(state.num_nodes, std::move(state.keys));
                         finished_from_checkpoint = true;
                     } else {
+                        out.resumed_supersteps = state.stats.supersteps;
                         chain = make_chain(state, chain_config);
                     }
                 }
             }
             if (!finished_from_checkpoint) {
-                if (chain == nullptr) chain = make_chain(algo, initial, chain_config);
-                // Snapshots are exact at superstep boundaries; the final
-                // one marks the replicate finished so a resume can skip it.
-                run_checkpointed(*chain, config.supersteps, config.checkpoint_every,
-                                 effective_observer, slot.index, [&] {
+                if (chain == nullptr) {
+                    chain = make_chain(algo, initial, chain_config);
+                    if (config.adaptive) {
+                        // Built against the superstep-0 state, *before* any
+                        // superstep runs: the stream the verdict sees must
+                        // start at the initial graph.
+                        estimator.emplace(*chain, stop_config,
+                                          adaptive_max_thinning(config.max_supersteps));
+                    }
+                }
+                const auto checkpoint_boundary = [&](bool replicate_done) {
                     if (config.checkpoint_every == 0) return;
                     const std::string path =
-                        checkpoint_path(config.output_dir, config, slot.index);
+                        checkpoint_path(config.output_dir, config, index);
                     const ChainState state = chain->snapshot();
                     const obs::TraceSpan span(
                         "checkpoint", "pipeline",
-                        {{"replicate", slot.index},
+                        {{"replicate", index},
                          {"superstep", state.stats.supersteps}});
                     write_chain_state_file_atomic(path, state);
+                    if (config.adaptive) {
+                        // The sidecar lands after its .gesc: a crash window
+                        // leaves chain-state-without-sidecar, which resume
+                        // treats as "rerun fresh", never as corrupt.
+                        write_estimator_file_atomic(
+                            estimator_path(config.output_dir, config, index),
+                            *estimator);
+                    }
                     if (effective_observer != nullptr) {
-                        effective_observer->on_checkpoint(slot.index, state, path);
+                        effective_observer->on_checkpoint(index, state, path);
                     }
                     // Drain/cancel: the state just persisted is exactly the
                     // resume point — stop here instead of running to the
                     // target.  The completion boundary never throws (the
                     // replicate is done; finishing beats discarding it).
-                    if (interrupted() && state.stats.supersteps < config.supersteps) {
+                    if (interrupted() && !replicate_done) {
                         throw InterruptReplicate{state.stats.supersteps};
                     }
-                });
+                };
+                // Snapshots are exact at superstep boundaries; the final
+                // one marks the replicate finished so a resume can skip it.
+                if (config.adaptive) {
+                    EssFeed feed(&*estimator, effective_observer);
+                    run_adaptive_checkpointed(
+                        *chain, target_supersteps, config.min_supersteps,
+                        config.check_every, config.checkpoint_every, &feed,
+                        index, [&] { return estimator->stopped(); },
+                        [&] {
+                            const std::uint64_t done = chain->stats().supersteps;
+                            checkpoint_boundary(done == target_supersteps ||
+                                                estimator->stopped());
+                        });
+                } else {
+                    run_checkpointed(*chain, config.supersteps, config.checkpoint_every,
+                                     effective_observer, index, [&] {
+                        checkpoint_boundary(chain->stats().supersteps ==
+                                            config.supersteps);
+                    });
+                }
                 out.stats = chain->stats();
+            }
+            if (config.adaptive) {
+                // The realized budget and mixing verdict ride along in the
+                // report (emitted only in adaptive mode: fixed-budget report
+                // bytes are unchanged).
+                out.has_adaptive = true;
+                out.realized_supersteps = out.stats.supersteps;
+                out.stop_reason =
+                    estimator->stopped() ? "ess-target" : "max-supersteps";
+                out.ess = estimator->ess();
+                out.act_tau = estimator->act_tau();
+                out.non_independent = estimator->non_independent_fraction();
+                if (obs::metrics_enabled()) {
+                    supersteps_saved_counter().add(config.max_supersteps -
+                                                   out.stats.supersteps);
+                }
             }
 
             const EdgeList& result =
@@ -383,7 +582,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                             "replicate changed the degree sequence");
             }
             if (!config.output_dir.empty()) {
-                out.output_path = replicate_output_path(config, slot.index);
+                out.output_path = replicate_output_path(config, index);
                 if (config.output_format == OutputFormat::kBinary) {
                     write_edge_list_binary_file(out.output_path, result);
                 } else {
@@ -406,20 +605,20 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                                   std::to_string(stop.superstep) +
                                   " (checkpointed; a resume-from run continues it)";
             GESMC_LOG_EVENT(Warn, "pipeline", "replicate_interrupted")
-                .num("replicate", slot.index)
+                .num("replicate", index)
                 .num("superstep", stop.superstep);
         } catch (const std::exception& e) {
             // Exceptions must not cross the pool boundary (scheduler.hpp);
             // record and let the remaining replicates run.
             out.error = e.what();
             GESMC_LOG_EVENT(Error, "pipeline", "replicate_failed")
-                .num("replicate", slot.index)
+                .num("replicate", index)
                 .str("error", out.error);
         }
         out.seconds = timer.elapsed_s();
         if (out.error.empty()) {
             GESMC_LOG_EVENT(Debug, "pipeline", "replicate_done")
-                .num("replicate", slot.index)
+                .num("replicate", index)
                 .real("seconds", out.seconds);
         }
         if (obs::metrics_enabled()) {
@@ -443,21 +642,13 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
     // Checkpoints exist to survive interruption; once every replicate
     // finished cleanly they are dead weight (stale .gesc files shadowing
     // future runs into the same directory).  keep-checkpoints opts out —
-    // e.g. to seed resume-into-fresh-directory moves later.
-    if (config.checkpoint_every > 0 && !config.keep_checkpoints &&
+    // e.g. to seed resume-into-fresh-directory moves later.  A partial
+    // range never cleans up: the replicates outside it may still need
+    // their checkpoints (the coordinator finalizes once it owns the whole
+    // run's outcome).
+    if (full_range && config.checkpoint_every > 0 && !config.keep_checkpoints &&
         all_succeeded(report)) {
-        std::uint64_t removed = 0;
-        for (std::uint64_t r = 0; r < config.replicates; ++r) {
-            std::error_code ec;
-            if (std::filesystem::remove(checkpoint_path(config.output_dir, config, r),
-                                        ec)) {
-                ++removed;
-            }
-        }
-        std::error_code ec;
-        const std::filesystem::path dir =
-            std::filesystem::path(config.output_dir) / "checkpoints";
-        if (std::filesystem::is_empty(dir, ec) && !ec) std::filesystem::remove(dir, ec);
+        const std::uint64_t removed = remove_run_checkpoints(config);
         if (log != nullptr && removed > 0) {
             *log << "pipeline: removed " << removed
                  << " checkpoint file(s) after the successful run (set "
@@ -465,7 +656,7 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
         }
     }
 
-    if (!config.report_path.empty()) {
+    if (full_range && !config.report_path.empty()) {
         const std::filesystem::path parent =
             std::filesystem::path(config.report_path).parent_path();
         if (!parent.empty()) std::filesystem::create_directories(parent);

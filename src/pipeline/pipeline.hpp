@@ -49,6 +49,7 @@
 #include "pipeline/report.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <iosfwd>
 
 namespace gesmc {
@@ -80,6 +81,18 @@ struct PipelineExec {
     /// completion (there is no consistent state to stop at).  Null: never
     /// interrupted.
     const std::atomic<bool>* interrupt = nullptr;
+
+    /// Half-open replicate index range [replicate_begin, replicate_end) to
+    /// actually run, clamped to [0, config.replicates).  The defaults run
+    /// everything.  A partial range (the corpus coordinator's two-phase
+    /// early-stop, docs/corpus.md) still derives seeds and output names
+    /// from the *absolute* indices — outputs are byte-identical to the same
+    /// replicate in a full run — but skips the run-level finalization steps
+    /// that only make sense for a complete run (report file, checkpoint
+    /// cleanup); the RunReport entries outside the range stay default-
+    /// initialized and the caller assembles the merged report.
+    std::uint64_t replicate_begin = 0;
+    std::uint64_t replicate_end = UINT64_MAX;
 };
 
 /// Runs the full pipeline; `log` (may be null) receives human-readable
@@ -94,6 +107,14 @@ RunReport run_pipeline(const PipelineConfig& config, std::ostream* log = nullptr
 /// As above, with an injected execution context (see PipelineExec).
 RunReport run_pipeline(const PipelineConfig& config, std::ostream* log,
                        RunObserver* observer, const PipelineExec& exec);
+
+/// Removes the run's checkpoint files (.gesc plus adaptive .gesa estimator
+/// sidecars) for every replicate of `config`, and the checkpoints/ directory
+/// itself once empty; returns how many .gesc files were removed.
+/// run_pipeline does this after a successful full-range run unless
+/// keep-checkpoints is set; the corpus coordinator calls it when finalizing
+/// a two-phase shard (partial-range runs never clean up themselves).
+std::uint64_t remove_run_checkpoints(const PipelineConfig& config);
 
 /// True iff `error` is the interruption marker a replicate records when
 /// stopped by PipelineExec::interrupt, as opposed to a genuine failure.

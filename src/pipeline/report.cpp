@@ -175,6 +175,16 @@ void write_replicate_json(JsonWriter& w, const ReplicateReport& r) {
     if (r.resumed_supersteps > 0) w.kv("resumed_supersteps", r.resumed_supersteps);
     if (!r.output_path.empty()) w.kv("output", r.output_path);
     if (!r.error.empty()) w.kv("error", r.error);
+    if (r.has_adaptive) {
+        w.kv("realized_supersteps", r.realized_supersteps);
+        w.kv("stop_reason", r.stop_reason);
+        w.key("mixing");
+        w.begin_object();
+        w.kv("ess", r.ess);
+        w.kv("act_tau", r.act_tau);
+        w.kv("non_independent", r.non_independent);
+        w.end_object();
+    }
     w.key("stats");
     write_stats(w, r.stats);
     if (r.has_metrics) {
@@ -219,7 +229,16 @@ void write_json_report(std::ostream& os, const RunReport& report) {
         w.kv("init", to_string(report.config.init));
     }
     w.kv("algorithm", report.config.algorithm);
-    w.kv("supersteps", report.config.supersteps);
+    if (report.config.adaptive) {
+        w.kv("supersteps", "adaptive");
+        w.kv("ess_target", report.config.ess_target);
+        w.kv("mixing_tau", report.config.mixing_tau);
+        w.kv("min_supersteps", report.config.min_supersteps);
+        w.kv("max_supersteps", report.config.max_supersteps);
+        w.kv("check_every", report.config.check_every);
+    } else {
+        w.kv("supersteps", report.config.supersteps);
+    }
     w.kv("pl", report.config.pl);
     w.kv("prefetch", report.config.prefetch);
     w.kv("small_cutoff", report.config.small_graph_cutoff);

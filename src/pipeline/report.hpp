@@ -81,6 +81,16 @@ struct ReplicateReport {
     double global_clustering = 0;
     double assortativity = 0;
     std::uint64_t components = 0;
+
+    // Adaptive mode (supersteps = adaptive, docs/adaptive.md).  Emitted in
+    // the JSON only when has_adaptive is set, so fixed-budget reports are
+    // byte-identical to pre-adaptive ones.
+    bool has_adaptive = false;
+    std::uint64_t realized_supersteps = 0; ///< where the replicate stopped
+    std::string stop_reason;               ///< "ess-target" | "max-supersteps"
+    double ess = 0;                        ///< final ESS estimate
+    double act_tau = 0;                    ///< final AR(1) autocorrelation time
+    double non_independent = 0;            ///< final G2/BIC non-indep. fraction
 };
 
 /// Everything the JSON report records about a run.

@@ -41,8 +41,9 @@ namespace {
 class CountingObserver final : public RunObserver {
 public:
     CountingObserver(RunObserver* inner, std::atomic<std::uint64_t>& done,
-                     std::atomic<std::uint64_t>& attempted)
-        : inner_(inner), done_(&done), attempted_(&attempted) {}
+                     std::atomic<std::uint64_t>& attempted,
+                     std::atomic<std::uint64_t>& realized)
+        : inner_(inner), done_(&done), attempted_(&attempted), realized_(&realized) {}
 
     void on_superstep(std::uint64_t replicate, const Chain& chain) override {
         if (inner_ != nullptr) inner_->on_superstep(replicate, chain);
@@ -54,6 +55,7 @@ public:
     void on_replicate_done(const ReplicateReport& report) override {
         done_->fetch_add(1, std::memory_order_relaxed);
         attempted_->fetch_add(report.stats.attempted, std::memory_order_relaxed);
+        realized_->fetch_add(report.stats.supersteps, std::memory_order_relaxed);
         if (inner_ != nullptr) inner_->on_replicate_done(report);
     }
 
@@ -61,6 +63,7 @@ private:
     RunObserver* inner_;
     std::atomic<std::uint64_t>* done_;
     std::atomic<std::uint64_t>* attempted_;
+    std::atomic<std::uint64_t>* realized_;
 };
 
 /// service.jobs.* lifecycle counters (the snapshot-style per-status totals
@@ -180,6 +183,8 @@ JobInfo JobManager::info_locked(const Job& job) const {
     info.output_dir = job.config.output_dir;
     info.error = job.error;
     info.attempted_switches = job.attempted_switches.load(std::memory_order_relaxed);
+    info.adaptive = job.config.adaptive;
+    info.realized_supersteps = job.realized_supersteps.load(std::memory_order_relaxed);
     if (job.has_started) {
         const auto end = job.has_finished ? job.finished
                                           : std::chrono::steady_clock::now();
@@ -321,7 +326,8 @@ void JobManager::runner_loop() {
         }
 
         CountingObserver observer(job->observer, job->replicates_done,
-                                  job->attempted_switches);
+                                  job->attempted_switches,
+                                  job->realized_supersteps);
         PipelineExec exec;
         exec.executor = &executor_;
         exec.interrupt = &job->interrupt;

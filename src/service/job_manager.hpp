@@ -76,6 +76,14 @@ struct JobInfo {
     double seconds = 0;
     std::uint64_t attempted_switches = 0;
     double switches_per_second = 0;
+
+    /// True when the job runs with `supersteps = adaptive` (docs/adaptive.md);
+    /// realized_supersteps then sums the supersteps its finished replicates
+    /// actually ran — against replicates_done x max-supersteps it shows how
+    /// much budget the adaptive stop saved.  (Summed for fixed-budget jobs
+    /// too, where it is simply replicates_done x supersteps.)
+    bool adaptive = false;
+    std::uint64_t realized_supersteps = 0;
 };
 
 /// Point-in-time load snapshot of the whole manager — the payload of the
@@ -159,6 +167,8 @@ private:
         /// Attempted switches summed over finished replicates (fed by the
         /// counting observer) — the numerator of the job's throughput.
         std::atomic<std::uint64_t> attempted_switches{0};
+        /// Supersteps the finished replicates actually ran (JobInfo doc).
+        std::atomic<std::uint64_t> realized_supersteps{0};
         std::chrono::steady_clock::time_point started;   ///< set at kRunning
         std::chrono::steady_clock::time_point finished;  ///< set at terminal
         bool has_started = false;

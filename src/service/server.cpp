@@ -47,6 +47,10 @@ void append_job_info_json(std::string& out, const JobInfo& info) {
         out += ", \"seconds\": " + json_double(info.seconds);
         out += ", \"switches_per_second\": " + json_double(info.switches_per_second);
     }
+    if (info.adaptive) {
+        out += ", \"adaptive\": true";
+        out += ", \"realized_supersteps\": " + std::to_string(info.realized_supersteps);
+    }
     if (!info.output_dir.empty()) {
         out += ", \"output_dir\": " + json_quote(info.output_dir);
     }
@@ -108,6 +112,10 @@ std::string metrics_event_body(const ServiceStats& stats) {
         w.kv("seconds", info.seconds);
         w.kv("attempted_switches", info.attempted_switches);
         w.kv("switches_per_second", info.switches_per_second);
+        if (info.adaptive) {
+            w.kv("adaptive", true);
+            w.kv("realized_supersteps", info.realized_supersteps);
+        }
         w.end_object();
     }
     w.end_array();

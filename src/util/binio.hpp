@@ -1,0 +1,74 @@
+/// \file binio.hpp
+/// \brief Minimal binary stream primitives shared by the sidecar formats.
+///
+/// graph/io.cpp keeps its own (private) copies of these routines because its
+/// error strings name the enclosing section; the analysis sidecars
+/// (estimator state, see analysis/ess.*) need the identical wire encoding —
+/// LEB128 varints and IEEE-754 little-endian doubles — without pulling the
+/// graph formats into the analysis layer.  The encodings must stay
+/// bit-compatible with graph/io.cpp: both feed byte-compared artifacts.
+#pragma once
+
+#include "util/check.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace gesmc::binio {
+
+inline void write_varint(std::ostream& os, std::uint64_t v) {
+    char buf[10];
+    int len = 0;
+    while (v >= 0x80) {
+        buf[len++] = static_cast<char>((v & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    buf[len++] = static_cast<char>(v);
+    os.write(buf, len);
+}
+
+/// `what` names the enclosing section in errors so a truncated sidecar is
+/// reported as such, not as a generic stream failure.
+inline std::uint64_t read_varint(std::istream& is, const char* what) {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        const int byte = is.get();
+        GESMC_CHECK(byte != std::char_traits<char>::eof(),
+                    std::string(what) + " truncated");
+        // The 10th byte (shift 63) has room for one data bit only; higher
+        // bits would be shifted out silently.
+        GESMC_CHECK(shift < 63 || (byte & 0x7E) == 0,
+                    std::string(what) + ": varint overflows 64 bits");
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) return v;
+    }
+    throw Error(std::string(what) + ": varint longer than 64 bits");
+}
+
+/// Doubles travel as their IEEE-754 bit pattern, little-endian: restores
+/// must be bit-exact (the estimator's accumulators feed deterministic stop
+/// verdicts), so no text round-trip is acceptable here.
+inline void write_double_le(std::ostream& os, double value) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((bits >> (8 * i)) & 0xFF);
+    os.write(buf, sizeof(buf));
+}
+
+inline double read_double_le(std::istream& is, const char* what) {
+    char buf[8];
+    is.read(buf, sizeof(buf));
+    GESMC_CHECK(is.gcount() == sizeof(buf), std::string(what) + " truncated");
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+                << (8 * i);
+    }
+    return std::bit_cast<double>(bits);
+}
+
+} // namespace gesmc::binio

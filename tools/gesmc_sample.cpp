@@ -64,7 +64,14 @@ Shortcuts (equivalent to --set):
   --algo NAME         seq-es | seq-global-es | par-es | par-global-es |
                       naive-par-es | adj-list-es
   --replicates R      independent replicates to sample
-  --supersteps K      supersteps per replicate
+  --supersteps K      supersteps per replicate, or "adaptive" to stop each
+                      replicate once its mixing estimate clears the target
+                      (docs/adaptive.md; tune with the five flags below)
+  --ess-target E      adaptive: effective sample size to reach        [32]
+  --mixing-tau F      adaptive: max non-independent edge fraction     [0.2]
+  --min-supersteps N  adaptive: never stop before N supersteps        [8]
+  --max-supersteps N  adaptive: hard budget cap                       [200]
+  --check-every N     adaptive: verdict cadence in supersteps         [2]
   --seed S            master seed (replicate seeds are derived)
   --threads P         machine-level thread budget, 0 = hardware concurrency
   --policy NAME       auto | replicates | intra-chain | hybrid
@@ -268,6 +275,9 @@ int main(int argc, char** argv) {
         {"--corpus", "corpus"},
         {"--algo", "algorithm"},      {"--replicates", "replicates"},
         {"--supersteps", "supersteps"}, {"--seed", "seed"},
+        {"--ess-target", "ess-target"}, {"--mixing-tau", "mixing-tau"},
+        {"--min-supersteps", "min-supersteps"},
+        {"--max-supersteps", "max-supersteps"}, {"--check-every", "check-every"},
         {"--threads", "threads"},     {"--policy", "policy"},
         {"--chain-threads", "chain-threads"}, {"--max-concurrent", "max-concurrent"},
         {"--edge-set-backend", "edge-set-backend"},

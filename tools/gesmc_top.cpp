@@ -132,8 +132,23 @@ void render_screen(const JsonValue& doc) {
     }
 
     if (gauges != nullptr && !gauges->object_members.empty()) {
-        out << "\ngauges\n";
+        // The analysis layer's gauges get their own section: they carry the
+        // live mixing verdict (ESS, autocorrelation time, non-independent
+        // fraction — milli-scaled, docs/observability.md) of adaptive runs.
+        bool any_mixing = false;
         for (const auto& [name, value] : gauges->object_members) {
+            if (name.rfind("analysis.", 0) != 0) continue;
+            if (!any_mixing) out << "\nmixing (analysis gauges, milli units)\n";
+            any_mixing = true;
+            out << "  " << name
+                << std::string(name.size() < 40 ? 40 - name.size() : 1, ' ')
+                << number_of(&value) << "\n";
+        }
+        bool any_other = false;
+        for (const auto& [name, value] : gauges->object_members) {
+            if (name.rfind("analysis.", 0) == 0) continue;
+            if (!any_other) out << "\ngauges\n";
+            any_other = true;
             out << "  " << name
                 << std::string(name.size() < 40 ? 40 - name.size() : 1, ' ')
                 << number_of(&value) << "\n";
